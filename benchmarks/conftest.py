@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures by simulating the
+corresponding experiment sweep.  The wall-clock cost being measured by
+pytest-benchmark is the *simulation* cost of the sweep; the scientific
+output is the printed figure table plus the paper-claim checks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated figure tables.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating one paper figure"
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a sweep exactly once under pytest-benchmark timing."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,75 @@
+"""Ablation — broker persistence medium and message size (DESIGN.md Sec. 6).
+
+The Kafka-vs-Redis gap of Fig. 11 is a *disk vs memory* story: sweep
+the disk-backed log's write bandwidth and the per-face message size to
+show the broker ceiling moving exactly with bytes/bandwidth, and that
+the in-memory broker is insensitive to both.
+"""
+
+import pytest
+
+from repro.analysis import format_rate, format_table
+from repro.apps import FacePipelineConfig
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.hardware.calibration import BrokerCalibration
+from repro.serving import run_face_pipeline
+
+FACES = 25
+
+
+def _run(broker, disk_bandwidth=None):
+    calibration = DEFAULT_CALIBRATION
+    if disk_bandwidth is not None:
+        base = DEFAULT_CALIBRATION.broker
+        calibration = DEFAULT_CALIBRATION.with_overrides(
+            broker=BrokerCalibration(
+                kafka_produce_seconds=base.kafka_produce_seconds,
+                kafka_broker_cpu_seconds=base.kafka_broker_cpu_seconds,
+                kafka_consume_seconds=base.kafka_consume_seconds,
+                kafka_disk_bandwidth=disk_bandwidth,
+                kafka_poll_interval_seconds=base.kafka_poll_interval_seconds,
+            )
+        )
+    return run_face_pipeline(
+        FacePipelineConfig(broker=broker, faces_per_frame=FACES),
+        concurrency=96,
+        calibration=calibration,
+        warmup_requests=120,
+        measure_requests=900,
+    ).throughput
+
+
+def run_media_sweep():
+    data = {}
+    for bandwidth in (60e6, 115e6, 230e6, 460e6):
+        data[("kafka", bandwidth)] = _run("kafka", disk_bandwidth=bandwidth)
+    data[("redis", None)] = _run("redis")
+    return data
+
+
+@pytest.mark.figure("ablation-broker")
+def test_ablation_broker_media(run_once):
+    data = run_once(run_media_sweep)
+
+    print(
+        "\n"
+        + format_table(
+            ["broker", "disk bandwidth", "frames/s"],
+            [
+                [
+                    broker,
+                    "-" if bandwidth is None else f"{bandwidth / 1e6:.0f} MB/s",
+                    format_rate(rate),
+                ]
+                for (broker, bandwidth), rate in data.items()
+            ],
+            title=f"Ablation — broker persistence medium ({FACES} faces/frame)",
+        )
+    )
+
+    kafka_rates = [rate for (broker, _), rate in data.items() if broker == "kafka"]
+    # Kafka throughput rises monotonically with disk bandwidth...
+    assert kafka_rates == sorted(kafka_rates)
+    assert kafka_rates[-1] > 1.8 * kafka_rates[0]
+    # ...but even a 4x-faster disk does not reach the in-memory broker.
+    assert data[("redis", None)] > kafka_rates[-1]

@@ -1,0 +1,92 @@
+"""Ablation — GPU-memory eviction policy (DESIGN.md Sec. 6).
+
+The Fig. 5 high-concurrency regime spills waiting tensors to host
+memory.  We compare spilling the *newest* tensor (default: the one
+furthest from its inference slot) against the naive *oldest*-first
+spill, and against disabling eviction entirely (allocations block).
+Victim choice matters because reloads of spilled working sets block
+the compute stream.
+"""
+
+import pytest
+
+from repro.analysis import format_rate, format_table
+from repro.core import ServerConfig
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.hardware.calibration import GpuCalibration
+from repro.serving import ExperimentConfig, run_experiment
+from repro.vision import reference_dataset
+
+#: A shrunk pool (~1.5 GB usable) recreates the Fig. 5 eviction regime
+#: at a simulation-friendly concurrency.
+SMALL_GPU = GpuCalibration(
+    memory_bytes=5.5 * 1024**3,
+    reserved_bytes=4 * 1024**3,
+)
+
+
+def run_policy_comparison():
+    data = {}
+    for label, policy, allow in (
+        ("evict newest (default)", "newest", True),
+        ("evict oldest", "oldest", True),
+        ("no eviction (block)", "newest", False),
+    ):
+        calibration = DEFAULT_CALIBRATION.with_overrides(
+            gpu=GpuCalibration(
+                memory_bytes=SMALL_GPU.memory_bytes,
+                reserved_bytes=SMALL_GPU.reserved_bytes,
+                eviction_policy=policy,
+            )
+        )
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model="resnet-50",
+                    preprocess_device="gpu",
+                    preprocess_batch_size=64,
+                    allow_eviction=allow,
+                ),
+                dataset=reference_dataset("medium"),
+                concurrency=512,
+                calibration=calibration,
+                warmup_requests=500,
+                measure_requests=2000,
+            )
+        )
+        data[label] = {
+            "throughput": result.throughput,
+            "p99": result.p99_latency,
+            "evictions": result.metrics.eviction_count,
+        }
+    return data
+
+
+@pytest.mark.figure("ablation-eviction")
+def test_ablation_eviction_policy(run_once):
+    data = run_once(run_policy_comparison)
+
+    print(
+        "\n"
+        + format_table(
+            ["policy", "img/s", "p99", "evictions"],
+            [
+                [label, format_rate(e["throughput"]), f"{e['p99'] * 1e3:.0f} ms",
+                 str(e["evictions"])]
+                for label, e in data.items()
+            ],
+            title="Ablation — eviction policy under memory pressure",
+        )
+    )
+
+    newest = data["evict newest (default)"]
+    oldest = data["evict oldest"]
+
+    # Memory pressure is actually exercised.
+    assert newest["evictions"] > 0
+
+    # Evicting the next-to-infer tensor (oldest) forces far more
+    # critical-path reloads: strictly more evictions and no better
+    # throughput than the default.
+    assert oldest["evictions"] > newest["evictions"]
+    assert newest["throughput"] >= 0.95 * oldest["throughput"]

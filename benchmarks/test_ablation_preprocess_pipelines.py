@@ -1,0 +1,74 @@
+"""Ablation — DALI pipeline parallelism and batch size (DESIGN.md Sec. 6).
+
+Two design choices in the GPU preprocessing path:
+
+1. *Pipelines per GPU*: one pipeline serializes host staging with GPU
+   decode kernels; two overlap them (DALI's prefetch).  The effect is
+   largest for large images, whose staging time rivals kernel time —
+   this is the mechanism behind the >2-GPU throttle of Fig. 9.
+2. *Preprocessing batch size*: the per-call kernel-launch chain is the
+   dominant cost at batch 1 and amortizes with larger batches.
+"""
+
+import pytest
+
+from repro.analysis import format_rate, format_table
+from repro.core import ServerConfig
+from repro.serving import ExperimentConfig, run_experiment
+from repro.vision import reference_dataset
+
+
+def _run(pipelines, batch, size):
+    result = run_experiment(
+        ExperimentConfig(
+            server=ServerConfig(
+                model="resnet-50",
+                preprocess_device="gpu",
+                preprocess_pipelines=pipelines,
+                preprocess_batch_size=batch,
+            ),
+            dataset=reference_dataset(size),
+            concurrency=512,
+            warmup_requests=400,
+            measure_requests=1500,
+        )
+    )
+    return result.throughput
+
+
+def run_ablation():
+    data = {}
+    for size in ("medium", "large"):
+        for pipelines in (1, 2):
+            data[(size, "pipelines", pipelines)] = _run(pipelines, 64, size)
+    for batch in (4, 16, 64):
+        data[("medium", "batch", batch)] = _run(2, batch, "medium")
+    return data
+
+
+@pytest.mark.figure("ablation-preprocess")
+def test_ablation_preprocess_pipelines(run_once):
+    data = run_once(run_ablation)
+
+    print(
+        "\n"
+        + format_table(
+            ["configuration", "img/s"],
+            [[f"{k[0]}, {k[1]}={k[2]}", format_rate(v)] for k, v in data.items()],
+            title="Ablation — GPU preprocessing pipeline structure",
+        )
+    )
+
+    # Stage overlap matters most for large images (staging ~ kernels).
+    large_gain = data[("large", "pipelines", 2)] / data[("large", "pipelines", 1)]
+    medium_gain = data[("medium", "pipelines", 2)] / data[("medium", "pipelines", 1)]
+    assert large_gain > 1.2, "2 pipelines must clearly help large images"
+    assert large_gain > medium_gain
+
+    # Larger preprocessing batches amortize the launch chain.
+    assert (
+        data[("medium", "batch", 64)]
+        > data[("medium", "batch", 16)]
+        > data[("medium", "batch", 4)]
+    )
+    assert data[("medium", "batch", 64)] > 1.5 * data[("medium", "batch", 4)]

@@ -1,0 +1,80 @@
+"""Extension — what if the GPU had a dedicated JPEG decode engine?
+
+The paper points at "the inclusion of a dedicated hardware JPEG decoder
+specifically for DNN preprocessing on modern GPUs such as NVIDIA A100"
+(Sec. 2.2) and concludes that accelerated preprocessing "can alleviate
+these scaling limitations but only to a certain extent" (Sec. 5).  This
+benchmark quantifies the what-if on our platform: repeat the
+large-image single-GPU and multi-GPU experiments with an A100-style
+fixed-function decode engine (decode off the SMs, reduced host
+staging).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import format_rate, format_table
+from repro.core import ServerConfig
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.serving import ExperimentConfig, run_experiment
+from repro.vision import reference_dataset
+
+HW_CALIBRATION = DEFAULT_CALIBRATION.with_overrides(
+    gpu=dataclasses.replace(DEFAULT_CALIBRATION.gpu, hardware_jpeg_decoder=True)
+)
+
+
+def run_what_if():
+    data = {}
+    for label, calibration in (("software decode", DEFAULT_CALIBRATION),
+                               ("hardware decoder", HW_CALIBRATION)):
+        for gpus in (1, 2, 4):
+            result = run_experiment(
+                ExperimentConfig(
+                    server=ServerConfig(
+                        model="vit-base-16",
+                        preprocess_device="gpu",
+                        preprocess_batch_size=64,
+                    ),
+                    dataset=reference_dataset("large"),
+                    concurrency=256 * gpus,
+                    gpu_count=gpus,
+                    calibration=calibration,
+                    warmup_requests=300,
+                    measure_requests=1200,
+                )
+            )
+            data[(label, gpus)] = result.throughput
+    return data
+
+
+@pytest.mark.figure("ext-hw-decoder")
+def test_ext_hardware_decoder(run_once):
+    data = run_once(run_what_if)
+
+    print(
+        "\n"
+        + format_table(
+            ["decode path", "1 GPU", "2 GPUs", "4 GPUs", "4-GPU scaling"],
+            [
+                [
+                    label,
+                    format_rate(data[(label, 1)]),
+                    format_rate(data[(label, 2)]),
+                    format_rate(data[(label, 4)]),
+                    f"{data[(label, 4)] / data[(label, 1)]:.2f}x",
+                ]
+                for label in ("software decode", "hardware decoder")
+            ],
+            title="Extension — large-image ViT serving with an A100-style JPEG engine",
+        )
+    )
+
+    # The engine lifts single-GPU large-image throughput substantially...
+    assert data[("hardware decoder", 1)] > 1.5 * data[("software decode", 1)]
+    # ...and restores multi-GPU scaling that software decode throttles.
+    soft_scaling = data[("software decode", 4)] / data[("software decode", 1)]
+    hard_scaling = data[("hardware decoder", 4)] / data[("hardware decoder", 1)]
+    assert soft_scaling < 2.2, "software decode throttles beyond 2 GPUs"
+    assert hard_scaling > 2.8, "the decode engine restores near-linear scaling"

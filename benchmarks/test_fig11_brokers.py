@@ -1,0 +1,128 @@
+"""Fig. 11 — message brokers in the multi-DNN face pipeline.
+
+Paper (Sec. 4.7): face detection -> identification connected via a
+broker.  Versus the disk-backed Kafka of prior work, the in-memory
+Redis broker gives +125% throughput (2.25x) and 67% lower zero-load
+latency at 25 faces/frame, with the broker's latency share falling
+from 71% (Kafka) to 6% (Redis).  The fused (no-broker) system wins at
+low fan-out, but Redis overtakes it as faces/frame grow (paper: >= 9).
+"""
+
+import pytest
+
+from repro.analysis import ClaimSet, format_rate, format_table
+from repro.apps import FacePipelineConfig
+from repro.serving import run_face_pipeline
+
+FACE_COUNTS = (1, 3, 5, 9, 15, 25)
+BROKERS = ("fused", "redis", "kafka")
+
+
+def run_broker_sweep():
+    data = {"throughput": {}, "zero_load": {}}
+    for faces in FACE_COUNTS:
+        for broker in BROKERS:
+            result = run_face_pipeline(
+                FacePipelineConfig(broker=broker, faces_per_frame=faces),
+                concurrency=96,
+                warmup_requests=150,
+                measure_requests=1200,
+            )
+            data["throughput"][(broker, faces)] = result.throughput
+    for broker in BROKERS:
+        result = run_face_pipeline(
+            FacePipelineConfig(broker=broker, faces_per_frame=25),
+            concurrency=1,
+            warmup_requests=20,
+            measure_requests=120,
+        )
+        data["zero_load"][broker] = {
+            "latency": result.mean_latency,
+            "broker_fraction": result.metrics.span_mean("broker") / result.mean_latency,
+        }
+    return data
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_brokers(run_once):
+    data = run_once(run_broker_sweep)
+    throughput = data["throughput"]
+    zero_load = data["zero_load"]
+
+    print(
+        "\n"
+        + format_table(
+            ["faces/frame"] + list(BROKERS) + ["redis/kafka"],
+            [
+                [str(faces)]
+                + [format_rate(throughput[(broker, faces)]) for broker in BROKERS]
+                + [f"{throughput[('redis', faces)] / throughput[('kafka', faces)]:.2f}x"]
+                for faces in FACE_COUNTS
+            ],
+            title="Fig. 11 (top) — pipeline throughput (frames/s)",
+        )
+    )
+    print(
+        "\n"
+        + format_table(
+            ["broker", "zero-load latency", "broker share"],
+            [
+                [
+                    broker,
+                    f"{zero_load[broker]['latency'] * 1e3:.1f} ms",
+                    f"{zero_load[broker]['broker_fraction'] * 100:.1f}%",
+                ]
+                for broker in BROKERS
+            ],
+            title="Fig. 11 (bottom) — zero-load latency at 25 faces/frame",
+        )
+    )
+
+    claims = ClaimSet("Fig. 11")
+    claims.check(
+        "Redis over Kafka throughput at 25 faces (paper: 2.25x)",
+        2.25,
+        throughput[("redis", 25)] / throughput[("kafka", 25)],
+        rel_tolerance=0.25,
+    )
+    claims.check(
+        "Kafka share of zero-load latency (paper: 71%)",
+        0.71,
+        zero_load["kafka"]["broker_fraction"],
+        rel_tolerance=0.15,
+    )
+    claims.check(
+        "Redis share of zero-load latency (paper: 6%)",
+        0.06,
+        zero_load["redis"]["broker_fraction"],
+        rel_tolerance=0.8,
+    )
+    claims.check(
+        "Redis zero-load latency improvement over Kafka (paper: 67%)",
+        0.67,
+        1 - zero_load["redis"]["latency"] / zero_load["kafka"]["latency"],
+        rel_tolerance=0.2,
+    )
+    print(claims.render())
+
+    # The fused system wins at low fan-out...
+    assert throughput[("fused", 1)] > throughput[("redis", 1)]
+    assert throughput[("fused", 1)] > throughput[("kafka", 1)]
+    # ...but Redis overtakes it at high fan-out (paper: >= 9 faces).
+    assert throughput[("redis", 9)] > throughput[("fused", 9)]
+    assert throughput[("redis", 25)] > throughput[("fused", 25)]
+    # The fused/redis gap narrows then inverts as fan-out grows.
+    gaps = [
+        throughput[("fused", faces)] / throughput[("redis", faces)] for faces in FACE_COUNTS
+    ]
+    assert gaps[0] > gaps[-1]
+
+    # Redis always at least matches Kafka, and the advantage grows with
+    # the message rate.
+    ratios = [
+        throughput[("redis", faces)] / throughput[("kafka", faces)] for faces in FACE_COUNTS
+    ]
+    assert all(r > 0.9 for r in ratios)
+    assert ratios[-1] == max(ratios)
+
+    assert claims.all_within_tolerance, "\n" + claims.render()

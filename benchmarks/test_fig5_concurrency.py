@@ -1,0 +1,136 @@
+"""Fig. 5 — throughput, latency, and queue time vs concurrency.
+
+Paper (Sec. 4.3): as concurrency grows, throughput and latency both
+rise; GPU preprocessing gives higher throughput and lower latency than
+CPU preprocessing, but *declines* at very high concurrency as GPU
+memory saturates and queued tensors are evicted/reloaded, whereas CPU
+preprocessing saturates flat (host RAM buffers).  Queue time grows to
+~3 s at 4096 concurrency and accounts for 34-91% of latency at the
+optimal concurrencies (64-512).
+"""
+
+import pytest
+
+from repro.analysis import ClaimSet, format_rate, format_table
+from repro.core import ServerConfig
+from repro.serving import ExperimentConfig, run_experiment
+from repro.vision import reference_dataset
+
+CONCURRENCIES = (1, 16, 64, 256, 1024, 2048, 4096)
+MODEL = "resnet-50"
+DATASET = reference_dataset("medium")
+
+
+def run_concurrency_sweep():
+    data = {}
+    for device in ("cpu", "gpu"):
+        series = []
+        for concurrency in CONCURRENCIES:
+            result = run_experiment(
+                ExperimentConfig(
+                    server=ServerConfig(
+                        model=MODEL,
+                        preprocess_device=device,
+                        preprocess_batch_size=64,
+                    ),
+                    dataset=DATASET,
+                    concurrency=concurrency,
+                    warmup_requests=max(400, concurrency),
+                    measure_requests=max(2000, 2 * concurrency),
+                )
+            )
+            queue = result.metrics.span_mean("queue") + result.metrics.span_mean(
+                "preprocess_wait"
+            )
+            series.append(
+                {
+                    "concurrency": concurrency,
+                    "throughput": result.throughput,
+                    "latency": result.mean_latency,
+                    "queue": queue,
+                    "queue_fraction": queue / result.mean_latency,
+                    "evictions": result.metrics.eviction_count,
+                }
+            )
+        data[device] = series
+    return data
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_concurrency(run_once):
+    data = run_once(run_concurrency_sweep)
+
+    rows = []
+    for device in ("cpu", "gpu"):
+        for point in data[device]:
+            rows.append(
+                [
+                    device,
+                    str(point["concurrency"]),
+                    format_rate(point["throughput"]),
+                    f"{point['latency'] * 1e3:.1f} ms",
+                    f"{point['queue'] * 1e3:.1f} ms",
+                    f"{point['queue_fraction'] * 100:.0f}%",
+                    str(point["evictions"]),
+                ]
+            )
+    print(
+        "\n"
+        + format_table(
+            ["preproc", "concurrency", "img/s", "avg latency", "queue", "queue %", "evictions"],
+            rows,
+            title=f"Fig. 5 — {MODEL} at different concurrencies",
+        )
+    )
+
+    cpu = {p["concurrency"]: p for p in data["cpu"]}
+    gpu = {p["concurrency"]: p for p in data["gpu"]}
+
+    # Throughput grows with concurrency then saturates (both devices).
+    for series in (data["cpu"], data["gpu"]):
+        assert series[0]["throughput"] < series[2]["throughput"] < max(
+            p["throughput"] for p in series
+        ) * 1.01
+        # Latency rises monotonically with concurrency past saturation.
+        assert series[-1]["latency"] > series[2]["latency"] > series[0]["latency"]
+
+    # GPU preprocessing peaks higher than CPU preprocessing.
+    gpu_peak = max(p["throughput"] for p in data["gpu"])
+    cpu_peak = max(p["throughput"] for p in data["cpu"])
+    assert gpu_peak > cpu_peak, "GPU preprocessing provides higher throughput"
+
+    # ...and declines at very high concurrency due to GPU-memory
+    # eviction, while CPU preprocessing saturates flat.
+    assert gpu[4096]["throughput"] < 0.9 * gpu_peak, "GPU preproc declines at 4096"
+    assert gpu[4096]["evictions"] > 0, "the decline is driven by evictions"
+    assert cpu[4096]["throughput"] > 0.95 * cpu_peak, "CPU preproc saturates"
+    assert cpu[4096]["evictions"] == 0
+
+    # Queue time dominates at high concurrency.
+    claims = ClaimSet("Fig. 5")
+    claims.check(
+        "queue seconds at 4096 concurrency (paper: up to ~3 s)",
+        3.0,
+        max(cpu[4096]["queue"], gpu[4096]["queue"]),
+        unit="s",
+        rel_tolerance=0.8,
+    )
+    optimal = [cpu[64], cpu[256], gpu[64], gpu[256]]
+    claims.check(
+        "min queue share at optimal concurrency (paper: 34%)",
+        0.34,
+        min(p["queue_fraction"] for p in optimal),
+        rel_tolerance=1.0,
+    )
+    claims.check(
+        "max queue share at optimal concurrency (paper: 91%)",
+        0.91,
+        max(p["queue_fraction"] for p in optimal),
+        rel_tolerance=0.3,
+    )
+    print(claims.render())
+
+    # Queueing accounts for an increasing share of latency.
+    for series in (data["cpu"], data["gpu"]):
+        assert series[-1]["queue_fraction"] > series[1]["queue_fraction"]
+    assert claims.all_within_tolerance, "\n" + claims.render()

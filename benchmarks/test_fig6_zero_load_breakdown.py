@@ -1,0 +1,92 @@
+"""Fig. 6 — zero-load latency breakdown of ViT across image sizes.
+
+Paper (Sec. 4.2): with requests served one at a time, the
+preprocessing share of ViT request latency reaches 56% (CPU) / 49%
+(GPU) for the medium image and 97% / 88% for the large image; CPU
+preprocessing has *lower latency* than GPU preprocessing for the small
+image (the GPU is vastly underutilized at batch 1).
+"""
+
+import pytest
+
+from repro.analysis import ClaimSet, breakdown_from_metrics, format_table
+from repro.apps import zero_load_breakdown
+
+
+def run_breakdowns():
+    data = {}
+    for size in ("small", "medium", "large"):
+        for device in ("cpu", "gpu"):
+            result = zero_load_breakdown(
+                model="vit-base-16", preprocess_device=device, image_size=size
+            )
+            data[(size, device)] = breakdown_from_metrics(result.metrics)
+    return data
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_zero_load_breakdown(run_once):
+    data = run_once(run_breakdowns)
+
+    print(
+        "\n"
+        + format_table(
+            ["image", "preproc", "latency", "preprocess", "inference", "preproc share"],
+            [
+                [
+                    size,
+                    device,
+                    f"{b.total * 1e3:.2f} ms",
+                    f"{b.preprocess * 1e3:.2f} ms",
+                    f"{b.inference * 1e3:.2f} ms",
+                    f"{b.preprocess_fraction * 100:.1f}%",
+                ]
+                for (size, device), b in data.items()
+            ],
+            title="Fig. 6 — zero-load ViT latency breakdown",
+        )
+    )
+
+    claims = ClaimSet("Fig. 6")
+    claims.check(
+        "medium image, CPU preprocessing share (paper: 56%)",
+        0.56,
+        data[("medium", "cpu")].preprocess_fraction,
+        rel_tolerance=0.15,
+    )
+    claims.check(
+        "medium image, GPU preprocessing share (paper: 49%)",
+        0.49,
+        data[("medium", "gpu")].preprocess_fraction,
+        rel_tolerance=0.15,
+    )
+    claims.check(
+        "large image, CPU preprocessing share (paper: 97%)",
+        0.97,
+        data[("large", "cpu")].preprocess_fraction,
+        rel_tolerance=0.05,
+    )
+    claims.check(
+        "large image, GPU preprocessing share (paper: 88%)",
+        0.88,
+        data[("large", "gpu")].preprocess_fraction,
+        rel_tolerance=0.10,
+    )
+    print(claims.render())
+
+    # CPU preprocessing outperforms GPU for small images (latency).
+    assert data[("small", "cpu")].total < data[("small", "gpu")].total
+
+    # GPU preprocessing wins increasingly as the image grows.
+    assert data[("large", "gpu")].total < data[("large", "cpu")].total / 3
+
+    # Preprocessing share grows with image size on both devices.
+    for device in ("cpu", "gpu"):
+        shares = [data[(size, device)].preprocess_fraction for size in ("small", "medium", "large")]
+        assert shares == sorted(shares)
+
+    # DNN inference time itself is size-independent (always 224x224).
+    inference_times = [b.inference for b in data.values()]
+    assert max(inference_times) < 1.3 * min(inference_times)
+
+    assert claims.all_within_tolerance, "\n" + claims.render()

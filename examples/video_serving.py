@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Serve video classification — the paper's Sec. 1 motivating scenario.
+
+Drives the MPEG-decode -> frame-sample -> preprocess -> DNN pipeline
+closed-loop, then shows (a) how much more preprocessing-dominated video
+serving is than image serving, and (b) the GOP amplification that makes
+uniformly-sampled frames expensive compared to keyframe-aligned
+sampling.
+
+Run:  python examples/video_serving.py [frames_per_clip]
+"""
+
+import sys
+
+from repro.apps import VideoClassificationServer, VideoServerConfig
+from repro.core import MetricsCollector
+from repro.hardware import DEFAULT_CALIBRATION, ServerNode
+from repro.serving.client import ClosedLoopClient
+from repro.sim import Environment, RandomStreams
+from repro.analysis import format_table
+from repro.vision import (
+    VideoClipDataset,
+    keyframe_sample_indices,
+    uniform_sample_indices,
+    video_decode_cost,
+)
+
+
+def serve(frames_per_clip: int):
+    env = Environment()
+    node = ServerNode(env)
+    collector = MetricsCollector()
+    done_ev = env.event()
+    state = {"n": 0}
+
+    def on_complete(_request):
+        state["n"] += 1
+        if state["n"] == 60:
+            collector.arm(env.now)
+        elif state["n"] == 460:
+            done_ev.succeed()
+
+    server = VideoClassificationServer(
+        env, node, VideoServerConfig(frames_per_clip=frames_per_clip),
+        metrics=collector, on_complete=on_complete,
+    )
+    client = ClosedLoopClient(
+        env, server, VideoClipDataset(mean_duration_seconds=6.0), 32, RandomStreams(0)
+    )
+
+    def ctrl():
+        yield done_ev | env.timeout(300)
+        collector.disarm(env.now)
+        client.stop()
+
+    env.run(until=env.process(ctrl()))
+    return collector.finalize()
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    metrics = serve(frames)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["clips/s", f"{metrics.throughput:.1f}"],
+                ["frames/s", f"{metrics.throughput * frames:.0f}"],
+                ["mean clip latency", f"{metrics.latency.mean * 1e3:.0f} ms"],
+                ["p99 clip latency", f"{metrics.latency.p99 * 1e3:.0f} ms"],
+                ["decode+preprocess share", f"{metrics.span_fraction('preprocess') * 100:.0f}%"],
+                ["DNN share", f"{metrics.span_fraction('inference') * 100:.0f}%"],
+            ],
+            title=f"Video classification — 720p clips, {frames} frames sampled per clip",
+        )
+    )
+
+    clip = VideoClipDataset(mean_duration_seconds=8.0).sample(
+        RandomStreams(0).stream("demo")
+    )
+    print("\nThe GOP tax (one 8 s 720p clip, 8 sampled frames):")
+    for label, sampler in (("uniform sampling", uniform_sample_indices),
+                           ("keyframe-aligned", keyframe_sample_indices)):
+        cost = video_decode_cost(clip, sampler(clip, 8), DEFAULT_CALIBRATION)
+        print(f"  {label:17s}: decode {cost.decoded_frames:3d} frames "
+              f"({cost.amplification:.1f}x amplification) "
+              f"= {cost.total_seconds * 1e3:.0f} ms CPU")
+    print("\nInter-coded video cannot be random-accessed: sampling mid-GOP")
+    print("frames decodes the whole lead-in. Aligning samples to keyframes")
+    print("trades temporal coverage for a large preprocessing saving — an")
+    print("optimization entirely outside the DNN, which is the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-build-isolation` works offline
+(the sandbox lacks the `wheel` package needed for PEP 660 editables)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Result analysis: breakdowns, figure tables, paper comparison."""
+
+from .breakdown import LatencyBreakdown, breakdown_from_metrics
+from .charts import bar_chart, sparkline, stacked_bar_chart
+from .compare import ClaimSet, PaperClaim
+from .export import (
+    metrics_to_dict,
+    result_to_dict,
+    rows_to_csv,
+    rows_to_json,
+    write_csv,
+    write_json,
+)
+from .tables import format_ms, format_pct, format_rate, format_table
+from .tracing import TraceCollector, requests_to_trace_events, write_chrome_trace
+
+__all__ = [
+    "ClaimSet",
+    "bar_chart",
+    "metrics_to_dict",
+    "result_to_dict",
+    "rows_to_csv",
+    "rows_to_json",
+    "sparkline",
+    "stacked_bar_chart",
+    "write_csv",
+    "write_json",
+    "TraceCollector",
+    "requests_to_trace_events",
+    "write_chrome_trace",
+    "LatencyBreakdown",
+    "PaperClaim",
+    "breakdown_from_metrics",
+    "format_ms",
+    "format_pct",
+    "format_rate",
+    "format_table",
+]

@@ -1,0 +1,79 @@
+"""Latency-breakdown post-processing.
+
+Turns :class:`~repro.core.metrics.RunMetrics` span ledgers into the
+groupings the paper plots: *preprocessing* vs *DNN inference* vs *other
+overheads* (Fig. 6), the inference-time percentage (Fig. 4 bottom), and
+queue share (Fig. 5 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import RunMetrics
+from ..core.request import (
+    SPAN_FRONTEND,
+    SPAN_INFERENCE,
+    SPAN_POSTPROCESS,
+    SPAN_PREPROCESS,
+    SPAN_PREPROCESS_WAIT,
+    SPAN_QUEUE,
+    SPAN_TRANSFER,
+)
+
+__all__ = ["LatencyBreakdown", "breakdown_from_metrics"]
+
+#: Spans grouped the way the paper's figures group them.
+PREPROCESS_SPANS = (SPAN_PREPROCESS_WAIT, SPAN_PREPROCESS)
+OVERHEAD_SPANS = (SPAN_FRONTEND, SPAN_QUEUE, SPAN_TRANSFER, SPAN_POSTPROCESS)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Mean request latency split into the paper's categories (seconds)."""
+
+    total: float
+    preprocess: float
+    inference: float
+    queue: float
+    transfer: float
+    other: float
+
+    @property
+    def preprocess_fraction(self) -> float:
+        """Preprocessing share of latency — the Fig. 6 headline number."""
+        return self.preprocess / self.total if self.total > 0 else 0.0
+
+    @property
+    def inference_fraction(self) -> float:
+        """DNN share of latency — Fig. 4 bottom."""
+        return self.inference / self.total if self.total > 0 else 0.0
+
+    @property
+    def queue_fraction(self) -> float:
+        """Queueing share of latency — Fig. 5 right."""
+        return self.queue / self.total if self.total > 0 else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Everything that is not DNN inference."""
+        return 1.0 - self.inference_fraction
+
+
+def breakdown_from_metrics(metrics: RunMetrics) -> LatencyBreakdown:
+    """Group a run's mean spans into the paper's categories."""
+    total = metrics.latency.mean
+    preprocess = sum(metrics.span_mean(span) for span in PREPROCESS_SPANS)
+    inference = metrics.span_mean(SPAN_INFERENCE)
+    queue = metrics.span_mean(SPAN_QUEUE)
+    transfer = metrics.span_mean(SPAN_TRANSFER)
+    accounted = preprocess + inference + queue + transfer
+    other = max(0.0, total - accounted)
+    return LatencyBreakdown(
+        total=total,
+        preprocess=preprocess,
+        inference=inference,
+        queue=queue,
+        transfer=transfer,
+        other=other,
+    )

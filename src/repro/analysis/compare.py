@@ -1,0 +1,84 @@
+"""Paper-claim vs measured-value comparison records.
+
+Every benchmark asserts its figure's *shape* against the paper's
+reported numbers through :class:`PaperClaim` records: a claim has the
+paper's value, the measured value, and a tolerance expressing that we
+reproduce trends, not testbed-exact numbers.  The collected claims are
+what ``EXPERIMENTS.md`` tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PaperClaim", "ClaimSet"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantified claim from the paper, checked against the sim."""
+
+    figure: str  # e.g. "Fig. 6"
+    description: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    #: Relative tolerance for |measured - paper| / |paper|; ``None``
+    #: marks a directional claim checked elsewhere (no numeric check).
+    rel_tolerance: Optional[float] = 0.5
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            return abs(self.measured_value)
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def within_tolerance(self) -> bool:
+        if self.rel_tolerance is None:
+            return True
+        return self.relative_error <= self.rel_tolerance
+
+    def render(self) -> str:
+        status = "ok" if self.within_tolerance else "OFF"
+        return (
+            f"[{status}] {self.figure}: {self.description}: "
+            f"paper {self.paper_value:g}{self.unit}, "
+            f"measured {self.measured_value:g}{self.unit} "
+            f"(err {self.relative_error * 100:.0f}%)"
+        )
+
+
+class ClaimSet:
+    """Accumulates claims for one benchmark and renders a report."""
+
+    def __init__(self, figure: str) -> None:
+        self.figure = figure
+        self.claims: List[PaperClaim] = []
+
+    def check(
+        self,
+        description: str,
+        paper_value: float,
+        measured_value: float,
+        unit: str = "",
+        rel_tolerance: Optional[float] = 0.5,
+    ) -> PaperClaim:
+        claim = PaperClaim(
+            figure=self.figure,
+            description=description,
+            paper_value=paper_value,
+            measured_value=measured_value,
+            unit=unit,
+            rel_tolerance=rel_tolerance,
+        )
+        self.claims.append(claim)
+        return claim
+
+    @property
+    def all_within_tolerance(self) -> bool:
+        return all(claim.within_tolerance for claim in self.claims)
+
+    def render(self) -> str:
+        return "\n".join(claim.render() for claim in self.claims)

@@ -1,0 +1,90 @@
+"""Result export: CSV / JSON serialization of run measurements.
+
+Downstream users want the regenerated figures as data, not just
+terminal tables.  These helpers flatten :class:`RunMetrics` /
+:class:`RunResult` objects into plain dictionaries and write
+spreadsheets-friendly CSV or structured JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from ..core.metrics import RunMetrics
+
+__all__ = ["metrics_to_dict", "result_to_dict", "rows_to_csv", "rows_to_json", "write_csv", "write_json"]
+
+
+def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """Flatten a RunMetrics into JSON/CSV-safe scalars."""
+    out: Dict[str, Any] = {
+        "window_seconds": metrics.window_seconds,
+        "completed": metrics.completed,
+        "throughput": metrics.throughput,
+        "latency_mean": metrics.latency.mean,
+        "latency_p50": metrics.latency.p50,
+        "latency_p90": metrics.latency.p90,
+        "latency_p99": metrics.latency.p99,
+        "latency_max": metrics.latency.maximum,
+        "mean_batch_size": metrics.mean_batch_size,
+        "eviction_count": metrics.eviction_count,
+    }
+    for span, value in sorted(metrics.span_means.items()):
+        out[f"span_{span}"] = value
+    return out
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a RunResult (metrics + energy + utilization)."""
+    out = metrics_to_dict(result.metrics)
+    out.update(
+        {
+            "cpu_joules_per_image": result.cpu_joules_per_image,
+            "gpu_joules_per_image": result.gpu_joules_per_image,
+            "joules_per_image": result.joules_per_image,
+            "cpu_utilization": result.cpu_utilization,
+            "gpu_utilization": result.gpu_utilization,
+        }
+    )
+    return out
+
+
+def _field_names(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    names: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in names:
+                names.append(key)
+    return names
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render dict-rows as a CSV string (union of keys as the header)."""
+    if not rows:
+        raise ValueError("no rows to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_field_names(rows), restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Mapping[str, Any]], indent: int = 2) -> str:
+    """Render dict-rows as a JSON array string."""
+    if not rows:
+        raise ValueError("no rows to export")
+    return json.dumps([dict(row) for row in rows], indent=indent, sort_keys=True)
+
+
+def write_csv(path: str, rows: Sequence[Mapping[str, Any]]) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(rows_to_csv(rows))
+
+
+def write_json(path: str, rows: Sequence[Mapping[str, Any]]) -> None:
+    with open(path, "w") as handle:
+        handle.write(rows_to_json(rows))

@@ -1,0 +1,47 @@
+"""Figure-shaped table rendering.
+
+Each benchmark regenerates one of the paper's figures as rows of text;
+these helpers keep the formatting consistent and readable in terminal
+output and in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_rate", "format_ms", "format_pct"]
+
+
+def format_rate(value: float) -> str:
+    """Images (or frames) per second."""
+    return f"{value:,.0f}"
+
+
+def format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def format_pct(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = "") -> str:
+    """Render an aligned text table (monospace)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match headers {headers!r}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Chrome-trace export of request timelines.
+
+Converts completed requests' span ledgers into the Trace Event Format
+consumed by ``chrome://tracing`` / Perfetto, so a simulated serving run
+can be inspected on a real timeline UI: one row per request, one slice
+per span, microsecond timestamps.
+
+Spans are recorded as durations without absolute start times, so slices
+are laid out back-to-back from each request's arrival in the canonical
+stage order — faithful for the sequential stages of this pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from ..core.request import ALL_SPANS, InferenceRequest
+
+__all__ = ["TraceCollector", "requests_to_trace_events", "write_chrome_trace"]
+
+#: Spans not in ALL_SPANS (e.g. "broker", "identify") are appended after
+#: the canonical ones in alphabetical order.
+_CATEGORY = "serving"
+
+
+def requests_to_trace_events(
+    requests: Sequence[InferenceRequest],
+    process_name: str = "repro-server",
+) -> List[dict]:
+    """Build Trace Event Format dicts (phase 'X' complete events)."""
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for request in requests:
+        if request.completion_time is None:
+            continue
+        tid = request.request_id
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"request {tid} ({request.image})"},
+            }
+        )
+        cursor = request.arrival_time
+        ordered = [span for span in ALL_SPANS if span in request.spans]
+        ordered += sorted(set(request.spans) - set(ALL_SPANS))
+        for span in ordered:
+            duration = request.spans[span]
+            events.append(
+                {
+                    "name": span,
+                    "cat": _CATEGORY,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": cursor * 1e6,  # microseconds
+                    "dur": duration * 1e6,
+                    "args": {
+                        "batch_size": request.batch_size,
+                        "gpu": request.gpu_index,
+                    },
+                }
+            )
+            cursor += duration
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    requests: Sequence[InferenceRequest],
+    process_name: str = "repro-server",
+) -> int:
+    """Write a chrome://tracing JSON file; returns the event count."""
+    events = requests_to_trace_events(requests, process_name)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return len(events)
+
+
+class TraceCollector:
+    """Optional hook collecting completed requests for trace export.
+
+    Attach as (or inside) a server's ``on_complete`` callback::
+
+        trace = TraceCollector(limit=200)
+        server = InferenceServer(..., on_complete=trace)
+        ...
+        trace.write("run.trace.json")
+    """
+
+    def __init__(self, limit: Optional[int] = 1000) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 or None")
+        self.limit = limit
+        self.requests: List[InferenceRequest] = []
+        self.dropped = 0
+
+    def __call__(self, request: InferenceRequest) -> None:
+        if self.limit is None or len(self.requests) < self.limit:
+            self.requests.append(request)
+        else:
+            self.dropped += 1
+
+    def write(self, path: str, process_name: str = "repro-server") -> int:
+        return write_chrome_trace(path, self.requests, process_name)

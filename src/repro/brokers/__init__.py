@@ -1,0 +1,19 @@
+"""Message brokers for multi-DNN pipelines: Kafka-like, Redis-like, fused."""
+
+from .base import Broker, Message
+from .fused import FusedBroker
+from .kafka import KafkaBroker
+from .redis import RedisBroker
+
+__all__ = ["Broker", "FusedBroker", "KafkaBroker", "Message", "RedisBroker"]
+
+
+def make_broker(name: str, env, node) -> Broker:
+    """Factory: build a broker by name ('kafka', 'redis', or 'fused')."""
+    brokers = {"kafka": KafkaBroker, "redis": RedisBroker, "fused": FusedBroker}
+    try:
+        cls = brokers[name]
+    except KeyError:
+        known = ", ".join(sorted(brokers))
+        raise KeyError(f"unknown broker {name!r}; known brokers: {known}") from None
+    return cls(env, node)

@@ -1,0 +1,98 @@
+"""Message-broker abstraction for multi-DNN pipelines (paper Sec. 4.7).
+
+A broker decouples a producer stage (face detection) from a consumer
+stage (face identification) that run at different rates.  The interface
+is deliberately small — ``produce`` and ``consume`` process generators —
+so the Kafka, Redis, and (null) fused implementations are drop-in
+replacements inside :mod:`repro.apps.face_pipeline`.
+
+Every implementation charges its costs to real simulated resources
+(producer time, broker CPU, disk or memory bandwidth), so the broker's
+share of end-to-end latency and its throughput ceiling *emerge* rather
+than being asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..hardware.platform import ServerNode
+from ..sim import Environment, Store
+
+__all__ = ["Broker", "Message"]
+
+
+class Message:
+    """One payload flowing producer -> broker -> consumer."""
+
+    __slots__ = ("payload", "nbytes", "produced_at", "consumed_at",
+                 "broker_seconds", "consume_seconds")
+
+    def __init__(self, payload: Any, nbytes: float, produced_at: float) -> None:
+        self.payload = payload
+        self.nbytes = nbytes
+        self.produced_at = produced_at
+        self.consumed_at: Optional[float] = None
+        #: Produce-side broker time observed by this message.
+        self.broker_seconds = 0.0
+        #: Consume-side broker time (poll + deserialize) for this message.
+        self.consume_seconds = 0.0
+
+    @property
+    def queue_delay(self) -> float:
+        if self.consumed_at is None:
+            raise RuntimeError("message not yet consumed")
+        return self.consumed_at - self.produced_at
+
+
+class Broker:
+    """Base broker: an in-simulation topic plus cost hooks."""
+
+    name = "broker"
+
+    def __init__(self, env: Environment, node: ServerNode) -> None:
+        self.env = env
+        self.node = node
+        self.topic: Store = Store(env)
+        self.produced = 0
+        self.consumed = 0
+        self.bytes_through = 0.0
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} depth={self.topic.size}>"
+
+    @property
+    def depth(self) -> int:
+        """Messages currently queued in the topic."""
+        return self.topic.size
+
+    def produce(self, payload: Any, nbytes: float) -> Generator:
+        """Process generator: publish one message (blocking semantics of
+        the modelled client library).  Returns the :class:`Message`."""
+        raise NotImplementedError
+
+    def consume(self) -> Generator:
+        """Process generator: take the next message (blocks when empty).
+        Returns the :class:`Message`."""
+        raise NotImplementedError
+
+    def produce_pipelined(self, payload: Any, nbytes: float) -> Generator:
+        """Process generator: publish one message from a *pipelined*
+        client batch — broker-side work only, no per-message client
+        round trip.  Default implementation just enqueues."""
+        message = Message(payload, nbytes, produced_at=self.env.now)
+        yield from self._publish(message)
+        return message
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _publish(self, message: Message) -> Generator:
+        yield self.topic.put(message)
+        self.produced += 1
+        self.bytes_through += message.nbytes
+
+    def _take(self) -> Generator:
+        message = yield self.topic.get()
+        message.consumed_at = self.env.now
+        self.consumed += 1
+        return message

@@ -1,0 +1,32 @@
+"""Null broker for the fused pipeline (paper Sec. 4.7).
+
+The fused configuration runs detection and identification in a single
+process with no broker at all: handing a face to stage 2 is a function
+call.  ``produce``/``consume`` cost nothing, which is why the fused
+system wins at low faces-per-frame — its penalty (per-face synchronous
+identification with no cross-frame batching) lives in the pipeline, not
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .base import Broker, Message
+
+__all__ = ["FusedBroker"]
+
+
+class FusedBroker(Broker):
+    """Zero-cost in-process hand-off."""
+
+    name = "fused"
+
+    def produce(self, payload: Any, nbytes: float) -> Generator:
+        message = Message(payload, nbytes, produced_at=self.env.now)
+        yield from self._publish(message)
+        return message
+
+    def consume(self) -> Generator:
+        message = yield from self._take()
+        return message

@@ -1,0 +1,75 @@
+"""In-memory broker (Redis-like, paper Sec. 4.7).
+
+Redis keeps the queue in memory (LPUSH/BRPOP on a list): no disk in the
+path, microsecond-scale per-op costs, and memory bandwidth so high it is
+effectively never the ceiling at these message rates.  This is the
+configuration the paper shows cuts the broker share of latency from
+Kafka's 71 % to just 6 % and more than doubles system throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..hardware.platform import ServerNode
+from ..sim import Environment, Resource
+from .base import Broker, Message
+
+__all__ = ["RedisBroker"]
+
+
+class RedisBroker(Broker):
+    """Redis-like in-memory broker."""
+
+    name = "redis"
+
+    def __init__(self, env: Environment, node: ServerNode) -> None:
+        super().__init__(env, node)
+        calib = node.calibration.broker
+        self.produce_seconds = calib.redis_produce_seconds
+        self.consume_seconds = calib.redis_consume_seconds
+        self.broker_cpu_seconds = calib.redis_broker_cpu_seconds
+        self.memory_bandwidth = calib.redis_memory_bandwidth
+        # Redis is single-threaded: one event loop serializes commands.
+        self._event_loop = Resource(env, capacity=1)
+
+    def produce(self, payload: Any, nbytes: float) -> Generator:
+        message = Message(payload, nbytes, produced_at=self.env.now)
+        start = self.env.now
+
+        # LPUSH round trip observed by the producer.
+        yield self.env.timeout(self.produce_seconds)
+        # Redis event-loop time: command parse + memory copy.
+        with self._event_loop.request() as grant:
+            yield grant
+            yield self.env.timeout(
+                self.broker_cpu_seconds + nbytes / self.memory_bandwidth
+            )
+
+        message.broker_seconds += self.env.now - start
+        yield from self._publish(message)
+        return message
+
+    def consume(self) -> Generator:
+        # BRPOP blocks server-side: no poll-interval latency.
+        message = yield from self._take()
+        start = self.env.now
+        yield self.env.timeout(self.consume_seconds)
+        with self._event_loop.request() as grant:
+            yield grant
+            yield self.env.timeout(self.broker_cpu_seconds)
+        message.consume_seconds += self.env.now - start
+        return message
+
+    def produce_pipelined(self, payload: Any, nbytes: float) -> Generator:
+        """Pipelined LPUSH: event-loop work only, no client round trip."""
+        message = Message(payload, nbytes, produced_at=self.env.now)
+        start = self.env.now
+        with self._event_loop.request() as grant:
+            yield grant
+            yield self.env.timeout(
+                self.broker_cpu_seconds + nbytes / self.memory_bandwidth
+            )
+        message.broker_seconds += self.env.now - start
+        yield from self._publish(message)
+        return message

@@ -1,0 +1,314 @@
+"""Command-line interface: run serving experiments from a shell.
+
+    python -m repro serve --model resnet-50 --preprocess gpu
+    python -m repro breakdown --model vit-base-16 --size large
+    python -m repro sweep --model resnet-50 --concurrencies 1,64,512,4096
+    python -m repro faces --brokers fused,redis,kafka --faces 1,9,25
+    python -m repro models
+    python -m repro plan --rate 8000 --slo-ms 150
+
+Every command accepts ``--json FILE`` / ``--csv FILE`` to export the
+rows it prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .analysis.charts import bar_chart, stacked_bar_chart
+from .analysis.export import result_to_dict, write_csv, write_json
+from .analysis.tables import format_table
+from .analysis.breakdown import breakdown_from_metrics
+from .analysis.tracing import TraceCollector
+from .apps import FacePipelineConfig, serve_classification, zero_load_breakdown
+from .core.config import ServerConfig
+from .models.zoo import MODEL_ZOO
+from .serving import plan_capacity, run_face_pipeline
+from .serving.runner import ExperimentConfig, run_experiment
+from .vision.datasets import reference_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def _export(args, rows: List[Dict]) -> None:
+    if getattr(args, "json", None):
+        write_json(args.json, rows)
+        print(f"wrote {args.json}")
+    if getattr(args, "csv", None):
+        write_csv(args.csv, rows)
+        print(f"wrote {args.csv}")
+
+
+def _add_export_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", help="export rows to a JSON file")
+    parser.add_argument("--csv", help="export rows to a CSV file")
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _str_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+# -- commands -------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    trace = TraceCollector(limit=500) if args.trace else None
+    result = serve_classification(
+        model=args.model,
+        preprocess_device=args.preprocess,
+        image_size=args.size,
+        concurrency=args.concurrency,
+        gpu_count=args.gpus,
+        runtime=args.runtime,
+        seed=args.seed,
+        on_complete=trace,
+    )
+    row = {"model": args.model, "preprocess": args.preprocess, "image": args.size,
+           **result_to_dict(result)}
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["throughput", f"{result.throughput:,.0f} img/s"],
+                ["mean latency", f"{result.mean_latency * 1e3:.2f} ms"],
+                ["p99 latency", f"{result.p99_latency * 1e3:.2f} ms"],
+                ["mean batch", f"{result.metrics.mean_batch_size:.1f}"],
+                ["energy", f"{result.joules_per_image:.3f} J/img"],
+                ["GPU utilization", f"{result.gpu_utilization * 100:.0f}%"],
+            ],
+            title=f"{args.model} | {args.preprocess} preprocessing | {args.size} image",
+        )
+    )
+    if args.trace and trace is not None:
+        count = trace.write(args.trace)
+        print(f"wrote {count} trace events to {args.trace} "
+              "(open in chrome://tracing or Perfetto)")
+    _export(args, [row])
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    rows = []
+    chart_rows = {}
+    for device in _str_list(args.preprocess):
+        result = zero_load_breakdown(
+            model=args.model, preprocess_device=device, image_size=args.size
+        )
+        b = breakdown_from_metrics(result.metrics)
+        rows.append(
+            {
+                "model": args.model,
+                "image": args.size,
+                "preprocess_device": device,
+                "latency_ms": b.total * 1e3,
+                "preprocess_ms": b.preprocess * 1e3,
+                "inference_ms": b.inference * 1e3,
+                "preprocess_share": b.preprocess_fraction,
+            }
+        )
+        chart_rows[device] = {
+            "preprocess": b.preprocess * 1e3,
+            "transfer": b.transfer * 1e3,
+            "inference": b.inference * 1e3,
+            "other": (b.queue + b.other) * 1e3,
+        }
+    print(
+        stacked_bar_chart(
+            chart_rows,
+            title=f"Zero-load latency breakdown (ms) — {args.model}, {args.size} image",
+        )
+    )
+    for row in rows:
+        print(
+            f"{row['preprocess_device']}: {row['latency_ms']:.2f} ms total, "
+            f"{row['preprocess_share'] * 100:.1f}% preprocessing"
+        )
+    _export(args, rows)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rows = []
+    chart: Dict[str, float] = {}
+    for concurrency in _int_list(args.concurrencies):
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model=args.model,
+                    preprocess_device=args.preprocess,
+                    preprocess_batch_size=64,
+                ),
+                dataset=reference_dataset(args.size),
+                concurrency=concurrency,
+                warmup_requests=max(300, concurrency),
+                measure_requests=max(1500, 2 * concurrency),
+                seed=args.seed,
+            )
+        )
+        rows.append(
+            {
+                "concurrency": concurrency,
+                **result_to_dict(result),
+            }
+        )
+        chart[f"c={concurrency}"] = result.throughput
+    print(bar_chart(chart, unit=" img/s",
+                    title=f"Throughput vs concurrency — {args.model} ({args.preprocess})"))
+    _export(args, rows)
+    return 0
+
+
+def cmd_faces(args) -> int:
+    rows = []
+    for faces in _int_list(args.faces):
+        chart: Dict[str, float] = {}
+        for broker in _str_list(args.brokers):
+            result = run_face_pipeline(
+                FacePipelineConfig(broker=broker, faces_per_frame=faces),
+                concurrency=args.concurrency,
+                warmup_requests=120,
+                measure_requests=args.frames,
+                seed=args.seed,
+            )
+            rows.append({"broker": broker, "faces": faces, **result_to_dict(result)})
+            chart[broker] = result.throughput
+        print(bar_chart(chart, unit=" frames/s", title=f"{faces} faces/frame"))
+        print()
+    _export(args, rows)
+    return 0
+
+
+def cmd_models(args) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "task": spec.task,
+            "gflops": spec.gflops,
+            "params_millions": spec.params_millions,
+            "input_size": spec.input_size,
+            "hf_id": spec.hf_id,
+        }
+        for spec in sorted(MODEL_ZOO.values(), key=lambda s: s.gflops)
+    ]
+    print(
+        format_table(
+            ["name", "task", "GFLOPs", "params (M)", "input", "source"],
+            [
+                [r["name"], r["task"], f"{r['gflops']:.2f}",
+                 f"{r['params_millions']:.1f}", str(r["input_size"]), r["hf_id"]]
+                for r in rows
+            ],
+            title="Model zoo",
+        )
+    )
+    _export(args, rows)
+    return 0
+
+
+def cmd_plan(args) -> int:
+    plan = plan_capacity(
+        ServerConfig(model=args.model, preprocess_device=args.preprocess,
+                     preprocess_batch_size=64),
+        offered_rate=args.rate,
+        p99_slo_seconds=args.slo_ms / 1e3,
+        dataset=reference_dataset(args.size),
+        max_nodes=args.max_nodes,
+        warmup_requests=max(1000, int(args.rate * 0.2)),
+        measure_requests=max(2000, int(args.rate * 0.4)),
+        seed=args.seed,
+    )
+    print(f"offered load : {plan.offered_rate:,.0f} req/s")
+    print(f"p99 SLO      : {plan.p99_slo_seconds * 1e3:.0f} ms")
+    print(f"nodes needed : {plan.nodes_required}")
+    print(f"achieved p99 : {plan.achieved_p99 * 1e3:.1f} ms")
+    print(bar_chart({f"{n} node(s)": p99 * 1e3 for n, p99 in plan.evaluations.items()},
+                    unit=" ms", title="p99 by fleet size"))
+    rows = [
+        {"nodes": n, "p99_ms": p99 * 1e3, "meets_slo": p99 <= plan.p99_slo_seconds}
+        for n, p99 in plan.evaluations.items()
+    ]
+    _export(args, rows)
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated DNN-serving experiments (DAC'24 'Beyond Inference')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run one serving experiment")
+    serve.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    serve.add_argument("--preprocess", default="gpu", choices=["cpu", "gpu"])
+    serve.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    serve.add_argument("--concurrency", type=int, default=512)
+    serve.add_argument("--gpus", type=int, default=1)
+    serve.add_argument("--runtime", default="tensorrt",
+                       choices=["tensorrt", "onnxruntime", "pytorch"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace", help="write a chrome://tracing JSON of request timelines")
+    _add_export_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    breakdown = sub.add_parser("breakdown", help="zero-load latency breakdown")
+    breakdown.add_argument("--model", default="vit-base-16", choices=sorted(MODEL_ZOO))
+    breakdown.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    breakdown.add_argument("--preprocess", default="cpu,gpu",
+                           help="comma-separated devices")
+    _add_export_flags(breakdown)
+    breakdown.set_defaults(func=cmd_breakdown)
+
+    sweep = sub.add_parser("sweep", help="concurrency sweep")
+    sweep.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    sweep.add_argument("--preprocess", default="gpu", choices=["cpu", "gpu"])
+    sweep.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    sweep.add_argument("--concurrencies", default="1,16,64,256,1024")
+    sweep.add_argument("--seed", type=int, default=0)
+    _add_export_flags(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    faces = sub.add_parser("faces", help="multi-DNN broker comparison")
+    faces.add_argument("--brokers", default="fused,redis,kafka")
+    faces.add_argument("--faces", default="1,9,25")
+    faces.add_argument("--concurrency", type=int, default=96)
+    faces.add_argument("--frames", type=int, default=800)
+    faces.add_argument("--seed", type=int, default=0)
+    _add_export_flags(faces)
+    faces.set_defaults(func=cmd_faces)
+
+    models = sub.add_parser("models", help="list the model zoo")
+    _add_export_flags(models)
+    models.set_defaults(func=cmd_models)
+
+    plan = sub.add_parser("plan", help="size a fleet for a rate + p99 SLO")
+    plan.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    plan.add_argument("--preprocess", default="gpu", choices=["cpu", "gpu"])
+    plan.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    plan.add_argument("--rate", type=float, required=True, help="offered req/s")
+    plan.add_argument("--slo-ms", type=float, required=True, help="p99 SLO in ms")
+    plan.add_argument("--max-nodes", type=int, default=16)
+    plan.add_argument("--seed", type=int, default=0)
+    _add_export_flags(plan)
+    plan.set_defaults(func=cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The serving system: config, batcher, server, metrics, requests."""
+
+from .batcher import DynamicBatcher
+from .config import (
+    CPU_PREPROCESS,
+    GPU_PREPROCESS,
+    MODE_END_TO_END,
+    MODE_INFERENCE_ONLY,
+    MODE_PREPROCESS_ONLY,
+    ServerConfig,
+)
+from .metrics import LatencyStats, MetricsCollector, RunMetrics, percentile
+from .request import (
+    ALL_SPANS,
+    SPAN_FRONTEND,
+    SPAN_INFERENCE,
+    SPAN_POSTPROCESS,
+    SPAN_PREPROCESS,
+    SPAN_PREPROCESS_WAIT,
+    SPAN_QUEUE,
+    SPAN_TRANSFER,
+    InferenceRequest,
+)
+from .server import BatchEntry, InferenceServer
+
+__all__ = [
+    "ALL_SPANS",
+    "BatchEntry",
+    "CPU_PREPROCESS",
+    "DynamicBatcher",
+    "GPU_PREPROCESS",
+    "InferenceRequest",
+    "InferenceServer",
+    "LatencyStats",
+    "MODE_END_TO_END",
+    "MODE_INFERENCE_ONLY",
+    "MODE_PREPROCESS_ONLY",
+    "MetricsCollector",
+    "RunMetrics",
+    "SPAN_FRONTEND",
+    "SPAN_INFERENCE",
+    "SPAN_POSTPROCESS",
+    "SPAN_PREPROCESS",
+    "SPAN_PREPROCESS_WAIT",
+    "SPAN_QUEUE",
+    "SPAN_TRANSFER",
+    "ServerConfig",
+    "percentile",
+]

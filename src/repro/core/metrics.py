@@ -1,0 +1,216 @@
+"""Serving metrics: throughput, latency statistics, span breakdowns.
+
+A :class:`MetricsCollector` is armed for a measurement window (after
+warm-up) and fed every completed request; it produces the quantities the
+paper reports: throughput (img/s), average and tail latency, and the
+per-span latency breakdown (preprocess / queue / transfer / inference /
+...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .request import ALL_SPANS, InferenceRequest
+
+__all__ = ["LatencyStats", "MetricsCollector", "RunMetrics", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values, q in [0, 100]."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100) * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    frac = rank - low
+    # a + (b - a) * frac is exact when a == b (the naive weighted form
+    # a*(1-frac) + b*frac can drift one ulp outside [a, b]).
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * frac
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencyStats":
+        if not values:
+            raise ValueError("no latency samples")
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 50),
+            p90=percentile(ordered, 90),
+            p99=percentile(ordered, 99),
+            maximum=ordered[-1],
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Everything measured in one experiment window."""
+
+    window_seconds: float
+    completed: int
+    throughput: float  # requests/second
+    latency: LatencyStats
+    span_means: Dict[str, float]  # mean seconds per span
+    span_fractions: Dict[str, float]  # share of mean latency per span
+    mean_batch_size: float
+    eviction_count: int
+    #: Every sampled request latency (sorted ascending), for post-hoc
+    #: analysis: histograms, CDFs, SLO attainment.
+    latencies: Tuple[float, ...] = ()
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def latency_histogram(self, buckets: int = 10) -> List[Tuple[float, float, int]]:
+        """Equal-width histogram of request latencies.
+
+        Returns (bucket_low, bucket_high, count) triples spanning
+        [min, max]; the last bucket is inclusive of the maximum.
+        """
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        if not self.latencies:
+            raise ValueError("no latencies recorded")
+        lo = self.latencies[0]
+        hi = self.latencies[-1]
+        if hi <= lo:
+            return [(lo, hi, len(self.latencies))]
+        width = (hi - lo) / buckets
+        counts = [0] * buckets
+        for value in self.latencies:
+            index = min(buckets - 1, int((value - lo) / width))
+            counts[index] += 1
+        return [
+            (lo + i * width, lo + (i + 1) * width, counts[i]) for i in range(buckets)
+        ]
+
+    def slo_attainment(self, slo_seconds: float) -> float:
+        """Fraction of sampled requests completing within ``slo_seconds``."""
+        if slo_seconds <= 0:
+            raise ValueError("SLO must be positive")
+        if not self.latencies:
+            raise ValueError("no latencies recorded")
+        import bisect
+
+        return bisect.bisect_right(self.latencies, slo_seconds) / len(self.latencies)
+
+    def span_mean(self, span: str) -> float:
+        return self.span_means.get(span, 0.0)
+
+    def span_fraction(self, span: str) -> float:
+        return self.span_fractions.get(span, 0.0)
+
+    @property
+    def inference_fraction(self) -> float:
+        """Share of latency spent in DNN inference (Fig. 4 bottom)."""
+        return self.span_fraction("inference")
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of latency spent outside DNN inference."""
+        return 1.0 - self.inference_fraction
+
+
+class MetricsCollector:
+    """Accumulates completed requests inside a measurement window."""
+
+    def __init__(self) -> None:
+        self._armed = False
+        self._window_start: Optional[float] = None
+        self._window_end: Optional[float] = None
+        self._requests: List[InferenceRequest] = []
+        self.total_completed = 0  # including warm-up
+
+    def arm(self, now: float) -> None:
+        """Open the measurement window."""
+        self._armed = True
+        self._window_start = now
+
+    def disarm(self, now: float) -> None:
+        """Close the measurement window."""
+        self._armed = False
+        self._window_end = now
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._requests)
+
+    def record(self, request: InferenceRequest) -> None:
+        """Feed one completed request (counted only while armed)."""
+        if request.completion_time is None:
+            raise ValueError("request has not completed")
+        self.total_completed += 1
+        if self._armed:
+            self._requests.append(request)
+
+    def finalize(self) -> RunMetrics:
+        """Compute window metrics; requires an opened and closed window."""
+        if self._window_start is None or self._window_end is None:
+            raise RuntimeError("measurement window was not opened/closed")
+        window = self._window_end - self._window_start
+        if window <= 0:
+            raise RuntimeError(f"empty measurement window ({window})")
+        if not self._requests:
+            raise RuntimeError("no requests completed inside the window")
+
+        latencies = [r.latency for r in self._requests]
+        stats = LatencyStats.from_values(latencies)
+
+        span_means: Dict[str, float] = {}
+        for span in ALL_SPANS:
+            total = sum(r.spans.get(span, 0.0) for r in self._requests)
+            span_means[span] = total / len(self._requests)
+        # Any non-canonical spans (e.g. broker) are preserved too.
+        extra_spans = {
+            span
+            for request in self._requests
+            for span in request.spans
+            if span not in ALL_SPANS
+        }
+        for span in sorted(extra_spans):
+            total = sum(r.spans.get(span, 0.0) for r in self._requests)
+            span_means[span] = total / len(self._requests)
+
+        mean_latency = stats.mean
+        span_fractions = {
+            span: (value / mean_latency if mean_latency > 0 else 0.0)
+            for span, value in span_means.items()
+        }
+
+        batch_sizes = [r.batch_size for r in self._requests if r.batch_size]
+        mean_batch = sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+
+        return RunMetrics(
+            window_seconds=window,
+            completed=len(self._requests),
+            throughput=len(self._requests) / window,
+            latency=stats,
+            span_means=span_means,
+            span_fractions=span_fractions,
+            mean_batch_size=mean_batch,
+            eviction_count=sum(r.eviction_count for r in self._requests),
+            latencies=tuple(sorted(latencies)),
+        )

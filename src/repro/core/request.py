@@ -1,0 +1,130 @@
+"""Inference requests and their lifecycle accounting.
+
+Every request carries a span ledger recording where its wall-clock time
+went — the raw material for the paper's latency breakdowns (Fig. 6), the
+queue-time analysis (Fig. 5), and the inference-time-percentage plot
+(Fig. 4 bottom).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..vision.image import Image
+
+__all__ = [
+    "InferenceRequest",
+    "SPAN_FRONTEND",
+    "SPAN_PREPROCESS_WAIT",
+    "SPAN_PREPROCESS",
+    "SPAN_QUEUE",
+    "SPAN_TRANSFER",
+    "SPAN_INFERENCE",
+    "SPAN_POSTPROCESS",
+    "ALL_SPANS",
+]
+
+SPAN_FRONTEND = "frontend"
+SPAN_PREPROCESS_WAIT = "preprocess_wait"
+SPAN_PREPROCESS = "preprocess"
+SPAN_QUEUE = "queue"
+SPAN_TRANSFER = "transfer"
+SPAN_INFERENCE = "inference"
+SPAN_POSTPROCESS = "postprocess"
+
+#: Canonical presentation order of the spans.
+ALL_SPANS = (
+    SPAN_FRONTEND,
+    SPAN_PREPROCESS_WAIT,
+    SPAN_PREPROCESS,
+    SPAN_QUEUE,
+    SPAN_TRANSFER,
+    SPAN_INFERENCE,
+    SPAN_POSTPROCESS,
+)
+
+_request_ids = itertools.count()
+
+
+class InferenceRequest:
+    """One in-flight inference request."""
+
+    __slots__ = (
+        "request_id",
+        "image",
+        "arrival_time",
+        "completion_time",
+        "spans",
+        "gpu_index",
+        "batch_size",
+        "eviction_count",
+        "_open_spans",
+    )
+
+    def __init__(self, image: Image, arrival_time: float) -> None:
+        self.request_id = next(_request_ids)
+        self.image = image
+        self.arrival_time = arrival_time
+        self.completion_time: Optional[float] = None
+        self.spans: Dict[str, float] = {}
+        self.gpu_index: Optional[int] = None
+        #: Size of the batch this request was inferred in.
+        self.batch_size: Optional[int] = None
+        #: Number of times this request's tensor was evicted from GPU memory.
+        self.eviction_count = 0
+        self._open_spans: Dict[str, float] = {}
+
+    def __repr__(self) -> str:
+        state = "done" if self.completion_time is not None else "in-flight"
+        return f"<InferenceRequest #{self.request_id} {self.image} ({state})>"
+
+    # -- span ledger --------------------------------------------------------
+
+    def begin(self, span: str, now: float) -> None:
+        """Open a span (idempotent-safe: reopening replaces the mark)."""
+        self._open_spans[span] = now
+
+    def end(self, span: str, now: float) -> None:
+        """Close a span and accumulate its duration."""
+        started = self._open_spans.pop(span, None)
+        if started is None:
+            raise RuntimeError(f"span {span!r} was never opened on {self!r}")
+        self.add(span, now - started)
+
+    def span_open(self, span: str) -> bool:
+        """True if ``span`` is currently open."""
+        return span in self._open_spans
+
+    def add(self, span: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into ``span`` directly."""
+        if seconds < 0:
+            raise ValueError(f"negative span duration {seconds} for {span!r}")
+        self.spans[span] = self.spans.get(span, 0.0) + seconds
+
+    def complete(self, now: float) -> None:
+        """Mark the request finished."""
+        if self.completion_time is not None:
+            raise RuntimeError(f"{self!r} completed twice")
+        self.completion_time = now
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency; only valid once completed."""
+        if self.completion_time is None:
+            raise RuntimeError(f"{self!r} has not completed")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def accounted_seconds(self) -> float:
+        """Sum of all recorded spans."""
+        return sum(self.spans.values())
+
+    def span_fraction(self, span: str) -> float:
+        """Fraction of end-to-end latency spent in ``span``."""
+        latency = self.latency
+        if latency <= 0:
+            return 0.0
+        return self.spans.get(span, 0.0) / latency

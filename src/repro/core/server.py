@@ -1,0 +1,463 @@
+"""The throughput-optimized inference server (Triton-like, paper Sec. 2).
+
+One :class:`InferenceServer` deploys one model on a
+:class:`~repro.hardware.platform.ServerNode` under a
+:class:`~repro.core.config.ServerConfig` and serves
+:class:`~repro.core.request.InferenceRequest` objects end to end:
+
+    frontend -> preprocessing (CPU workers | per-GPU DALI pipelines)
+             -> dynamic batcher -> inference instances -> response
+
+Every stage charges time to the devices it occupies (CPU cores, DALI
+staging threads, GPU compute engines, PCIe DMA engines, GPU memory), so
+throughput, latency breakdowns, queueing, eviction behaviour, and energy
+all *emerge* from resource contention rather than being computed in
+closed form.
+
+Stage-isolation modes reproduce Fig. 7: ``preprocess_only`` stops after
+preprocessing; ``inference_only`` accepts ready tensors from the client
+(paying the ~5x larger pageable raw-tensor transfer the paper
+root-causes the TinyViT anomaly to).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from ..hardware.gpu import Gpu, PRIORITY_INFERENCE, PRIORITY_PREPROCESS
+from ..hardware.pcie import D2H, H2D
+from ..hardware.platform import ServerNode
+from ..models.dnn import inference_latency
+from ..models.runtimes import RuntimeSpec, get_runtime
+from ..models.zoo import ModelSpec, get_model
+from ..sim import Environment, Event, Resource
+from ..vision.image import Image
+from ..vision.ops import cpu_preprocess_cost, gpu_preprocess_cost
+from .batcher import DynamicBatcher
+from .config import (
+    CPU_PREPROCESS,
+    GPU_PREPROCESS,
+    MODE_END_TO_END,
+    MODE_INFERENCE_ONLY,
+    MODE_PREPROCESS_ONLY,
+    ServerConfig,
+)
+from .metrics import MetricsCollector
+from .request import (
+    SPAN_FRONTEND,
+    SPAN_INFERENCE,
+    SPAN_POSTPROCESS,
+    SPAN_PREPROCESS,
+    SPAN_PREPROCESS_WAIT,
+    SPAN_QUEUE,
+    SPAN_TRANSFER,
+    InferenceRequest,
+)
+
+__all__ = ["InferenceServer", "BatchEntry"]
+
+
+def _output_bytes(model: ModelSpec) -> float:
+    """Response payload size by task (what crosses PCIe back to the host)."""
+    if model.task == "classification":
+        return 1000 * 4  # logits
+    if model.task == "segmentation":
+        return model.input_size * model.input_size  # argmax'd class map
+    if model.task == "depth":
+        return model.input_size * model.input_size * 4  # float depth map
+    if model.task == "detection":
+        return 16 * 1024  # boxes + scores + masks metadata
+    if model.task == "embedding":
+        return 512 * 4
+    return 4 * 1024
+
+
+class BatchEntry:
+    """One request flowing through the batcher with its tensor state."""
+
+    __slots__ = ("request", "allocation", "evicted", "gpu")
+
+    def __init__(self, request: InferenceRequest, gpu: Optional[Gpu]) -> None:
+        self.request = request
+        self.allocation = None  # GPU Allocation once the tensor is device-resident
+        self.evicted = False
+        self.gpu = gpu
+
+
+class InferenceServer:
+    """A single-model, single-node serving deployment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ServerNode,
+        config: ServerConfig,
+        metrics: Optional[MetricsCollector] = None,
+        on_complete: Optional[Callable[[InferenceRequest], None]] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.config = config
+        self.calibration = node.calibration
+        self.model: ModelSpec = get_model(config.model)
+        self.runtime: RuntimeSpec = get_runtime(config.runtime)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.on_complete = on_complete
+
+        #: Internal DNN input tensor bytes (fp16 CHW, matching the
+        #: TensorRT engines' precision).
+        self.tensor_bytes = self.model.input_size * self.model.input_size * 3 * 2
+        #: Raw tensor bytes as shipped by an inference-only client
+        #: (decoded fp32 image — the "~5x larger" payload of Sec. 4.4).
+        self.raw_tensor_bytes = self.model.input_size * self.model.input_size * 3 * 4
+        self.output_bytes = _output_bytes(self.model)
+
+        self._rr = itertools.cycle(range(node.gpu_count))
+        self._cpu_workers = Resource(env, capacity=config.preprocess_workers)
+
+        # One inference batcher per GPU (tensors become device-resident).
+        self._batchers: List[DynamicBatcher] = [
+            DynamicBatcher(
+                env,
+                max_batch=config.max_batch_size,
+                max_queue_delay=config.max_queue_delay_seconds,
+                output_capacity=config.inference_instances,
+                name=f"infer-batcher-gpu{i}",
+            )
+            for i in range(node.gpu_count)
+        ]
+        # One preprocessing batcher + pipeline per GPU for DALI-style
+        # GPU preprocessing.
+        self._preproc_batchers: List[DynamicBatcher] = []
+        if self._uses_gpu_preprocessing:
+            for i, gpu in enumerate(node.gpus):
+                batcher = DynamicBatcher(
+                    env,
+                    max_batch=config.preprocess_batch_size,
+                    max_queue_delay=config.preprocess_queue_delay_seconds,
+                    output_capacity=config.preprocess_pipelines,
+                    name=f"preproc-batcher-gpu{i}",
+                    greedy=False,  # DALI waits for its preferred batch
+                )
+                self._preproc_batchers.append(batcher)
+                for _ in range(config.preprocess_pipelines):
+                    env.process(self._gpu_preprocess_pipeline(gpu, batcher))
+
+        if config.mode != MODE_PREPROCESS_ONLY:
+            for i, gpu in enumerate(node.gpus):
+                for _ in range(config.inference_instances):
+                    env.process(self._inference_instance(gpu, self._batchers[i]))
+
+        # Diagnostics
+        self.eviction_reloads = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<InferenceServer {self.model.name}/{self.runtime.name} "
+            f"preproc={self.config.preprocess_device} mode={self.config.mode}>"
+        )
+
+    @property
+    def _uses_gpu_preprocessing(self) -> bool:
+        return (
+            self.config.preprocess_device == GPU_PREPROCESS
+            and self.config.mode in (MODE_END_TO_END, MODE_PREPROCESS_ONLY)
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, image: Image, arrival_time: Optional[float] = None) -> Event:
+        """Submit one request; the returned event succeeds at completion
+        with the finished :class:`InferenceRequest` as its value.
+
+        ``arrival_time`` lets a load balancer backdate the request to
+        when it entered the datacenter, so balancer queueing counts
+        toward end-to-end latency.
+        """
+        request = InferenceRequest(
+            image,
+            arrival_time=self.env.now if arrival_time is None else arrival_time,
+        )
+        done = self.env.event()
+        self.env.process(self._handle(request, done))
+        return done
+
+    # -- request driver --------------------------------------------------------
+
+    def _handle(self, request: InferenceRequest, done: Event):
+        cpu = self.node.cpu
+        calib = self.calibration.cpu
+
+        request.begin(SPAN_FRONTEND, self.env.now)
+        yield from cpu.run(calib.frontend_overhead_seconds)
+        # Payload deserialization on the (serialized) connection thread:
+        # raw tensors are ~5x the compressed bytes and must be copied and
+        # laid out, so the inference-only ingest path is far slower.
+        if self.config.mode == MODE_INFERENCE_ONLY:
+            parse_seconds = self.raw_tensor_bytes / calib.ingest_tensor_bytes_per_second
+        else:
+            parse_seconds = (
+                request.image.compressed_bytes / calib.ingest_blob_bytes_per_second
+            )
+        with self.node.ingest.request() as grant:
+            yield grant
+            yield self.env.timeout(parse_seconds)
+        request.end(SPAN_FRONTEND, self.env.now)
+
+        gpu_index = next(self._rr)
+        request.gpu_index = gpu_index
+        gpu = self.node.gpus[gpu_index]
+
+        mode = self.config.mode
+        if mode == MODE_INFERENCE_ONLY:
+            yield from self._ingest_raw_tensor(request, gpu, done)
+            return
+
+        if self.config.preprocess_device == CPU_PREPROCESS:
+            yield from self._cpu_preprocess(request, gpu, done)
+        else:
+            # Hand off to the per-GPU DALI pipeline.
+            entry = BatchEntry(request, gpu)
+            request.begin(SPAN_PREPROCESS_WAIT, self.env.now)
+            yield self._preproc_batchers[gpu_index].submit((entry, done))
+
+    def _cpu_preprocess(self, request: InferenceRequest, gpu: Gpu, done: Event):
+        """Python-backend preprocessing on host cores."""
+        cost = cpu_preprocess_cost(request.image, self.model.input_size, self.calibration)
+        request.begin(SPAN_PREPROCESS_WAIT, self.env.now)
+        with self._cpu_workers.request() as worker:
+            yield worker
+            request.end(SPAN_PREPROCESS_WAIT, self.env.now)
+            request.begin(SPAN_PREPROCESS, self.env.now)
+            yield from self.node.cpu.run(cost.core_seconds)
+            request.end(SPAN_PREPROCESS, self.env.now)
+
+        if self.config.mode == MODE_PREPROCESS_ONLY:
+            yield from self._finalize(request, done)
+            return
+
+        # Tensor stays in (pageable) host memory; the inference instance
+        # moves the whole batch to the GPU at dispatch time.
+        entry = BatchEntry(request, None)
+        request.begin(SPAN_QUEUE, self.env.now)
+        yield self._batchers[request.gpu_index].submit((entry, done))
+
+    def _ingest_raw_tensor(self, request: InferenceRequest, gpu: Gpu, done: Event):
+        """Inference-only mode: the client ships the decoded tensor.
+
+        The raw tensor is ~5x larger than the compressed image and
+        arrives in pageable memory, so ingest pays a slow per-request
+        PCIe copy (the Fig. 7 TinyViT root cause).
+        """
+        request.begin(SPAN_TRANSFER, self.env.now)
+        yield from gpu.link.transfer(self.raw_tensor_bytes, H2D, pinned=False)
+        request.end(SPAN_TRANSFER, self.env.now)
+
+        entry = BatchEntry(request, gpu)
+        entry.allocation = yield from gpu.memory.alloc(
+            self.raw_tensor_bytes,
+            evictable=self.config.allow_eviction,
+            on_evict=lambda alloc, e=entry: self._on_evict(e),
+        )
+        request.begin(SPAN_QUEUE, self.env.now)
+        yield self._batchers[request.gpu_index].submit((entry, done))
+
+    # -- GPU (DALI) preprocessing pipeline --------------------------------------
+
+    def _resident_bytes(self, image: Image) -> float:
+        """Device-memory footprint parked per request awaiting inference."""
+        gpu_cal = self.calibration.gpu
+        decoded_fp32 = image.pixels * 3 * 4
+        capped = min(decoded_fp32, gpu_cal.preprocess_buffer_cap_bytes)
+        return (self.tensor_bytes + capped) * gpu_cal.preprocess_footprint_multiplier
+
+    def _gpu_preprocess_pipeline(self, gpu: Gpu, batcher: DynamicBatcher):
+        """One DALI-style pipeline: staged, batched, GPU-executed."""
+        gpu_cal = self.calibration.gpu
+        staging = self.node.staging
+        while True:
+            batch = yield batcher.next_batch()
+            entries = [entry for entry, _ in batch]
+            now = self.env.now
+            for entry in entries:
+                entry.request.end(SPAN_PREPROCESS_WAIT, now)
+                entry.request.begin(SPAN_PREPROCESS, now)
+
+            # 1. Host staging: each sample needs a staging thread for its
+            #    pinned copy + bitstream parse (pool shared across GPUs).
+            stage_jobs = [
+                self.env.process(self._stage_sample(staging, entry)) for entry in entries
+            ]
+            yield self.env.all_of(stage_jobs)
+            now = self.env.now
+            for entry in entries:
+                entry.request.end(SPAN_PREPROCESS, now)
+
+            # 2. Compressed bytes to the GPU in one pinned batched copy.
+            compressed = sum(entry.request.image.compressed_bytes for entry in entries)
+            transfer_start = self.env.now
+            yield from gpu.link.transfer(compressed, H2D, pinned=True)
+            transfer_time = self.env.now - transfer_start
+            now = self.env.now
+            for entry in entries:
+                entry.request.add(SPAN_TRANSFER, transfer_time)
+                entry.request.begin(SPAN_PREPROCESS, now)
+
+            # 3. Device memory for every sample's working set (evictable
+            #    while it waits for an inference slot).
+            for entry in entries:
+                entry.allocation = yield from gpu.memory.alloc(
+                    self._resident_bytes(entry.request.image),
+                    evictable=self.config.allow_eviction,
+                    on_evict=lambda alloc, e=entry: self._on_evict(e),
+                )
+
+            # 4. Decode, then resize/normalize kernel chains.  On devices
+            #    with a fixed-function JPEG engine the decode portion runs
+            #    there, leaving the SMs to inference (the A100 design the
+            #    paper cites in Sec. 2.2).
+            decode_time = 0.0
+            kernel_time = gpu_cal.preprocess_launch_seconds
+            for entry in entries:
+                cost = gpu_preprocess_cost(
+                    entry.request.image, self.model.input_size, self.calibration
+                )
+                decode_time += cost.decode_kernel_seconds
+                kernel_time += cost.postprocess_kernel_seconds
+            if gpu.decoder is not None:
+                yield from gpu.decode(decode_time)
+            else:
+                kernel_time += decode_time
+            yield from gpu.execute(kernel_time, priority=PRIORITY_PREPROCESS)
+
+            now = self.env.now
+            for entry in entries:
+                entry.request.end(SPAN_PREPROCESS, now)
+
+            if self.config.mode == MODE_PREPROCESS_ONLY:
+                for entry, done in batch:
+                    gpu.memory.free(entry.allocation)
+                    self.env.process(self._finalize_proc(entry.request, done))
+                continue
+
+            for entry, done in batch:
+                entry.request.begin(SPAN_QUEUE, self.env.now)
+                yield self._batchers[gpu.index].submit((entry, done))
+
+    def _stage_sample(self, staging, entry: BatchEntry):
+        """Occupy one staging thread for the sample's host-side work."""
+        cost = gpu_preprocess_cost(entry.request.image, self.model.input_size, self.calibration)
+        with staging.request() as grant:
+            yield grant
+            yield self.env.timeout(cost.staging_seconds)
+
+    def _on_evict(self, entry: BatchEntry) -> None:
+        """Pool callback: the entry's tensor was pushed out to host memory."""
+        entry.evicted = True
+        entry.allocation = None
+        entry.request.eviction_count += 1
+        gpu = entry.gpu if entry.gpu is not None else self.node.gpus[entry.request.gpu_index]
+        # Asynchronous write-back of the resized tensor to host memory.
+        self.env.process(self._writeback(gpu))
+
+    def _writeback(self, gpu: Gpu):
+        yield from gpu.link.transfer(self.tensor_bytes, D2H, pinned=True)
+
+    # -- inference instances -------------------------------------------------------
+
+    def _inference_instance(self, gpu: Gpu, batcher: DynamicBatcher):
+        """One model instance (CUDA stream) bound to ``gpu``."""
+        while True:
+            batch = yield batcher.next_batch()
+            entries = [entry for entry, _ in batch]
+            now = self.env.now
+            for entry in entries:
+                entry.request.end(SPAN_QUEUE, now)
+                entry.request.batch_size = len(entries)
+
+            yield from self._materialize_inputs(gpu, entries)
+
+            # DNN execution.
+            latency = inference_latency(
+                self.model, self.runtime, len(entries), self.calibration
+            )
+            now = self.env.now
+            for entry in entries:
+                entry.request.begin(SPAN_INFERENCE, now)
+            yield from gpu.execute(latency)
+            now = self.env.now
+            for entry in entries:
+                entry.request.end(SPAN_INFERENCE, now)
+
+            # Results back to the host (pageable response buffers).
+            out_start = self.env.now
+            yield from gpu.link.transfer(len(entries) * self.output_bytes, D2H, pinned=False)
+            out_time = self.env.now - out_start
+            for entry in entries:
+                entry.request.add(SPAN_TRANSFER, out_time)
+                if entry.allocation is not None:
+                    gpu.memory.free(entry.allocation)
+                    entry.allocation = None
+
+            for entry, done in batch:
+                self.env.process(self._finalize_proc(entry.request, done))
+
+    def _materialize_inputs(self, gpu: Gpu, entries: List[BatchEntry]):
+        """Ensure every entry's tensor is resident on ``gpu``."""
+        host_entries = [e for e in entries if e.gpu is None and e.allocation is None]
+        if host_entries:
+            # CPU-preprocessed batch: one gathered copy from the python
+            # backend's pageable output buffers.  cudaMemcpyAsync from
+            # pageable memory degrades to a synchronous copy, so the
+            # transfer also blocks the compute stream — a key reason GPU
+            # preprocessing outperforms CPU preprocessing under load.
+            nbytes = len(host_entries) * self.tensor_bytes
+            start = self.env.now
+            with gpu.compute.request(priority=PRIORITY_INFERENCE) as grant:
+                yield grant
+                yield from gpu.link.transfer(nbytes, H2D, pinned=False)
+            elapsed = self.env.now - start
+            for entry in host_entries:
+                entry.request.add(SPAN_TRANSFER, elapsed)
+                entry.allocation = yield from gpu.memory.alloc(self.tensor_bytes)
+            return
+
+        # GPU-preprocessed / inference-only path: pin survivors, reload
+        # evicted tensors from host memory.
+        evicted = [e for e in entries if e.evicted]
+        for entry in entries:
+            if entry.allocation is not None:
+                gpu.memory.pin(entry.allocation)
+        if evicted:
+            # Spilled working sets live in the pageable host heap, so the
+            # reload is a synchronous copy that blocks the stream — the
+            # paper's "subsequent reload ... incurs additional latency".
+            self.eviction_reloads += len(evicted)
+            nbytes = sum(self._resident_bytes(e.request.image) for e in evicted)
+            start = self.env.now
+            with gpu.compute.request(priority=PRIORITY_INFERENCE) as grant:
+                yield grant
+                yield from gpu.link.transfer(nbytes, H2D, pinned=False)
+            elapsed = self.env.now - start
+            for entry in evicted:
+                entry.request.add(SPAN_TRANSFER, elapsed)
+                entry.allocation = yield from gpu.memory.alloc(
+                    self._resident_bytes(entry.request.image)
+                )
+                entry.evicted = False
+
+    # -- completion -------------------------------------------------------------
+
+    def _finalize_proc(self, request: InferenceRequest, done: Event):
+        yield from self._finalize(request, done)
+
+    def _finalize(self, request: InferenceRequest, done: Event):
+        request.begin(SPAN_POSTPROCESS, self.env.now)
+        yield from self.node.cpu.run(self.calibration.cpu.response_overhead_seconds)
+        request.end(SPAN_POSTPROCESS, self.env.now)
+        request.complete(self.env.now)
+        self.metrics.record(request)
+        if self.on_complete is not None:
+            self.on_complete(request)
+        done.succeed(request)

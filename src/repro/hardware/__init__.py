@@ -1,0 +1,39 @@
+"""Hardware cost models: CPU, GPU, PCIe, memory, power, composed platform."""
+
+from .calibration import (
+    DEFAULT_CALIBRATION,
+    BrokerCalibration,
+    Calibration,
+    CpuCalibration,
+    GpuCalibration,
+    PcieCalibration,
+    PowerCalibration,
+)
+from .cpu import Cpu
+from .gpu import Gpu
+from .memory import Allocation, GpuMemoryPool, OutOfMemoryError
+from .pcie import D2H, H2D, PcieLink
+from .platform import ServerNode
+from .power import DeviceEnergy, EnergyMeter, EnergySnapshot
+
+__all__ = [
+    "Allocation",
+    "BrokerCalibration",
+    "Calibration",
+    "Cpu",
+    "CpuCalibration",
+    "D2H",
+    "DEFAULT_CALIBRATION",
+    "DeviceEnergy",
+    "EnergyMeter",
+    "EnergySnapshot",
+    "Gpu",
+    "GpuCalibration",
+    "GpuMemoryPool",
+    "H2D",
+    "OutOfMemoryError",
+    "PcieCalibration",
+    "PcieLink",
+    "PowerCalibration",
+    "ServerNode",
+]

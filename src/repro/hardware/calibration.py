@@ -1,0 +1,231 @@
+"""Calibrated cost-model constants for the simulated serving platform.
+
+The paper's testbed is a 13th-gen Intel i9-13900K plus an NVIDIA GeForce
+RTX 4090 (paper Sec. 2.3, footnote 2).  Every constant below is either a
+public datasheet number for that hardware or a value fitted so that the
+*simulated* system reproduces a quantity the paper reports.  Each fitted
+constant cites the paper observation it was calibrated against.
+
+All units are SI: seconds, bytes, FLOPs, watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CpuCalibration",
+    "GpuCalibration",
+    "PcieCalibration",
+    "PowerCalibration",
+    "BrokerCalibration",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class CpuCalibration:
+    """Host CPU model (i9-13900K-like).
+
+    The 13900K has 8 P-cores + 16 E-cores (32 threads).  We model it as a
+    flat pool of ``cores`` equivalent cores; preprocessing scales with
+    core count, which is what matters for the serving-level effects.
+    """
+
+    cores: int = 24
+
+    # -- CPU JPEG decode + resize + normalize cost model -------------------
+    # decode = entropy(bytes) + idct(pixels); resize ~ pixels_in;
+    # normalize ~ pixels_out.  Fitted so that the zero-load preprocessing
+    # share of a ViT request is ~56 % for the paper's medium image
+    # (121 kB, 500x375) and ~97 % for the large image (9528 kB, 3564x2880)
+    # with CPU preprocessing (paper Sec. 4.2 / Fig. 6).
+    decode_seconds_per_byte: float = 2.0e-9  # ~0.5 GB/s entropy decode/core
+    decode_seconds_per_pixel: float = 5.2e-9  # IDCT + colour convert
+    resize_seconds_per_pixel: float = 2.8e-9  # bilinear, input-pixel bound
+    normalize_seconds_per_pixel: float = 4.0e-9  # float conv + mean/std
+    # Fixed per-request python-backend work (PIL/numpy wrapping, IPC).
+    # Keeps the small image (4 kB, 60x70) CPU-preprocessing latency below
+    # GPU preprocessing, as the paper observes (Sec. 4.2).
+    request_overhead_seconds: float = 1.00e-3
+    # Per-request frontend cost charged to *every* request regardless of
+    # preprocessing device (gRPC receive, scheduling).
+    frontend_overhead_seconds: float = 0.15e-3
+    # Per-request response/postprocessing cost (argmax + serialize).
+    response_overhead_seconds: float = 0.10e-3
+    # -- frontend payload deserialization ----------------------------------
+    # The gRPC/HTTP frontend parses every request body on one connection
+    # thread.  Opaque compressed blobs (JPEG bytes) are passed through
+    # nearly zero-copy; dense float tensors must be copied and laid out,
+    # an order of magnitude slower.  This serialization is what caps the
+    # raw-tensor inference-only ingest path of Fig. 7 (clients shipping
+    # decoded images move ~5x more bytes per request).
+    ingest_blob_bytes_per_second: float = 40e9
+    ingest_tensor_bytes_per_second: float = 4e9
+
+
+@dataclass(frozen=True)
+class GpuCalibration:
+    """GPU device model (RTX 4090-like)."""
+
+    # Datasheet: RTX 4090 FP16 tensor throughput (dense) and GDDR6X BW.
+    peak_flops: float = 82.6e12
+    memory_bandwidth: float = 1008e9
+    memory_bytes: float = 24 * GIB
+    # Memory reserved for model weights, CUDA context, TensorRT workspace.
+    reserved_bytes: float = 4 * GIB
+
+    # -- batch-efficiency curve --------------------------------------------
+    # Achievable fraction of peak_flops at batch B is
+    #     eff(B) = efficiency_max * B / (B + efficiency_half_batch)
+    # Fitted to: TensorRT ViT-base ~1.9 ms at batch 1 and >1600 img/s
+    # end-to-end / ~2400 img/s inference-only at batch 64 (paper Fig. 3
+    # and Fig. 7).
+    efficiency_max: float = 0.60
+    efficiency_half_batch: float = 3.5
+    # Memory-path efficiency for memory-bound layers.
+    memory_efficiency: float = 0.60
+    # Per-inference-launch overhead, scaled per model by its layer count.
+    kernel_launch_seconds: float = 5.0e-6
+
+    # -- GPU (DALI/nvJPEG-style) preprocessing ------------------------------
+    # Hybrid nvJPEG decode: a host *staging* stage (pinned-buffer copy +
+    # bitstream parse + Huffman portion) followed by GPU kernels.
+    # Staging rate fitted so that a single large image (9528 kB) costs
+    # ~12 ms and the shared staging pool caps multi-GPU large-image
+    # throughput at ~2x the single-GPU rate (paper Sec. 4.6 / Fig. 9).
+    staging_seconds_per_byte: float = 1.25e-9  # 0.8 GB/s per host thread
+    staging_threads: int = 8  # DALI host thread pool (shared across GPUs)
+    # GPU decode+resize kernel cost per source pixel (batched, amortized).
+    decode_seconds_per_pixel: float = 1.6e-10  # ~6 GPix/s batched
+    # Fixed kernel-launch chain per preprocessing *call* (DALI pipeline
+    # run).  Dominant at batch 1, which makes GPU preprocessing lose to
+    # CPU at the paper's small image (Sec. 4.2) and puts the zero-load
+    # medium-image GPU preprocessing share near the paper's 49 % (Fig. 6).
+    preprocess_launch_seconds: float = 2.40e-3
+    # Normalize/standardize kernels on the resized output (memory bound).
+    normalize_seconds_per_pixel: float = 2.0e-11
+
+    # -- dedicated hardware JPEG decode engine -------------------------------
+    # The paper highlights "the inclusion of a dedicated hardware JPEG
+    # decoder specifically for DNN preprocessing on modern GPUs such as
+    # NVIDIA A100" (Sec. 2.2).  When enabled, JPEG decode runs on a
+    # separate fixed-function engine (no SM contention) and the host
+    # staging portion shrinks (the engine consumes the bitstream
+    # directly; no hybrid CPU Huffman stage).
+    hardware_jpeg_decoder: bool = False
+    hw_decoder_seconds_per_pixel: float = 1.0e-10  # ~10 GPix/s engine
+    hw_decoder_staging_factor: float = 0.3  # residual host staging share
+
+    # Per in-flight request, GPU preprocessing parks
+    #     (tensor_bytes + min(decoded_fp32_bytes, buffer_cap)) * multiplier
+    # in device memory until inference consumes it (DALI sample buffers +
+    # Triton ensemble intermediates + double buffering).  Governs the
+    # high-concurrency GPU-memory eviction regime of Fig. 5: ~5.6 MB per
+    # medium image means ~21.5 GB saturates between 2048 and 4096
+    # outstanding requests, where the paper sees GPU preprocessing
+    # throughput decline (Sec. 4.3).
+    preprocess_footprint_multiplier: float = 2.2
+    preprocess_buffer_cap_bytes: float = 8 * MIB
+    # Which waiting tensor to spill when device memory fills: "newest"
+    # (default; spills the tensor furthest from its inference slot) or
+    # "oldest" (naive FIFO spill; ablation).
+    eviction_policy: str = "newest"
+    # Reloading a spilled working set is a pageable copy that blocks the
+    # stream (spill buffers live in the pageable host heap) — the paper's
+    # "subsequent reload ... incurs additional latency" (Sec. 4.3).
+
+
+@dataclass(frozen=True)
+class PcieCalibration:
+    """Host <-> device interconnect (PCIe 4.0 x16).
+
+    Transfers from *pinned* buffers (DALI staging pools, TensorRT-managed
+    batch buffers) run at the full effective link rate.  Per-request
+    transfers from *pageable* memory (raw tensors handed to the server by
+    a client, Python-backend outputs) bounce through a driver staging
+    copy and achieve far less — this asymmetry is what makes the
+    inference-only configuration of Fig. 7 transfer-bound for fast models
+    (the TinyViT outlier, paper Sec. 4.4).
+    """
+
+    bandwidth: float = 24e9  # pinned, effective, of 32 GB/s raw
+    pageable_bandwidth: float = 4.5e9  # pageable-memory copies (driver staging)
+    latency_seconds: float = 10e-6  # per-transfer submission latency
+
+
+@dataclass(frozen=True)
+class PowerCalibration:
+    """Utilization-linear device power model.
+
+    energy = integral of (idle + (peak - idle) * utilization) dt.
+    Idle/peak from public i9-13900K / RTX 4090 measurements; shapes of
+    Fig. 8 (CPU preprocessing costs more J/img; GPU-share shrinks when
+    the GPU does both jobs) follow from busy-time integration.
+    """
+
+    cpu_idle_watts: float = 35.0
+    cpu_peak_watts: float = 253.0  # PL2
+    gpu_idle_watts: float = 22.0
+    gpu_peak_watts: float = 450.0
+
+
+@dataclass(frozen=True)
+class BrokerCalibration:
+    """Message-broker cost models (paper Sec. 4.7 / Fig. 11).
+
+    Kafka is modelled as a disk-backed log: per-message produce cost plus
+    a shared disk-bandwidth constraint.  Redis is an in-memory list with
+    small per-op CPU costs.  Fitted against: Kafka consumes ~71 % and
+    Redis ~6 % of zero-load latency at 25 faces/frame; Redis gives +125 %
+    throughput (2.25x) over Kafka at 25 faces/frame; the fused pipeline
+    wins below ~9 faces/frame.
+    """
+
+    # Kafka: synchronous produce round trip observed by the producer.
+    kafka_produce_seconds: float = 1.1e-3
+    # Broker-side CPU work per message (serialize, index, page-cache).
+    kafka_broker_cpu_seconds: float = 0.10e-3
+    # Consumer poll/deserialize per message.
+    kafka_consume_seconds: float = 0.15e-3
+    # Disk-backed log write bandwidth (every message body is appended).
+    kafka_disk_bandwidth: float = 115e6
+    # Consumer poll interval when the topic is empty.
+    kafka_poll_interval_seconds: float = 1.0e-3
+
+    # Redis: in-memory LPUSH/BRPOP round trip.
+    redis_produce_seconds: float = 45e-6
+    redis_consume_seconds: float = 20e-6
+    redis_broker_cpu_seconds: float = 15e-6
+    # Redis memory bandwidth is effectively unbounded at these rates but
+    # modelled for completeness.
+    redis_memory_bandwidth: float = 10e9
+
+    # Fused pipeline: per-face synchronous identification dispatch cost
+    # (no cross-frame batching, single CUDA stream).  Drives the fused
+    # system's loss to Redis above ~9 faces/frame.
+    fused_dispatch_seconds: float = 0.115e-3
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Complete calibration bundle for one simulated platform."""
+
+    cpu: CpuCalibration = field(default_factory=CpuCalibration)
+    gpu: GpuCalibration = field(default_factory=GpuCalibration)
+    pcie: PcieCalibration = field(default_factory=PcieCalibration)
+    power: PowerCalibration = field(default_factory=PowerCalibration)
+    broker: BrokerCalibration = field(default_factory=BrokerCalibration)
+
+    def with_overrides(self, **kwargs) -> "Calibration":
+        """Return a copy with top-level sections replaced."""
+        return replace(self, **kwargs)
+
+
+#: The calibration used by every experiment unless overridden.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,76 @@
+"""Host CPU model: a pool of equivalent cores plus carved-out thread pools.
+
+Preprocessing workers, server frontends, broker clients, and DALI staging
+threads all burn host-CPU time.  The main ``cores`` pool is a shared
+:class:`~repro.sim.resources.Resource`; auxiliary pools (e.g. the DALI
+staging threads of :class:`~repro.hardware.gpu.Gpu` preprocessing) can be
+carved out so their occupancy still counts toward CPU utilization and
+energy.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..sim import Environment, Resource
+from .calibration import CpuCalibration
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """A multicore host CPU."""
+
+    def __init__(self, env: Environment, calibration: CpuCalibration, name: str = "cpu") -> None:
+        self.env = env
+        self.name = name
+        self.calibration = calibration
+        self.cores = Resource(env, capacity=calibration.cores)
+        #: Extra thread pools whose busy time belongs to this CPU.
+        self._aux_pools: List[Resource] = []
+
+    def __repr__(self) -> str:
+        return f"<Cpu {self.name} ({self.cores.capacity} cores)>"
+
+    @property
+    def core_count(self) -> int:
+        return self.cores.capacity
+
+    def carve_pool(self, threads: int) -> Resource:
+        """Create an auxiliary thread pool accounted to this CPU.
+
+        The pool has its own capacity (it does not reduce ``cores``; real
+        systems oversubscribe threads), but its busy time is included in
+        :meth:`busy_time` so utilization/energy see it.
+        """
+        pool = Resource(self.env, capacity=threads)
+        self._aux_pools.append(pool)
+        return pool
+
+    def run(self, seconds: float) -> Generator:
+        """Process generator: occupy one core for ``seconds``.
+
+        Usage: ``yield from cpu.run(dt)``.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        with self.cores.request() as grant:
+            yield grant
+            yield self.env.timeout(seconds)
+
+    def busy_time(self) -> float:
+        """Total core-busy seconds across the main pool and carve-outs."""
+        total = self.cores.busy_time()
+        for pool in self._aux_pools:
+            total += pool.busy_time()
+        return total
+
+    def utilization(self, elapsed: float) -> float:
+        """Average fraction of the core pool busy over ``elapsed`` seconds.
+
+        Oversubscribed carve-outs can push this above 1; it is clamped
+        because the power model saturates at full utilization.
+        """
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / (self.core_count * elapsed))

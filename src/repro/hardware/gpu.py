@@ -1,0 +1,97 @@
+"""GPU device model.
+
+A :class:`Gpu` owns:
+
+- a serialized **compute** engine (kernels from preprocessing and
+  inference share it — the contention the paper highlights when the GPU
+  does both jobs, Sec. 4.3/4.4);
+- a **memory pool** (:class:`~repro.hardware.memory.GpuMemoryPool`) sized
+  to the device minus reserved weights/workspace;
+- its own **PCIe link** to the host.
+
+Kernel executions are modelled as exclusive holds on the compute engine
+for their modelled duration.  Multiple serving *instances* (CUDA streams)
+may overlap submission, but the engine serializes actual execution,
+which is the throughput-accurate abstraction for a saturated device.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Environment, PriorityResource
+from .calibration import Calibration
+from .memory import GpuMemoryPool
+from .pcie import PcieLink
+
+__all__ = ["Gpu", "PRIORITY_PREPROCESS", "PRIORITY_INFERENCE"]
+
+#: Preprocessing (ensemble step 1 / DALI) kernels are many small
+#: launches that slot in ahead of the long inference GEMM chains; giving
+#: them scheduling priority reproduces the step-1 run-ahead that fills
+#: GPU memory at very high concurrency (paper Sec. 4.3).
+PRIORITY_PREPROCESS = 0
+PRIORITY_INFERENCE = 1
+
+
+class Gpu:
+    """One GPU device with compute engine, memory pool, and PCIe link."""
+
+    def __init__(self, env: Environment, calibration: Calibration, index: int = 0) -> None:
+        self.env = env
+        self.calibration = calibration
+        self.index = index
+        self.name = f"gpu{index}"
+        self.compute = PriorityResource(env, capacity=1)
+        usable = calibration.gpu.memory_bytes - calibration.gpu.reserved_bytes
+        self.memory = GpuMemoryPool(
+            env, usable, name=f"{self.name}.mem",
+            evict_policy=calibration.gpu.eviction_policy,
+        )
+        self.link = PcieLink(env, calibration.pcie, name=f"{self.name}.pcie")
+        # Fixed-function JPEG decode engine (A100-class GPUs): decode
+        # runs here instead of on the SMs when enabled.
+        self.decoder = (
+            PriorityResource(env, capacity=1)
+            if calibration.gpu.hardware_jpeg_decoder
+            else None
+        )
+        self.kernel_count = 0
+
+    def __repr__(self) -> str:
+        return f"<Gpu {self.name}>"
+
+    def execute(self, seconds: float, priority: int = PRIORITY_INFERENCE) -> Generator:
+        """Process generator: run a kernel (chain) of ``seconds`` duration.
+
+        Usage: ``yield from gpu.execute(dt)``.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative kernel duration {seconds}")
+        with self.compute.request(priority=priority) as grant:
+            yield grant
+            yield self.env.timeout(seconds)
+        self.kernel_count += 1
+
+    def decode(self, seconds: float) -> Generator:
+        """Process generator: run work on the hardware decode engine.
+
+        Falls back to the compute engine when the device has no
+        dedicated decoder.  Usage: ``yield from gpu.decode(dt)``.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative decode duration {seconds}")
+        engine = self.decoder if self.decoder is not None else self.compute
+        with engine.request(priority=PRIORITY_PREPROCESS) as grant:
+            yield grant
+            yield self.env.timeout(seconds)
+
+    def busy_time(self) -> float:
+        """Accumulated compute-engine busy seconds."""
+        return self.compute.busy_time()
+
+    def utilization(self, elapsed: float) -> float:
+        """Average compute utilization over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / elapsed)

@@ -1,0 +1,78 @@
+"""PCIe interconnect model.
+
+Each GPU hangs off its own PCIe 4.0 x16 link with independent
+host-to-device (h2d) and device-to-host (d2h) DMA engines — transfers in
+opposite directions overlap, transfers in the same direction serialize
+and share the link bandwidth.  A transfer costs a fixed submission
+latency plus bytes / bandwidth.
+
+The paper leans on this model twice: the TinyViT outlier of Fig. 7
+(inference-only moves ~5x more bytes than end-to-end because it ships
+decoded rather than compressed images) and the energy accounting of
+Fig. 8 (PCIe transfers charged to the host).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Environment, Resource
+from .calibration import PcieCalibration
+
+__all__ = ["PcieLink", "H2D", "D2H"]
+
+H2D = "h2d"
+D2H = "d2h"
+
+
+class PcieLink:
+    """One full-duplex PCIe link with per-direction DMA engines."""
+
+    def __init__(self, env: Environment, calibration: PcieCalibration, name: str = "pcie") -> None:
+        self.env = env
+        self.name = name
+        self.bandwidth = calibration.bandwidth
+        self.pageable_bandwidth = calibration.pageable_bandwidth
+        self.latency = calibration.latency_seconds
+        self._engines = {
+            H2D: Resource(env, capacity=1),
+            D2H: Resource(env, capacity=1),
+        }
+        self.bytes_moved = {H2D: 0.0, D2H: 0.0}
+        self.transfer_count = {H2D: 0, D2H: 0}
+
+    def __repr__(self) -> str:
+        return f"<PcieLink {self.name} ({self.bandwidth / 1e9:.0f} GB/s)>"
+
+    def transfer_seconds(self, nbytes: float, pinned: bool = True) -> float:
+        """Wire time of one transfer, excluding queueing.
+
+        Pageable (non-pinned) transfers bounce through a driver staging
+        copy and run at ``pageable_bandwidth``.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        rate = self.bandwidth if pinned else self.pageable_bandwidth
+        return self.latency + nbytes / rate
+
+    def transfer(self, nbytes: float, direction: str, pinned: bool = True) -> Generator:
+        """Process generator: move ``nbytes`` in ``direction``.
+
+        Usage from a process: ``yield from link.transfer(n, H2D)``.
+        """
+        engine = self._direction_engine(direction)
+        with engine.request() as grant:
+            yield grant
+            yield self.env.timeout(self.transfer_seconds(nbytes, pinned))
+        self.bytes_moved[direction] += nbytes
+        self.transfer_count[direction] += 1
+
+    def busy_time(self, direction: str) -> float:
+        """Accumulated DMA-engine busy seconds for ``direction``."""
+        return self._direction_engine(direction).busy_time()
+
+    def _direction_engine(self, direction: str) -> Resource:
+        try:
+            return self._engines[direction]
+        except KeyError:
+            raise ValueError(f"direction must be {H2D!r} or {D2H!r}, got {direction!r}") from None

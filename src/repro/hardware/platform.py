@@ -1,0 +1,71 @@
+"""The composed server node: one host CPU + N GPUs + shared staging pool.
+
+This is the hardware object every experiment builds first.  It mirrors
+the paper's testbed (one i9-13900K + one RTX 4090, Sec. 2.3) and its
+multi-GPU extension (Sec. 4.6), where a *single* host CPU feeds up to
+four GPUs and the shared host-side work becomes the scaling limit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim import Environment
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .cpu import Cpu
+from .gpu import Gpu
+from .power import EnergyMeter
+
+__all__ = ["ServerNode"]
+
+
+class ServerNode:
+    """One physical server: host CPU, GPUs, DALI staging pool, energy meter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        gpu_count: int = 1,
+    ) -> None:
+        if gpu_count < 1:
+            raise ValueError(f"gpu_count must be >= 1, got {gpu_count}")
+        self.env = env
+        self.calibration = calibration
+        self.cpu = Cpu(env, calibration.cpu)
+        self.gpus: List[Gpu] = [Gpu(env, calibration, index=i) for i in range(gpu_count)]
+        # DALI-style host staging threads: one pool shared by every GPU's
+        # preprocessing pipelines (the Sec. 4.6 multi-GPU bottleneck).
+        self.staging = self.cpu.carve_pool(calibration.gpu.staging_threads)
+        # Frontend payload-deserialization threads (gRPC parsing is
+        # serialized per connection; load generators open one connection
+        # per GPU-worth of offered load, so the pool scales with GPUs).
+        self.ingest = self.cpu.carve_pool(gpu_count)
+
+        self.energy = EnergyMeter()
+        power = calibration.power
+        self.energy.register(
+            "cpu",
+            self.cpu.busy_time,
+            capacity=self.cpu.core_count,
+            idle_watts=power.cpu_idle_watts,
+            peak_watts=power.cpu_peak_watts,
+        )
+        for gpu in self.gpus:
+            self.energy.register(
+                gpu.name,
+                gpu.busy_time,
+                capacity=1,
+                idle_watts=power.gpu_idle_watts,
+                peak_watts=power.gpu_peak_watts,
+            )
+
+    def __repr__(self) -> str:
+        return f"<ServerNode cpu={self.cpu.core_count}c gpus={len(self.gpus)}>"
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpus)
+
+    def gpu_energy_names(self) -> List[str]:
+        return [gpu.name for gpu in self.gpus]

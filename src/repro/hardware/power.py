@@ -1,0 +1,100 @@
+"""Utilization-integrated energy accounting (paper Sec. 4.5 / Fig. 8).
+
+Each device reports cumulative *busy time*; the meter converts busy-time
+deltas over a measurement window into energy with a linear power model:
+
+    E = P_idle * T + (P_peak - P_idle) * busy_time / capacity
+
+Snapshots make warm-up exclusion exact: take one snapshot when the
+measurement window opens and one when it closes, and diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = ["DeviceEnergy", "EnergyMeter", "EnergySnapshot"]
+
+
+@dataclass(frozen=True)
+class DeviceEnergy:
+    """Energy use of one device over a window."""
+
+    name: str
+    window_seconds: float
+    busy_seconds: float
+    utilization: float
+    idle_joules: float
+    dynamic_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.idle_joules + self.dynamic_joules
+
+
+@dataclass(frozen=True)
+class EnergySnapshot:
+    """Busy-time counters of every registered device at one instant."""
+
+    at_time: float
+    busy: Dict[str, float]
+
+
+class EnergyMeter:
+    """Tracks registered devices and integrates their energy over windows."""
+
+    def __init__(self) -> None:
+        # name -> (busy_time_fn, capacity, idle_watts, peak_watts)
+        self._devices: Dict[str, Tuple[Callable[[], float], float, float, float]] = {}
+
+    def register(
+        self,
+        name: str,
+        busy_time_fn: Callable[[], float],
+        capacity: float,
+        idle_watts: float,
+        peak_watts: float,
+    ) -> None:
+        """Register a device by its cumulative busy-time function.
+
+        ``capacity`` is the number of parallel execution slots the busy
+        time is measured against (cores for a CPU, 1 for a GPU engine).
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if peak_watts < idle_watts:
+            raise ValueError("peak power below idle power")
+        if name in self._devices:
+            raise ValueError(f"device {name!r} already registered")
+        self._devices[name] = (busy_time_fn, capacity, idle_watts, peak_watts)
+
+    @property
+    def device_names(self):
+        return sorted(self._devices)
+
+    def snapshot(self, now: float) -> EnergySnapshot:
+        """Capture cumulative busy time of every device."""
+        return EnergySnapshot(
+            at_time=now,
+            busy={name: fn() for name, (fn, _, _, _) in self._devices.items()},
+        )
+
+    def energy_between(self, start: EnergySnapshot, end: EnergySnapshot) -> Dict[str, DeviceEnergy]:
+        """Per-device energy over the window between two snapshots."""
+        window = end.at_time - start.at_time
+        if window < 0:
+            raise ValueError("end snapshot precedes start snapshot")
+        report: Dict[str, DeviceEnergy] = {}
+        for name, (_, capacity, idle_watts, peak_watts) in self._devices.items():
+            busy = end.busy[name] - start.busy[name]
+            utilization = 0.0 if window == 0 else min(1.0, busy / (capacity * window))
+            report[name] = DeviceEnergy(
+                name=name,
+                window_seconds=window,
+                busy_seconds=busy,
+                utilization=utilization,
+                idle_joules=idle_watts * window,
+                dynamic_joules=(peak_watts - idle_watts) * utilization * window,
+            )
+        return report

@@ -1,0 +1,30 @@
+"""DNN model zoo, runtime envelopes, and the roofline latency model."""
+
+from .detection import FACE_CROP_BYTES, FaceCrop, FacesPerFrame, FixedFaces, PoissonFaces
+from .dnn import InferenceCost, batch_efficiency, inference_cost, inference_latency, peak_throughput
+from .runtimes import ONNXRUNTIME, PYTORCH, RUNTIMES, TENSORRT, RuntimeSpec, get_runtime
+from .zoo import FIG4_MODELS, MODEL_ZOO, ModelSpec, get_model, models_by_task
+
+__all__ = [
+    "FACE_CROP_BYTES",
+    "FIG4_MODELS",
+    "FaceCrop",
+    "FacesPerFrame",
+    "FixedFaces",
+    "InferenceCost",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "ONNXRUNTIME",
+    "PYTORCH",
+    "PoissonFaces",
+    "RUNTIMES",
+    "RuntimeSpec",
+    "TENSORRT",
+    "batch_efficiency",
+    "get_model",
+    "get_runtime",
+    "inference_cost",
+    "inference_latency",
+    "models_by_task",
+    "peak_throughput",
+]

@@ -1,0 +1,88 @@
+"""Detection-output behaviour models for the multi-DNN pipeline.
+
+For the face-detection -> identification pipeline (paper Sec. 4.7) the
+quantity that matters is the *fan-out*: how many faces stage 1 emits per
+frame, each becoming one stage-2 request (and one broker message).  The
+paper sweeps this from 1 to 25 faces per frame.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["FaceCrop", "FacesPerFrame", "FixedFaces", "PoissonFaces", "FACE_CROP_BYTES"]
+
+#: A detected face crop as shipped through the broker: 160x160 RGB888
+#: pixels plus bounding-box/track metadata (paper Sec. 4.7, FaceNet input).
+FACE_CROP_BYTES = 160 * 160 * 3 + 256
+
+
+@dataclass(frozen=True)
+class FaceCrop:
+    """One detected face: the stage-2 work item / broker message body."""
+
+    frame_id: int
+    index: int
+    message_bytes: int = FACE_CROP_BYTES
+
+
+class FacesPerFrame:
+    """Distribution of the number of faces detected in one frame."""
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+class FixedFaces(FacesPerFrame):
+    """Every frame contains exactly ``count`` faces (the paper's sweep)."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"face count must be >= 0, got {count}")
+        self.count = count
+
+    def sample(self, rng: random.Random) -> int:
+        return self.count
+
+    @property
+    def mean(self) -> float:
+        return float(self.count)
+
+    def __repr__(self) -> str:
+        return f"FixedFaces({self.count})"
+
+
+class PoissonFaces(FacesPerFrame):
+    """Poisson-distributed face counts (crowd scenes), optionally capped."""
+
+    def __init__(self, mean: float, cap: int = 100) -> None:
+        if mean < 0:
+            raise ValueError(f"mean must be >= 0, got {mean}")
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self._mean = mean
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> int:
+        # Knuth's algorithm; fine for the small means used here.
+        import math
+
+        threshold = math.exp(-self._mean)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return min(count, self.cap)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"PoissonFaces(mean={self._mean}, cap={self.cap})"

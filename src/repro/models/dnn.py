@@ -1,0 +1,123 @@
+"""Roofline-style DNN inference latency model.
+
+GPU inference time for a batch is the max of a compute term and a memory
+term, plus a kernel-launch chain:
+
+    compute(B) = B * flops / (peak_flops * eff(B))
+    memory(B)  = (param_bytes + B * activation_bytes) / (mem_bw * mem_eff)
+    launch     = layers * kernel_launch * runtime.launch_multiplier
+                 + runtime.dispatch_overhead
+    latency(B) = max(compute, memory) + launch
+
+with the batch-efficiency curve
+
+    eff(B) = efficiency_max * runtime.efficiency_multiplier
+             * B / (B + efficiency_half_batch)
+
+capturing the well-known underutilization of large GPUs at small batch
+sizes (the reason dynamic batching exists, paper Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.calibration import Calibration
+from .runtimes import RuntimeSpec
+from .zoo import ModelSpec
+
+__all__ = ["InferenceCost", "batch_efficiency", "inference_latency", "inference_cost", "peak_throughput"]
+
+
+@dataclass(frozen=True)
+class InferenceCost:
+    """Latency decomposition of one batched inference call."""
+
+    batch: int
+    compute_seconds: float
+    memory_seconds: float
+    launch_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds) + self.launch_seconds
+
+    @property
+    def per_image_seconds(self) -> float:
+        return self.total_seconds / self.batch
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_seconds >= self.memory_seconds
+
+
+def batch_efficiency(
+    batch: int,
+    runtime: RuntimeSpec,
+    calibration: Calibration,
+    model: "ModelSpec" = None,
+) -> float:
+    """Achievable fraction of peak FLOPs at ``batch``.
+
+    Models may override the half-batch of the saturation curve (large
+    spatial inputs saturate the GPU at small batches).
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    gpu = calibration.gpu
+    half = gpu.efficiency_half_batch
+    if model is not None and model.efficiency_half_batch is not None:
+        half = model.efficiency_half_batch
+    saturation = batch / (batch + half)
+    return gpu.efficiency_max * runtime.efficiency_multiplier * saturation
+
+
+def inference_cost(
+    model: ModelSpec,
+    runtime: RuntimeSpec,
+    batch: int,
+    calibration: Calibration,
+) -> InferenceCost:
+    """Full latency decomposition for one batched inference call."""
+    gpu = calibration.gpu
+    eff = batch_efficiency(batch, runtime, calibration, model)
+    compute = batch * model.flops / (gpu.peak_flops * eff)
+    memory = (model.param_bytes + batch * model.activation_bytes) / (
+        gpu.memory_bandwidth * gpu.memory_efficiency
+    )
+    launch = (
+        model.layers * gpu.kernel_launch_seconds * runtime.launch_multiplier
+        + runtime.dispatch_overhead_seconds
+    )
+    return InferenceCost(
+        batch=batch,
+        compute_seconds=compute,
+        memory_seconds=memory,
+        launch_seconds=launch,
+    )
+
+
+def inference_latency(
+    model: ModelSpec,
+    runtime: RuntimeSpec,
+    batch: int,
+    calibration: Calibration,
+) -> float:
+    """GPU-resident latency of one batched inference call, in seconds."""
+    return inference_cost(model, runtime, batch, calibration).total_seconds
+
+
+def peak_throughput(
+    model: ModelSpec,
+    runtime: RuntimeSpec,
+    max_batch: int,
+    calibration: Calibration,
+) -> float:
+    """Best images/second over batch sizes up to ``max_batch`` (one GPU)."""
+    best = 0.0
+    batch = 1
+    while batch <= max_batch:
+        cost = inference_cost(model, runtime, batch, calibration)
+        best = max(best, batch / cost.total_seconds)
+        batch *= 2
+    return best

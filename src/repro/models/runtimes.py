@@ -1,0 +1,73 @@
+"""Model-execution runtimes (backends) and their efficiency envelopes.
+
+The paper's software ladder (Sec. 2.3 / Fig. 3) moves from eager PyTorch
+through the ONNX runtime under Triton to TensorRT-compiled engines, with
+large throughput differences on identical hardware.  We model a runtime
+as a multiplier on the GPU's batch-efficiency curve plus extra dispatch
+overheads; the multipliers are fitted to the paper's ladder
+(PyTorch ~431 img/s -> TrIS+ONNX ~1150 img/s -> TrIS+TensorRT >1600 img/s
+for ViT-base end to end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["RuntimeSpec", "RUNTIMES", "get_runtime", "TENSORRT", "ONNXRUNTIME", "PYTORCH"]
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """Execution-efficiency envelope of one backend."""
+
+    name: str
+    #: Multiplier on the achievable fraction of peak FLOPs (TensorRT = 1).
+    efficiency_multiplier: float
+    #: Multiplier on per-kernel launch overhead (graph fusion reduces it).
+    launch_multiplier: float
+    #: Fixed per-invocation dispatch cost (framework overhead).
+    dispatch_overhead_seconds: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency_multiplier <= 1:
+            raise ValueError(f"efficiency multiplier out of (0, 1]: {self.efficiency_multiplier}")
+        if self.launch_multiplier < 1:
+            raise ValueError(f"launch multiplier must be >= 1: {self.launch_multiplier}")
+        if self.dispatch_overhead_seconds < 0:
+            raise ValueError("dispatch overhead must be >= 0")
+
+
+TENSORRT = RuntimeSpec(
+    name="tensorrt",
+    efficiency_multiplier=1.0,
+    launch_multiplier=1.0,
+    dispatch_overhead_seconds=0.10e-3,
+)
+
+ONNXRUNTIME = RuntimeSpec(
+    name="onnxruntime",
+    efficiency_multiplier=0.62,
+    launch_multiplier=1.6,
+    dispatch_overhead_seconds=0.35e-3,
+)
+
+PYTORCH = RuntimeSpec(
+    name="pytorch",
+    efficiency_multiplier=0.50,
+    launch_multiplier=3.0,
+    dispatch_overhead_seconds=1.20e-3,
+)
+
+RUNTIMES: Dict[str, RuntimeSpec] = {
+    runtime.name: runtime for runtime in (TENSORRT, ONNXRUNTIME, PYTORCH)
+}
+
+
+def get_runtime(name: str) -> RuntimeSpec:
+    """Look up a runtime by name, with a helpful error."""
+    try:
+        return RUNTIMES[name]
+    except KeyError:
+        known = ", ".join(sorted(RUNTIMES))
+        raise KeyError(f"unknown runtime {name!r}; known runtimes: {known}") from None

@@ -1,0 +1,165 @@
+"""Vision-DNN zoo: the HuggingFace models the paper benchmarks.
+
+The paper profiles "a large number of computer vision DNNs from
+HuggingFace" spanning image classification, segmentation, object
+detection, and depth estimation (Sec. 4.1 / Fig. 4), plus Faster R-CNN
+and FaceNet for the multi-DNN pipeline (Sec. 4.7).
+
+For the simulator a model is a *cost descriptor*: FLOPs per image,
+parameter count, activation footprint, kernel-chain length, and input
+resolution.  FLOPs/params are the published numbers for each
+architecture; activation bytes and layer counts are standard estimates
+used only for the memory-bound floor and launch-overhead terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ModelSpec", "MODEL_ZOO", "get_model", "models_by_task", "FIG4_MODELS"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Cost descriptor for one DNN."""
+
+    name: str
+    task: str  # classification | segmentation | detection | depth | embedding
+    gflops: float  # forward FLOPs for one image at input_size
+    params_millions: float
+    input_size: int  # square input edge expected by the DNN
+    activation_mbytes: float  # per-image intermediate activations (fp16)
+    layers: int  # kernel-chain length (launch-overhead proxy)
+    hf_id: str = ""  # HuggingFace model id the numbers come from
+    #: Override of the GPU batch-efficiency half-batch.  Models with
+    #: large spatial inputs (detectors, segmenters) saturate the GPU at
+    #: batch 1 and gain little from batching; classification models at
+    #: 224x224 need large batches.  ``None`` uses the platform default.
+    efficiency_half_batch: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.gflops <= 0 or self.params_millions <= 0:
+            raise ValueError(f"invalid cost numbers for {self.name}")
+        if self.input_size <= 0 or self.layers <= 0:
+            raise ValueError(f"invalid structure for {self.name}")
+
+    @property
+    def flops(self) -> float:
+        return self.gflops * 1e9
+
+    @property
+    def param_bytes(self) -> float:
+        """Weight footprint at fp16."""
+        return self.params_millions * 1e6 * 2
+
+    @property
+    def activation_bytes(self) -> float:
+        return self.activation_mbytes * 1e6
+
+    @property
+    def input_pixels(self) -> int:
+        return self.input_size * self.input_size
+
+
+def _spec(*args, **kwargs) -> ModelSpec:
+    return ModelSpec(*args, **kwargs)
+
+
+#: Every model the reproduction knows about, keyed by short name.
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        # -- image classification ------------------------------------------
+        _spec("mobilenet-v2", "classification", 0.32, 3.5, 224, 4.0, 66,
+              hf_id="google/mobilenet_v2_1.0_224"),
+        _spec("efficientnet-b0", "classification", 0.39, 5.3, 224, 6.0, 82,
+              hf_id="google/efficientnet-b0"),
+        _spec("tinyvit-5m", "classification", 1.30, 5.4, 224, 8.0, 120,
+              hf_id="timm/tiny_vit_5m_224.dist_in22k_ft_in1k"),
+        _spec("resnet-18", "classification", 1.82, 11.7, 224, 5.0, 52,
+              hf_id="microsoft/resnet-18"),
+        _spec("resnet-50", "classification", 4.09, 25.6, 224, 12.0, 107,
+              hf_id="microsoft/resnet-50"),
+        _spec("deit-small", "classification", 4.61, 22.1, 224, 10.0, 100,
+              hf_id="facebook/deit-small-patch16-224"),
+        _spec("swin-tiny", "classification", 4.51, 28.3, 224, 14.0, 144,
+              hf_id="microsoft/swin-tiny-patch4-window7-224"),
+        _spec("convnext-tiny", "classification", 4.47, 28.6, 224, 13.0, 118,
+              hf_id="facebook/convnext-tiny-224"),
+        _spec("resnet-101", "classification", 7.83, 44.5, 224, 18.0, 209,
+              hf_id="microsoft/resnet-101"),
+        _spec("swin-base", "classification", 15.4, 87.8, 224, 30.0, 202,
+              hf_id="microsoft/swin-base-patch4-window7-224"),
+        _spec("convnext-base", "classification", 15.4, 88.6, 224, 28.0, 146,
+              hf_id="facebook/convnext-base-224"),
+        _spec("vit-base-16", "classification", 17.6, 86.6, 224, 26.0, 150,
+              hf_id="google/vit-base-patch16-224"),
+        _spec("beit-base", "classification", 17.6, 86.5, 224, 27.0, 152,
+              hf_id="microsoft/beit-base-patch16-224"),
+        _spec("vit-large-16", "classification", 61.6, 304.3, 224, 63.0, 294,
+              hf_id="google/vit-large-patch16-224"),
+        _spec("efficientnetv2-s", "classification", 8.4, 21.5, 384, 22.0, 170,
+              hf_id="timm/tf_efficientnetv2_s.in21k_ft_in1k"),
+        _spec("regnety-16gf", "classification", 15.9, 83.6, 224, 24.0, 130,
+              hf_id="facebook/regnet-y-160"),
+        _spec("deit-base", "classification", 17.6, 86.6, 224, 26.0, 150,
+              hf_id="facebook/deit-base-patch16-224"),
+        _spec("mobilevit-small", "classification", 2.0, 5.6, 256, 9.0, 120,
+              hf_id="apple/mobilevit-small"),
+        _spec("dinov2-base", "classification", 23.4, 86.6, 224, 30.0, 160,
+              hf_id="facebook/dinov2-base (linear head)"),
+        # -- semantic segmentation ------------------------------------------
+        _spec("segformer-b0", "segmentation", 8.4, 3.8, 512, 45.0, 140,
+              hf_id="nvidia/segformer-b0-finetuned-ade-512-512",
+              efficiency_half_batch=1.5),
+        _spec("segformer-b2", "segmentation", 62.4, 27.5, 512, 110.0, 230,
+              hf_id="nvidia/segformer-b2-finetuned-ade-512-512",
+              efficiency_half_batch=1.5),
+        _spec("mask2former-swin-t", "segmentation", 232.0, 47.4, 640, 260.0, 340,
+              hf_id="facebook/mask2former-swin-tiny-ade-semantic",
+              efficiency_half_batch=0.8),
+        # -- object detection -----------------------------------------------
+        _spec("yolos-tiny", "detection", 21.0, 6.5, 512, 48.0, 110,
+              hf_id="hustvl/yolos-tiny (512 input)", efficiency_half_batch=1.5),
+        _spec("detr-resnet-50", "detection", 86.0, 41.3, 800, 160.0, 250,
+              hf_id="facebook/detr-resnet-50", efficiency_half_batch=0.8),
+        _spec("faster-rcnn-face", "detection", 134.0, 41.8, 800, 210.0, 280,
+              hf_id="(torchvision) fasterrcnn_resnet50_fpn, face-detection head",
+              efficiency_half_batch=0.8),
+        # -- monocular depth estimation -------------------------------------
+        _spec("glpn-nyu", "depth", 21.5, 61.2, 480, 75.0, 190,
+              hf_id="vinvino02/glpn-nyu", efficiency_half_batch=1.5),
+        _spec("dpt-large", "depth", 112.0, 343.0, 384, 180.0, 330,
+              hf_id="Intel/dpt-large", efficiency_half_batch=1.2),
+        _spec("depth-anything-s", "depth", 28.0, 24.8, 518, 90.0, 200,
+              hf_id="LiheYoung/depth-anything-small-hf",
+              efficiency_half_batch=1.2),
+        # -- face embedding (multi-DNN pipeline stage 2) ---------------------
+        _spec("facenet", "embedding", 1.45, 27.9, 160, 6.0, 200,
+              hf_id="(facenet-pytorch) InceptionResnetV1 vggface2"),
+    ]
+}
+
+#: The classification/seg/det/depth sweep plotted in Fig. 4, ordered by FLOPs.
+FIG4_MODELS: List[str] = sorted(
+    (name for name, spec in MODEL_ZOO.items() if spec.task != "embedding"),
+    key=lambda name: MODEL_ZOO[name].gflops,
+)
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by short name, with a helpful error."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def models_by_task(task: str) -> List[ModelSpec]:
+    """All zoo models for one task, ordered by FLOPs."""
+    specs = [spec for spec in MODEL_ZOO.values() if spec.task == task]
+    if not specs:
+        raise KeyError(f"no models for task {task!r}")
+    return sorted(specs, key=lambda spec: spec.gflops)

@@ -1,0 +1,48 @@
+"""Load generation and the experiment runner."""
+
+from .client import ClosedLoopClient, OpenLoopClient
+from .autoscaler import AutoscaledFleet, AutoscalerPolicy, ScalingEvent
+from .loadgen import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PatternedClient,
+    PoissonArrivals,
+)
+from .fleet import (
+    CapacityPlan,
+    Fleet,
+    FleetResult,
+    LEAST_OUTSTANDING,
+    LoadBalancer,
+    ROUND_ROBIN,
+    plan_capacity,
+    run_fleet_experiment,
+)
+from .runner import ExperimentConfig, RunResult, run_experiment, run_face_pipeline, run_open_loop
+
+__all__ = [
+    "ArrivalProcess",
+    "AutoscaledFleet",
+    "AutoscalerPolicy",
+    "ScalingEvent",
+    "BurstyArrivals",
+    "CapacityPlan",
+    "DiurnalArrivals",
+    "PatternedClient",
+    "PoissonArrivals",
+    "ClosedLoopClient",
+    "Fleet",
+    "FleetResult",
+    "LEAST_OUTSTANDING",
+    "LoadBalancer",
+    "ROUND_ROBIN",
+    "plan_capacity",
+    "run_fleet_experiment",
+    "ExperimentConfig",
+    "OpenLoopClient",
+    "RunResult",
+    "run_experiment",
+    "run_face_pipeline",
+    "run_open_loop",
+]

@@ -1,0 +1,191 @@
+"""Reactive fleet autoscaling (closing the loop on paper Sec. 2.1).
+
+"In instances where incoming requests exceed the system's predefined
+capacity, additional servers are added to maintain performance."  The
+:class:`AutoscaledFleet` starts with a node pool, activates a subset,
+and a controller loop grows/shrinks the active set from the observed
+per-node outstanding load — the standard target-utilization policy.
+
+Simulated node "provisioning" takes ``provision_delay_seconds`` (boot +
+model load + TensorRT engine warm-up), which is what makes bursty load
+interesting: capacity arrives *late*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import ServerConfig
+from ..core.metrics import MetricsCollector
+from ..core.server import InferenceServer
+from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from ..hardware.platform import ServerNode
+from ..sim import Environment, Event, Store
+
+__all__ = ["AutoscalerPolicy", "AutoscaledFleet", "ScalingEvent"]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Target-load scaling policy."""
+
+    #: Per-node outstanding requests the controller aims for.
+    target_outstanding_per_node: float = 256.0
+    #: Scale out when observed/target exceeds this factor...
+    scale_out_threshold: float = 1.25
+    #: ...and in when it falls below this factor.
+    scale_in_threshold: float = 0.5
+    #: Controller evaluation period.
+    interval_seconds: float = 0.25
+    #: Boot + model load + engine warm-up before a node takes traffic.
+    provision_delay_seconds: float = 2.0
+    #: Minimum time between scaling actions (anti-flapping).
+    cooldown_seconds: float = 1.0
+    #: Hard per-node in-flight cap (the paper's load-balancer cap);
+    #: excess requests wait in the balancer backlog.
+    per_node_cap: int = 512
+    #: Active-set bounds.
+    min_nodes: int = 1
+    max_nodes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.target_outstanding_per_node <= 0:
+            raise ValueError("target outstanding must be positive")
+        if self.scale_out_threshold <= 1.0:
+            raise ValueError("scale_out_threshold must exceed 1.0")
+        if not 0 < self.scale_in_threshold < 1.0:
+            raise ValueError("scale_in_threshold must be in (0, 1)")
+        if self.interval_seconds <= 0 or self.provision_delay_seconds < 0:
+            raise ValueError("intervals must be positive")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown must be >= 0")
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        if self.per_node_cap < 1:
+            raise ValueError("per_node_cap must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One controller action, for the scaling timeline."""
+
+    at_time: float
+    action: str  # "scale_out" | "scale_in"
+    active_nodes: int
+
+
+class AutoscaledFleet:
+    """A fleet whose active node count follows the offered load."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_config: ServerConfig,
+        policy: AutoscalerPolicy,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        gpu_count: int = 1,
+        metrics: Optional[MetricsCollector] = None,
+        on_complete=None,
+    ) -> None:
+        self.env = env
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        # All max_nodes nodes exist up front (simulating a warm pool);
+        # "provisioning" models activation latency.
+        self.servers: List[InferenceServer] = [
+            InferenceServer(
+                env,
+                ServerNode(env, calibration, gpu_count=gpu_count),
+                server_config,
+                metrics=self.metrics,
+                on_complete=on_complete,
+            )
+            for _ in range(policy.max_nodes)
+        ]
+        self.active_count = policy.min_nodes
+        self._provisioning = 0
+        self.outstanding = [0] * policy.max_nodes
+        self.events: List[ScalingEvent] = []
+        self._last_action_time = -float("inf")
+        self._backlog: Store = Store(env)
+        env.process(self._dispatcher())
+        env.process(self._controller())
+
+    # -- public API --------------------------------------------------------------
+
+    def submit(self, image) -> Event:
+        done = self.env.event()
+        self._backlog.put((image, done, self.env.now))
+        return done
+
+    @property
+    def total_outstanding(self) -> int:
+        return sum(self.outstanding[: self.active_count])
+
+    @property
+    def load_factor(self) -> float:
+        """Observed load per active node, relative to target.
+
+        Includes the balancer backlog: requests held at the cap are the
+        clearest over-capacity signal.
+        """
+        per_node = (self.total_outstanding + self._backlog.size) / self.active_count
+        return per_node / self.policy.target_outstanding_per_node
+
+    # -- internals ----------------------------------------------------------------
+
+    def _dispatcher(self):
+        cap = self.policy.per_node_cap
+        while True:
+            image, done, enqueued_at = yield self._backlog.get()
+            while True:
+                index = min(
+                    range(self.active_count), key=lambda i: self.outstanding[i]
+                )
+                if self.outstanding[index] < cap:
+                    break
+                # Every active node at its cap: hold the request in the
+                # balancer until capacity (or a new node) appears.
+                yield self.env.timeout(0.5e-3)
+            self.outstanding[index] += 1
+            # Backdated so balancer queueing counts in request latency.
+            inner = self.servers[index].submit(image, arrival_time=enqueued_at)
+            self.env.process(self._track(index, inner, done))
+
+    def _track(self, index: int, inner: Event, done: Event):
+        request = yield inner
+        self.outstanding[index] -= 1
+        done.succeed(request)
+
+    def _controller(self):
+        policy = self.policy
+        while True:
+            yield self.env.timeout(policy.interval_seconds)
+            if self.env.now - self._last_action_time < policy.cooldown_seconds:
+                continue
+            factor = self.load_factor
+            if (
+                factor > policy.scale_out_threshold
+                and self.active_count + self._provisioning < policy.max_nodes
+            ):
+                self._last_action_time = self.env.now
+                self._provisioning += 1
+                self.env.process(self._provision())
+            elif factor < policy.scale_in_threshold and self.active_count > policy.min_nodes:
+                # Drain-free scale-in: stop routing to the last node; its
+                # in-flight requests finish via their tracked events.
+                self._last_action_time = self.env.now
+                self.active_count -= 1
+                self.events.append(
+                    ScalingEvent(self.env.now, "scale_in", self.active_count)
+                )
+
+    def _provision(self):
+        yield self.env.timeout(self.policy.provision_delay_seconds)
+        self._provisioning -= 1
+        if self.active_count < self.policy.max_nodes:
+            self.active_count += 1
+            self.events.append(
+                ScalingEvent(self.env.now, "scale_out", self.active_count)
+            )

@@ -1,0 +1,109 @@
+"""Load generation clients.
+
+The paper's methodology (Sec. 4.3) is *closed-loop*: a load balancer caps
+the number of concurrent requests per node, so the node always has
+exactly ``concurrency`` requests in flight — each completion immediately
+triggers the next submission.  :class:`ClosedLoopClient` implements that;
+:class:`OpenLoopClient` (Poisson arrivals) is provided for open-loop
+studies and the loadgen ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.server import InferenceServer
+from ..sim import Environment, RandomStreams
+from ..vision.datasets import Dataset
+
+__all__ = ["ClosedLoopClient", "OpenLoopClient"]
+
+
+class ClosedLoopClient:
+    """Keeps exactly ``concurrency`` requests outstanding."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: InferenceServer,
+        dataset: Dataset,
+        concurrency: int,
+        streams: RandomStreams,
+        think_time_seconds: float = 0.0,
+        think_jitter_seconds: float = 0.0,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if think_time_seconds < 0 or think_jitter_seconds < 0:
+            raise ValueError("think time must be >= 0")
+        self.env = env
+        self.server = server
+        self.dataset = dataset
+        self.concurrency = concurrency
+        self.think_time = think_time_seconds
+        self.think_jitter = think_jitter_seconds
+        self.issued = 0
+        self._stopped = False
+        self._rng = streams.stream("client:images")
+        self._think_rng = streams.stream("client:think")
+        for _ in range(concurrency):
+            env.process(self._worker())
+
+    def stop(self) -> None:
+        """Stop issuing new requests (in-flight ones finish)."""
+        self._stopped = True
+
+    def _worker(self):
+        while not self._stopped:
+            image = self.dataset.sample(self._rng)
+            self.issued += 1
+            yield self.server.submit(image)
+            delay = self.think_time
+            if self.think_jitter > 0:
+                delay += self._think_rng.uniform(0, self.think_jitter)
+            if delay > 0:
+                yield self.env.timeout(delay)
+
+
+class OpenLoopClient:
+    """Poisson arrivals at a fixed offered rate (requests/second)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: InferenceServer,
+        dataset: Dataset,
+        rate: float,
+        streams: RandomStreams,
+        on_complete: Optional[Callable] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.env = env
+        self.server = server
+        self.dataset = dataset
+        self.rate = rate
+        self.issued = 0
+        self.on_complete = on_complete
+        self._stopped = False
+        self._rng = streams.stream("client:images")
+        self._arrival_rng = streams.stream("client:arrivals")
+        env.process(self._generator())
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _generator(self):
+        while not self._stopped:
+            yield self.env.timeout(self._arrival_rng.expovariate(self.rate))
+            if self._stopped:
+                return
+            image = self.dataset.sample(self._rng)
+            self.issued += 1
+            done = self.server.submit(image)
+            if self.on_complete is not None:
+                self.env.process(self._watch(done))
+
+    def _watch(self, done):
+        request = yield done
+        self.on_complete(request)

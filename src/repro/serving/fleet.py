@@ -1,0 +1,327 @@
+"""Multi-node serving: the load balancer of paper Sec. 2.1.
+
+"A load balancer within the datacenter receives incoming requests and
+strategically distributes them among the available processing servers
+... the load balancer imposes a cap on the number of concurrent
+requests each server can handle.  In instances where incoming requests
+exceed the system's predefined capacity, additional servers are added."
+
+This module implements exactly that: a :class:`Fleet` of identical
+:class:`~repro.core.server.InferenceServer` nodes behind a
+:class:`LoadBalancer` with pluggable dispatch policies and a per-node
+concurrency cap, plus :func:`plan_capacity` — the node-count sizing
+loop the paper's single-node throughput numbers exist to inform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.config import ServerConfig
+from ..core.metrics import MetricsCollector, RunMetrics
+from ..core.server import InferenceServer
+from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from ..hardware.platform import ServerNode
+from ..sim import Environment, Event, RandomStreams, Store
+from ..vision.datasets import Dataset, reference_dataset
+
+__all__ = [
+    "DispatchPolicy",
+    "ROUND_ROBIN",
+    "LEAST_OUTSTANDING",
+    "LoadBalancer",
+    "Fleet",
+    "FleetResult",
+    "run_fleet_experiment",
+    "plan_capacity",
+    "CapacityPlan",
+]
+
+ROUND_ROBIN = "round_robin"
+LEAST_OUTSTANDING = "least_outstanding"
+DispatchPolicy = str
+_POLICIES = (ROUND_ROBIN, LEAST_OUTSTANDING)
+
+
+class LoadBalancer:
+    """Dispatches requests across nodes with a per-node concurrency cap.
+
+    When every node is at its cap, requests wait in the balancer's own
+    queue (the datacenter-level backlog the paper's model assumes gets
+    absorbed by *adding servers*).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        servers: List[InferenceServer],
+        per_node_cap: int,
+        policy: DispatchPolicy = LEAST_OUTSTANDING,
+    ) -> None:
+        if not servers:
+            raise ValueError("fleet needs at least one server")
+        if per_node_cap < 1:
+            raise ValueError(f"per_node_cap must be >= 1, got {per_node_cap}")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        self.env = env
+        self.servers = servers
+        self.per_node_cap = per_node_cap
+        self.policy = policy
+        self.outstanding = [0] * len(servers)
+        self.dispatched = [0] * len(servers)
+        self._rr = itertools.cycle(range(len(servers)))
+        self._backlog: Store = Store(env)
+        env.process(self._dispatcher())
+
+    @property
+    def backlog_depth(self) -> int:
+        return self._backlog.size
+
+    @property
+    def total_outstanding(self) -> int:
+        return sum(self.outstanding)
+
+    def submit(self, image) -> Event:
+        """Route one request; the returned event completes with the
+        finished request (same contract as ``InferenceServer.submit``)."""
+        done = self.env.event()
+        self._backlog.put((image, done, self.env.now))
+        return done
+
+    # -- dispatch loop -------------------------------------------------------
+
+    def _pick_node(self) -> Optional[int]:
+        if self.policy == ROUND_ROBIN:
+            for _ in range(len(self.servers)):
+                index = next(self._rr)
+                if self.outstanding[index] < self.per_node_cap:
+                    return index
+            return None
+        # least outstanding
+        index = min(range(len(self.servers)), key=lambda i: self.outstanding[i])
+        if self.outstanding[index] >= self.per_node_cap:
+            return None
+        return index
+
+    def _dispatcher(self):
+        while True:
+            image, done, enqueued_at = yield self._backlog.get()
+            while True:
+                index = self._pick_node()
+                if index is not None:
+                    break
+                # All nodes at cap: wait for any completion signal.
+                yield self.env.timeout(0.5e-3)
+            self.outstanding[index] += 1
+            self.dispatched[index] += 1
+            # Backdated so balancer queueing counts in request latency.
+            inner = self.servers[index].submit(image, arrival_time=enqueued_at)
+            self.env.process(self._track(index, inner, done))
+
+    def _track(self, index: int, inner: Event, done: Event):
+        request = yield inner
+        self.outstanding[index] -= 1
+        done.succeed(request)
+
+
+class Fleet:
+    """N identical server nodes behind one load balancer."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_count: int,
+        server_config: ServerConfig,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        gpu_count: int = 1,
+        per_node_cap: int = 512,
+        policy: DispatchPolicy = LEAST_OUTSTANDING,
+        metrics: Optional[MetricsCollector] = None,
+        on_complete=None,
+    ) -> None:
+        if node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {node_count}")
+        self.env = env
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.nodes: List[ServerNode] = [
+            ServerNode(env, calibration, gpu_count=gpu_count) for _ in range(node_count)
+        ]
+        self.servers: List[InferenceServer] = [
+            InferenceServer(env, node, server_config, metrics=self.metrics,
+                            on_complete=on_complete)
+            for node in self.nodes
+        ]
+        self.balancer = LoadBalancer(env, self.servers, per_node_cap, policy)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def submit(self, image) -> Event:
+        return self.balancer.submit(image)
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Measurements of one fleet experiment."""
+
+    node_count: int
+    offered_rate: float
+    metrics: RunMetrics
+    dispatched_per_node: List[int]
+    peak_backlog: int
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of the offered load actually served."""
+        if self.offered_rate <= 0:
+            return 1.0
+        return min(1.0, self.throughput / self.offered_rate)
+
+    @property
+    def balance_ratio(self) -> float:
+        """max/min dispatched requests per node (1.0 = perfectly even)."""
+        low = min(self.dispatched_per_node)
+        if low == 0:
+            return float("inf")
+        return max(self.dispatched_per_node) / low
+
+
+def run_fleet_experiment(
+    server_config: ServerConfig,
+    node_count: int,
+    offered_rate: float,
+    dataset: Optional[Dataset] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    gpu_count: int = 1,
+    per_node_cap: int = 512,
+    policy: DispatchPolicy = LEAST_OUTSTANDING,
+    seed: int = 0,
+    warmup_requests: int = 300,
+    measure_requests: int = 2000,
+    max_sim_seconds: float = 60.0,
+) -> FleetResult:
+    """Open-loop Poisson load against an N-node fleet."""
+    if offered_rate <= 0:
+        raise ValueError(f"offered_rate must be positive, got {offered_rate}")
+    env = Environment()
+    streams = RandomStreams(seed)
+    collector = MetricsCollector()
+
+    warmup_done = env.event()
+    measure_done = env.event()
+    completed = {"n": 0}
+    target_total = warmup_requests + measure_requests
+
+    def on_complete(_request):
+        completed["n"] += 1
+        if completed["n"] == warmup_requests:
+            warmup_done.succeed()
+        elif completed["n"] == target_total:
+            measure_done.succeed()
+
+    fleet = Fleet(
+        env,
+        node_count=node_count,
+        server_config=server_config,
+        calibration=calibration,
+        gpu_count=gpu_count,
+        per_node_cap=per_node_cap,
+        policy=policy,
+        metrics=collector,
+        on_complete=on_complete,
+    )
+    images = dataset if dataset is not None else reference_dataset("medium")
+    rng = streams.stream("fleet:images")
+    arrival_rng = streams.stream("fleet:arrivals")
+    state = {"stop": False}
+    peak_backlog = {"n": 0}
+
+    def generator():
+        while not state["stop"]:
+            yield env.timeout(arrival_rng.expovariate(offered_rate))
+            if state["stop"]:
+                return
+            fleet.submit(images.sample(rng))
+            peak_backlog["n"] = max(peak_backlog["n"], fleet.balancer.backlog_depth)
+
+    env.process(generator())
+
+    def controller():
+        yield warmup_done | env.timeout(max_sim_seconds)
+        collector.arm(env.now)
+        yield measure_done | env.timeout(max_sim_seconds)
+        collector.disarm(env.now)
+        state["stop"] = True
+
+    env.run(until=env.process(controller()))
+
+    return FleetResult(
+        node_count=node_count,
+        offered_rate=offered_rate,
+        metrics=collector.finalize(),
+        dispatched_per_node=list(fleet.balancer.dispatched),
+        peak_backlog=peak_backlog["n"],
+    )
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of the node-count sizing loop."""
+
+    offered_rate: float
+    p99_slo_seconds: float
+    nodes_required: int
+    achieved_p99: float
+    evaluations: Dict[int, float]  # node_count -> p99
+
+
+def plan_capacity(
+    server_config: ServerConfig,
+    offered_rate: float,
+    p99_slo_seconds: float,
+    dataset: Optional[Dataset] = None,
+    max_nodes: int = 16,
+    **run_kwargs,
+) -> CapacityPlan:
+    """Find the smallest fleet meeting a p99 SLO at an offered rate.
+
+    This is the planning question the paper's per-node throughput
+    analysis exists to answer ("maximize the throughput of each node to
+    subsequently minimize the number of nodes required").
+    """
+    if p99_slo_seconds <= 0:
+        raise ValueError("p99 SLO must be positive")
+    evaluations: Dict[int, float] = {}
+    nodes = 1
+    while nodes <= max_nodes:
+        result = run_fleet_experiment(
+            server_config,
+            node_count=nodes,
+            offered_rate=offered_rate,
+            dataset=dataset,
+            **run_kwargs,
+        )
+        p99 = result.metrics.latency.p99
+        evaluations[nodes] = p99
+        served = result.goodput_fraction
+        if p99 <= p99_slo_seconds and served > 0.95:
+            return CapacityPlan(
+                offered_rate=offered_rate,
+                p99_slo_seconds=p99_slo_seconds,
+                nodes_required=nodes,
+                achieved_p99=p99,
+                evaluations=evaluations,
+            )
+        nodes += 1
+    raise RuntimeError(
+        f"no fleet of <= {max_nodes} nodes meets p99 <= {p99_slo_seconds}s "
+        f"at {offered_rate} req/s (best: {min(evaluations.values()):.3f}s)"
+    )

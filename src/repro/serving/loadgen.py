@@ -1,0 +1,154 @@
+"""Arrival processes for open-loop load generation.
+
+Real serving load is not constant-rate Poisson: request rates burst
+(feed refreshes, batch uploads) and swing diurnally.  These processes
+plug into :class:`PatternedClient`, which drives an
+:class:`~repro.core.server.InferenceServer` (or a
+:class:`~repro.serving.fleet.Fleet`) with time-varying offered load —
+the regime where dynamic batching and queue sizing earn their keep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from ..sim import Environment, RandomStreams
+from ..vision.datasets import Dataset
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PatternedClient",
+]
+
+
+class ArrivalProcess:
+    """Generates inter-arrival times; may depend on simulated time."""
+
+    def rate_at(self, now: float) -> float:
+        """Instantaneous offered rate (requests/second) at ``now``."""
+        raise NotImplementedError
+
+    def next_interval(self, now: float, rng: random.Random) -> float:
+        """Time until the next arrival, sampled at ``now``."""
+        rate = self.rate_at(now)
+        if rate <= 0:
+            return 0.1  # idle period: re-examine the rate shortly
+        return rng.expovariate(rate)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Constant-rate Poisson arrivals."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def rate_at(self, now: float) -> float:
+        return self.rate
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state (Markov-modulated) arrivals: base rate with bursts.
+
+    The process alternates deterministically between a base period and
+    a burst period (deterministic phases keep experiments reproducible
+    and make burst effects easy to localize in time).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        base_seconds: float = 1.0,
+        burst_seconds: float = 0.2,
+    ) -> None:
+        if base_rate <= 0 or burst_rate <= 0:
+            raise ValueError("rates must be positive")
+        if burst_rate <= base_rate:
+            raise ValueError("burst_rate must exceed base_rate")
+        if base_seconds <= 0 or burst_seconds <= 0:
+            raise ValueError("phase durations must be positive")
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.base_seconds = base_seconds
+        self.burst_seconds = burst_seconds
+
+    @property
+    def mean_rate(self) -> float:
+        period = self.base_seconds + self.burst_seconds
+        return (
+            self.base_rate * self.base_seconds + self.burst_rate * self.burst_seconds
+        ) / period
+
+    def rate_at(self, now: float) -> float:
+        period = self.base_seconds + self.burst_seconds
+        phase = now % period
+        return self.base_rate if phase < self.base_seconds else self.burst_rate
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal rate swing (a day compressed to ``period_seconds``)."""
+
+    def __init__(self, mean_rate: float, swing: float = 0.5, period_seconds: float = 60.0) -> None:
+        if mean_rate <= 0:
+            raise ValueError("mean_rate must be positive")
+        if not 0 <= swing < 1:
+            raise ValueError("swing must be in [0, 1)")
+        if period_seconds <= 0:
+            raise ValueError("period must be positive")
+        self.mean_rate = mean_rate
+        self.swing = swing
+        self.period_seconds = period_seconds
+
+    def rate_at(self, now: float) -> float:
+        phase = 2 * math.pi * now / self.period_seconds
+        return self.mean_rate * (1 + self.swing * math.sin(phase))
+
+
+class PatternedClient:
+    """Open-loop client driven by an :class:`ArrivalProcess`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server,  # anything with .submit(image) -> Event
+        dataset: Dataset,
+        arrivals: ArrivalProcess,
+        streams: RandomStreams,
+        on_complete: Optional[Callable] = None,
+    ) -> None:
+        self.env = env
+        self.server = server
+        self.dataset = dataset
+        self.arrivals = arrivals
+        self.on_complete = on_complete
+        self.issued = 0
+        self._stopped = False
+        self._rng = streams.stream("patterned:images")
+        self._arrival_rng = streams.stream("patterned:arrivals")
+        env.process(self._generator())
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _generator(self):
+        while not self._stopped:
+            yield self.env.timeout(
+                self.arrivals.next_interval(self.env.now, self._arrival_rng)
+            )
+            if self._stopped:
+                return
+            self.issued += 1
+            done = self.server.submit(self.dataset.sample(self._rng))
+            if self.on_complete is not None:
+                self.env.process(self._watch(done))
+
+    def _watch(self, done):
+        request = yield done
+        self.on_complete(request)

@@ -1,0 +1,321 @@
+"""Experiment runner: build platform + server + clients, run, collect.
+
+Every experiment in the paper reduces to: construct a
+:class:`~repro.hardware.platform.ServerNode`, deploy an
+:class:`~repro.core.server.InferenceServer` with some
+:class:`~repro.core.config.ServerConfig`, drive it closed-loop at some
+concurrency with some image dataset, discard a warm-up prefix, and
+measure a window.  :func:`run_experiment` does exactly that and returns
+a :class:`RunResult` with throughput, latency statistics, per-span
+breakdowns, and per-image energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from ..core.config import ServerConfig
+from ..core.metrics import MetricsCollector, RunMetrics
+from ..core.server import InferenceServer
+from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from ..hardware.platform import ServerNode
+from ..hardware.power import DeviceEnergy
+from ..sim import Environment, RandomStreams
+from ..vision.datasets import Dataset, reference_dataset
+from .client import ClosedLoopClient
+
+__all__ = ["ExperimentConfig", "RunResult", "run_experiment", "run_face_pipeline", "run_open_loop"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One serving experiment: platform, deployment, and load."""
+
+    server: ServerConfig = field(default_factory=ServerConfig)
+    dataset: Optional[Dataset] = None  # defaults to the medium reference image
+    concurrency: int = 64
+    gpu_count: int = 1
+    calibration: Calibration = DEFAULT_CALIBRATION
+    seed: int = 0
+    warmup_requests: int = 300
+    measure_requests: int = 2000
+    #: Hard wall on simulated seconds (guards mis-configured runs).
+    max_sim_seconds: float = 600.0
+    #: Client think-time jitter; breaks arrival synchronization so tail
+    #: latencies are meaningful (real clients are never lock-stepped).
+    think_jitter_seconds: float = 0.0
+    #: Optional callback invoked with every completed request (e.g. a
+    #: :class:`~repro.analysis.tracing.TraceCollector`).
+    on_complete: Optional[Callable] = None
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured in one experiment."""
+
+    config: ExperimentConfig
+    metrics: RunMetrics
+    energy: Dict[str, DeviceEnergy]
+    cpu_utilization: float
+    gpu_utilization: float  # mean across GPUs
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput
+
+    @property
+    def mean_latency(self) -> float:
+        return self.metrics.latency.mean
+
+    @property
+    def p99_latency(self) -> float:
+        return self.metrics.latency.p99
+
+    @property
+    def cpu_joules_per_image(self) -> float:
+        return self.energy["cpu"].total_joules / self.metrics.completed
+
+    @property
+    def gpu_joules_per_image(self) -> float:
+        total = sum(e.total_joules for name, e in self.energy.items() if name != "cpu")
+        return total / self.metrics.completed
+
+    @property
+    def joules_per_image(self) -> float:
+        return self.cpu_joules_per_image + self.gpu_joules_per_image
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Simulate one experiment and return its measurements."""
+    env = Environment()
+    streams = RandomStreams(config.seed)
+    node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
+    collector = MetricsCollector()
+
+    warmup_done = env.event()
+    measure_done = env.event()
+    target_warmup = config.warmup_requests
+    target_total = config.warmup_requests + config.measure_requests
+    completed = {"n": 0}
+
+    def on_complete(request):
+        completed["n"] += 1
+        if completed["n"] == target_warmup:
+            warmup_done.succeed()
+        elif completed["n"] == target_total:
+            measure_done.succeed()
+        if config.on_complete is not None:
+            config.on_complete(request)
+
+    server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
+    dataset = config.dataset if config.dataset is not None else reference_dataset("medium")
+    client = ClosedLoopClient(
+        env,
+        server,
+        dataset,
+        concurrency=config.concurrency,
+        streams=streams,
+        think_jitter_seconds=config.think_jitter_seconds,
+    )
+
+    snapshots = {}
+
+    def controller():
+        yield warmup_done | env.timeout(config.max_sim_seconds)
+        snapshots["start"] = node.energy.snapshot(env.now)
+        collector.arm(env.now)
+        yield measure_done | env.timeout(config.max_sim_seconds)
+        collector.disarm(env.now)
+        snapshots["end"] = node.energy.snapshot(env.now)
+        client.stop()
+
+    done = env.process(controller())
+    env.run(until=done)
+
+    metrics = collector.finalize()
+    energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
+    window = metrics.window_seconds
+    cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
+    gpu_busy = [
+        snapshots["end"].busy[gpu.name] - snapshots["start"].busy[gpu.name]
+        for gpu in node.gpus
+    ]
+    cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
+    gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
+
+    return RunResult(
+        config=config,
+        metrics=metrics,
+        energy=energy,
+        cpu_utilization=cpu_util,
+        gpu_utilization=gpu_util,
+    )
+
+
+def run_face_pipeline(
+    pipeline_config,
+    concurrency: int = 96,
+    gpu_count: int = 1,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    warmup_requests: int = 150,
+    measure_requests: int = 1200,
+    max_sim_seconds: float = 600.0,
+    think_jitter_seconds: float = 2e-3,
+    frame_dataset: Optional[Dataset] = None,
+) -> RunResult:
+    """Simulate the multi-DNN face pipeline (paper Sec. 4.7 / Fig. 11).
+
+    Same measurement protocol as :func:`run_experiment`, but the server
+    is a :class:`~repro.apps.face_pipeline.FacePipeline` fed with video
+    frames instead of a single-model classification deployment.
+    """
+    # Imported here to avoid a circular import (apps imports serving).
+    from ..apps.face_pipeline import FacePipeline
+    from ..vision.datasets import VideoFrameDataset
+
+    env = Environment()
+    streams = RandomStreams(seed)
+    node = ServerNode(env, calibration, gpu_count=gpu_count)
+    collector = MetricsCollector()
+
+    warmup_done = env.event()
+    measure_done = env.event()
+    target_total = warmup_requests + measure_requests
+    completed = {"n": 0}
+
+    def on_complete(_request):
+        completed["n"] += 1
+        if completed["n"] == warmup_requests:
+            warmup_done.succeed()
+        elif completed["n"] == target_total:
+            measure_done.succeed()
+
+    pipeline = FacePipeline(
+        env, node, pipeline_config, streams, metrics=collector, on_complete=on_complete
+    )
+    dataset = frame_dataset if frame_dataset is not None else VideoFrameDataset()
+    client = ClosedLoopClient(
+        env,
+        pipeline,
+        dataset,
+        concurrency=concurrency,
+        streams=streams,
+        think_jitter_seconds=think_jitter_seconds,
+    )
+
+    snapshots = {}
+
+    def controller():
+        yield warmup_done | env.timeout(max_sim_seconds)
+        snapshots["start"] = node.energy.snapshot(env.now)
+        collector.arm(env.now)
+        yield measure_done | env.timeout(max_sim_seconds)
+        collector.disarm(env.now)
+        snapshots["end"] = node.energy.snapshot(env.now)
+        client.stop()
+
+    done = env.process(controller())
+    env.run(until=done)
+
+    metrics = collector.finalize()
+    energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
+    window = metrics.window_seconds
+    cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
+    gpu_busy = [
+        snapshots["end"].busy[gpu.name] - snapshots["start"].busy[gpu.name]
+        for gpu in node.gpus
+    ]
+    cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
+    gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
+
+    experiment = ExperimentConfig(
+        concurrency=concurrency,
+        gpu_count=gpu_count,
+        calibration=calibration,
+        seed=seed,
+        warmup_requests=warmup_requests,
+        measure_requests=measure_requests,
+        max_sim_seconds=max_sim_seconds,
+        think_jitter_seconds=think_jitter_seconds,
+    )
+    return RunResult(
+        config=experiment,
+        metrics=metrics,
+        energy=energy,
+        cpu_utilization=cpu_util,
+        gpu_utilization=gpu_util,
+    )
+
+
+def run_open_loop(
+    config: ExperimentConfig,
+    offered_rate: float,
+) -> RunResult:
+    """Open-loop variant of :func:`run_experiment` (Poisson arrivals).
+
+    Under open-loop load at a rate below capacity, a *fixed-batch*
+    server exhibits long batch-fill waits that dominate tail latency —
+    the regime in which the paper observes dynamic batching improving
+    p99 from 55 ms to 38 ms (Sec. 2.3) at a small throughput cost.
+    """
+    from .client import OpenLoopClient
+
+    env = Environment()
+    streams = RandomStreams(config.seed)
+    node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
+    collector = MetricsCollector()
+
+    warmup_done = env.event()
+    measure_done = env.event()
+    target_warmup = config.warmup_requests
+    target_total = config.warmup_requests + config.measure_requests
+    completed = {"n": 0}
+
+    def on_complete(_request):
+        completed["n"] += 1
+        if completed["n"] == target_warmup:
+            warmup_done.succeed()
+        elif completed["n"] == target_total:
+            measure_done.succeed()
+
+    server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
+    dataset = config.dataset if config.dataset is not None else reference_dataset("medium")
+    client = OpenLoopClient(env, server, dataset, rate=offered_rate, streams=streams)
+
+    snapshots = {}
+
+    def controller():
+        yield warmup_done | env.timeout(config.max_sim_seconds)
+        snapshots["start"] = node.energy.snapshot(env.now)
+        collector.arm(env.now)
+        yield measure_done | env.timeout(config.max_sim_seconds)
+        collector.disarm(env.now)
+        snapshots["end"] = node.energy.snapshot(env.now)
+        client.stop()
+
+    done = env.process(controller())
+    env.run(until=done)
+
+    metrics = collector.finalize()
+    energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
+    window = metrics.window_seconds
+    cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
+    gpu_busy = [
+        snapshots["end"].busy[gpu.name] - snapshots["start"].busy[gpu.name]
+        for gpu in node.gpus
+    ]
+    cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
+    gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
+
+    return RunResult(
+        config=config,
+        metrics=metrics,
+        energy=energy,
+        cpu_utilization=cpu_util,
+        gpu_utilization=gpu_util,
+    )

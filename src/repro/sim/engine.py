@@ -1,0 +1,157 @@
+"""The simulation environment: event queue and main loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue is empty and the simulation cannot advance."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at the until-event."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a monotonically increasing float (seconds, by convention, in
+    this repository).  Events scheduled at the same time are processed in
+    (priority, insertion order), which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Environment(now={self._now}, pending={len(self._queue)})>"
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_proc
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that triggers after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Condition that waits for all of ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition that waits for any of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling and the main loop -------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put a triggered ``event`` on the queue after ``delay``."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when there is nothing left to do.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        # Finish the event: detach callbacks, then invoke each of them.
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failed event nobody handled: escalate to run()'s caller.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until the event queue is exhausted.
+        - a number: run until simulation time reaches it (time is advanced
+          to exactly ``until`` even if no event occurs then).
+        - an :class:`Event`: run until that event has been processed and
+          return its value (raising its exception if it failed).
+        """
+        until_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until ({at}) must be >= now ({self._now})")
+                until_event = Event(self)
+                until_event._ok = True
+                until_event._value = None
+                # Priority below URGENT so everything at `at` runs first.
+                self.schedule(until_event, priority=NORMAL + 1, delay=at - self._now)
+
+            if until_event.callbacks is None:
+                # Already processed before run() was called.
+                if until_event._ok:
+                    return until_event._value
+                raise until_event._value
+            until_event.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            finished: Event = stop.args[0]
+            if finished._ok:
+                return finished._value
+            raise finished._value from None
+        except EmptySchedule:
+            if until_event is not None and until_event._value is PENDING:
+                raise RuntimeError(
+                    f"no scheduled events left but until event {until_event!r} "
+                    "has not triggered"
+                ) from None
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    """Callback attached to the until-event: unwind the main loop."""
+    raise StopSimulation(event)

@@ -1,0 +1,187 @@
+"""Time-series instrumentation for simulations.
+
+A :class:`Monitor` samples arbitrary probes (queue depths, resource
+occupancy, memory levels) at a fixed simulated-time interval, producing
+the time series behind utilization plots and bottleneck forensics.
+:class:`Counter` and :class:`Gauge` are lightweight manual instruments
+for event-driven statistics.
+
+Everything here is optional: the serving simulator runs identically
+with no monitor attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .engine import Environment
+
+__all__ = ["Monitor", "Series", "Counter", "Gauge"]
+
+
+@dataclass
+class Series:
+    """One sampled time series."""
+
+    name: str
+    times: List[float]
+    values: List[float]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    @property
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def window(self, start: float, end: float) -> "Series":
+        """Sub-series with start <= t < end."""
+        pairs = [(t, v) for t, v in zip(self.times, self.values) if start <= t < end]
+        return Series(
+            name=self.name,
+            times=[t for t, _ in pairs],
+            values=[v for _, v in pairs],
+        )
+
+    def time_average(self) -> float:
+        """Trapezoid-free step average weighted by sample spacing."""
+        if len(self.times) < 2:
+            return self.mean
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        return total / span if span > 0 else self.mean
+
+
+class Monitor:
+    """Samples registered probes every ``interval`` simulated seconds."""
+
+    def __init__(self, env: Environment, interval: float = 0.01) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.interval = interval
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._series: Dict[str, Series] = {}
+        self._running = False
+
+    def probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a probe; sampled once per interval after start()."""
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self._series[name] = Series(name=name, times=[], values=[])
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._sampler())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def series(self, name: str) -> Series:
+        try:
+            return self._series[name]
+        except KeyError:
+            known = ", ".join(sorted(self._series))
+            raise KeyError(f"unknown series {name!r}; known: {known}") from None
+
+    @property
+    def series_names(self) -> Sequence[str]:
+        return sorted(self._series)
+
+    def _sampler(self):
+        while self._running:
+            now = self.env.now
+            for name, fn in self._probes.items():
+                series = self._series[name]
+                series.times.append(now)
+                series.values.append(float(fn()))
+            yield self.env.timeout(self.interval)
+
+
+class Counter:
+    """Monotonic event counter with rate computation."""
+
+    def __init__(self, env: Environment, name: str = "counter") -> None:
+        self.env = env
+        self.name = name
+        self.count = 0
+        self._marks: List[Tuple[float, int]] = []
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.count += by
+        self._marks.append((self.env.now, self.count))
+
+    def rate(self, window: Optional[float] = None) -> float:
+        """Events per second, over the trailing ``window`` (or all time)."""
+        if not self._marks:
+            return 0.0
+        end_time, end_count = self._marks[-1]
+        if window is None:
+            start_time, start_count = 0.0, 0
+        else:
+            cutoff = end_time - window
+            start_time, start_count = 0.0, 0
+            for t, c in self._marks:
+                if t < cutoff:
+                    start_time, start_count = t, c
+                else:
+                    break
+        span = end_time - start_time
+        if span <= 0:
+            return 0.0
+        return (end_count - start_count) / span
+
+
+class Gauge:
+    """A manually-set level with time-weighted averaging."""
+
+    def __init__(self, env: Environment, name: str = "gauge", initial: float = 0.0) -> None:
+        self.env = env
+        self.name = name
+        self._value = initial
+        self._last_change = env.now
+        self._weighted_total = 0.0
+        self._start = env.now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.env.now
+        self._weighted_total += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted mean level since creation."""
+        now = self.env.now
+        total = self._weighted_total + self._value * (now - self._last_change)
+        span = now - self._start
+        return total / span if span > 0 else self._value

@@ -1,0 +1,196 @@
+"""Object stores: FIFO queues of items that processes put into and get from.
+
+These model message queues throughout the serving simulator: the dynamic
+batcher's pending queue, broker topics, inter-stage channels.  A
+:class:`Store` optionally has bounded capacity (puts block when full).
+:class:`FilterStore` lets getters select items with a predicate, and
+:class:`PriorityStore` pops the smallest item first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+__all__ = ["Store", "FilterStore", "PriorityStore", "PriorityItem", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Succeeds when the item has been accepted by the store."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        self.store = store
+        store._put_waiters.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw a still-pending put."""
+        if not self.triggered and self in self.store._put_waiters:
+            self.store._put_waiters.remove(self)
+
+
+class StoreGet(Event):
+    """Succeeds with the retrieved item."""
+
+    def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.store = store
+        self.filter_fn = filter_fn
+        self.requested_at = store.env.now
+        store._get_waiters.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw a still-pending get."""
+        if not self.triggered and self in self.store._get_waiters:
+            self.store._get_waiters.remove(self)
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent waiting for an item (so far, if still pending)."""
+        return self.env.now - self.requested_at
+
+
+class Store:
+    """FIFO store of arbitrary items with optional bounded capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+        # Peak occupancy, for memory/backlog diagnostics.
+        self._peak = 0
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__}(items={len(self.items)})>"
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    @property
+    def peak_size(self) -> int:
+        """Largest number of items ever stored."""
+        return self._peak
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() events currently blocked on an empty store."""
+        return len(self._get_waiters)
+
+    @property
+    def waiting_putters(self) -> int:
+        """Number of put() events currently blocked on a full store."""
+        return len(self._put_waiters)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event succeeds once there is room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item; blocks (as an event) when empty."""
+        return StoreGet(self)
+
+    # -- internals ---------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            self._peak = max(self._peak, len(self.items))
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters:
+                if self._do_put(self._put_waiters[0]):
+                    self._put_waiters.pop(0)
+                    progressed = True
+                else:
+                    break
+            # Serve getters; FilterStore may satisfy a later getter even if
+            # the first is still blocked, so scan the whole list.
+            idx = 0
+            while idx < len(self._get_waiters):
+                getter = self._get_waiters[idx]
+                if self._do_get(getter):
+                    self._get_waiters.pop(idx)
+                    progressed = True
+                else:
+                    idx += 1
+
+
+class FilterStore(Store):
+    """Store whose getters may select items with a predicate."""
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        return StoreGet(self, filter_fn)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if event.filter_fn is None:
+            return super()._do_get(event)
+        for i, item in enumerate(self.items):
+            if event.filter_fn(item):
+                del self.items[i]
+                event.succeed(item)
+                return True
+        return False
+
+
+class PriorityItem:
+    """Orderable wrapper pairing a sortable priority with an arbitrary item."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """Store that always pops the smallest item (heap order)."""
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            heapq.heappush(self.items, event.item)
+            self._peak = max(self._peak, len(self.items))
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(heapq.heappop(self.items))
+            return True
+        return False

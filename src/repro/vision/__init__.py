@@ -1,0 +1,66 @@
+"""Image substrate: descriptors, JPEG cost model, preprocessing ops, datasets."""
+
+from .datasets import (
+    Dataset,
+    FixedImageDataset,
+    ImageNetLikeDataset,
+    MixtureDataset,
+    VideoFrameDataset,
+    reference_dataset,
+)
+from .image import LARGE_IMAGE, MEDIUM_IMAGE, REFERENCE_IMAGES, SMALL_IMAGE, Image, Tensor
+from .jpeg import (
+    CpuDecodeCost,
+    GpuDecodeCost,
+    cpu_decode_cost,
+    estimate_compressed_bytes,
+    gpu_decode_cost,
+)
+from .video import (
+    FrameSample,
+    Video,
+    VideoClipDataset,
+    VideoDecodeCost,
+    keyframe_sample_indices,
+    uniform_sample_indices,
+    video_decode_cost,
+)
+from .ops import (
+    CpuPreprocessCost,
+    GpuPreprocessCost,
+    cpu_preprocess_cost,
+    gpu_preprocess_cost,
+    model_input_tensor,
+)
+
+__all__ = [
+    "CpuDecodeCost",
+    "CpuPreprocessCost",
+    "Dataset",
+    "FixedImageDataset",
+    "GpuDecodeCost",
+    "GpuPreprocessCost",
+    "Image",
+    "ImageNetLikeDataset",
+    "LARGE_IMAGE",
+    "MEDIUM_IMAGE",
+    "MixtureDataset",
+    "REFERENCE_IMAGES",
+    "SMALL_IMAGE",
+    "Tensor",
+    "Video",
+    "VideoClipDataset",
+    "VideoDecodeCost",
+    "VideoFrameDataset",
+    "FrameSample",
+    "keyframe_sample_indices",
+    "uniform_sample_indices",
+    "video_decode_cost",
+    "cpu_decode_cost",
+    "cpu_preprocess_cost",
+    "estimate_compressed_bytes",
+    "gpu_decode_cost",
+    "gpu_preprocess_cost",
+    "model_input_tensor",
+    "reference_dataset",
+]

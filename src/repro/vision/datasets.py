@@ -1,0 +1,133 @@
+"""Workload image sources.
+
+Experiments draw request images from a :class:`Dataset`: either one of the
+paper's three reference images repeated (Sec. 4.2-4.6 sweep those), or an
+ImageNet-like mixture whose dimension and file-size distribution matches
+the published ImageNet statistics (average ~110 kB JPEG, typical ~500x375,
+with a heavy tail of large photos).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from ..sim.rng import RandomStreams
+from .image import Image, REFERENCE_IMAGES
+from .jpeg import estimate_compressed_bytes
+
+__all__ = [
+    "Dataset",
+    "FixedImageDataset",
+    "MixtureDataset",
+    "ImageNetLikeDataset",
+    "VideoFrameDataset",
+    "reference_dataset",
+]
+
+
+class Dataset:
+    """Deterministic stream of request images."""
+
+    name: str = "dataset"
+
+    def sample(self, rng: random.Random) -> Image:
+        """Draw the next image."""
+        raise NotImplementedError
+
+    def iterate(self, count: int, streams: RandomStreams) -> Iterator[Image]:
+        """Yield ``count`` images using the dataset's own RNG stream."""
+        rng = streams.stream(f"dataset:{self.name}")
+        for _ in range(count):
+            yield self.sample(rng)
+
+
+class FixedImageDataset(Dataset):
+    """Every request carries the same image (the paper's size sweeps)."""
+
+    def __init__(self, image: Image) -> None:
+        self.image = image
+        self.name = f"fixed:{image.name or f'{image.width}x{image.height}'}"
+
+    def sample(self, rng: random.Random) -> Image:
+        return self.image
+
+
+class MixtureDataset(Dataset):
+    """Weighted mixture over a fixed set of images."""
+
+    def __init__(self, images: Sequence[Image], weights: Optional[Sequence[float]] = None,
+                 name: str = "mixture") -> None:
+        if not images:
+            raise ValueError("mixture needs at least one image")
+        if weights is not None and len(weights) != len(images):
+            raise ValueError("weights must match images")
+        self.images: List[Image] = list(images)
+        self.weights = list(weights) if weights is not None else None
+        self.name = name
+
+    def sample(self, rng: random.Random) -> Image:
+        if self.weights is None:
+            return rng.choice(self.images)
+        return rng.choices(self.images, weights=self.weights, k=1)[0]
+
+
+class ImageNetLikeDataset(Dataset):
+    """Synthetic ImageNet-validation-like size distribution.
+
+    Dimensions: most images ~500x375 +/- jitter; a small heavy tail of
+    multi-megapixel photos.  File size follows the JPEG bpp estimate.
+    Statistics chosen to match public ImageNet summaries (mean file
+    ~110 kB, median dims 500x375).
+    """
+
+    name = "imagenet-like"
+
+    #: (min_width, max_width, aspect, weight) buckets.
+    _BUCKETS = [
+        (60, 160, 0.9, 0.03),  # tiny thumbnails (paper's small image regime)
+        (300, 640, 0.75, 0.87),  # typical validation images
+        (800, 1600, 0.75, 0.08),  # large photos
+        (2000, 3600, 0.80, 0.02),  # multi-megapixel tail
+    ]
+
+    def sample(self, rng: random.Random) -> Image:
+        buckets = self._BUCKETS
+        weights = [b[3] for b in buckets]
+        lo, hi, aspect, _ = rng.choices(buckets, weights=weights, k=1)[0]
+        width = rng.randint(lo, hi)
+        height = max(16, int(width * aspect * rng.uniform(0.8, 1.2)))
+        quality = rng.randint(75, 92)
+        return Image(
+            width=width,
+            height=height,
+            compressed_bytes=estimate_compressed_bytes(width, height, quality),
+            name="imagenet-like",
+        )
+
+
+class VideoFrameDataset(Dataset):
+    """Fixed-resolution decoded video frames (face-pipeline input).
+
+    The multi-DNN experiment (Sec. 4.7) feeds camera frames; we model
+    1080p frames compressed at streaming quality.
+    """
+
+    def __init__(self, width: int = 1920, height: int = 1080, quality: int = 80) -> None:
+        self.name = f"video:{width}x{height}"
+        self._frame = Image(
+            width=width,
+            height=height,
+            compressed_bytes=estimate_compressed_bytes(width, height, quality),
+            name="frame",
+        )
+
+    def sample(self, rng: random.Random) -> Image:
+        return self._frame
+
+
+def reference_dataset(size: str) -> FixedImageDataset:
+    """Dataset for one of the paper's reference sizes (small/medium/large)."""
+    if size not in REFERENCE_IMAGES:
+        raise KeyError(f"unknown reference size {size!r}; expected one of {sorted(REFERENCE_IMAGES)}")
+    return FixedImageDataset(REFERENCE_IMAGES[size])

@@ -1,0 +1,94 @@
+"""Image descriptors used throughout the serving simulator.
+
+The simulator never touches pixel values: preprocessing cost depends only
+on an image's *compressed byte size* and *pixel dimensions* (entropy decode
+scales with bytes, IDCT/resize with pixels), so an :class:`Image` is a
+lightweight descriptor of those properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Image", "Tensor", "SMALL_IMAGE", "MEDIUM_IMAGE", "LARGE_IMAGE", "REFERENCE_IMAGES"]
+
+
+@dataclass(frozen=True)
+class Image:
+    """A compressed (JPEG) image as received by the server."""
+
+    width: int
+    height: int
+    compressed_bytes: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"invalid dimensions {self.width}x{self.height}")
+        if self.compressed_bytes <= 0:
+            raise ValueError(f"invalid compressed size {self.compressed_bytes}")
+
+    @property
+    def pixels(self) -> int:
+        """Number of pixels in the source image."""
+        return self.width * self.height
+
+    @property
+    def decoded_bytes(self) -> int:
+        """Size of the decoded RGB888 image."""
+        return self.pixels * 3
+
+    @property
+    def compression_ratio(self) -> float:
+        """Decoded bytes per compressed byte."""
+        return self.decoded_bytes / self.compressed_bytes
+
+    def __str__(self) -> str:
+        label = self.name or "image"
+        return f"{label}({self.width}x{self.height}, {self.compressed_bytes} B)"
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A dense DNN input/output tensor (descriptor only)."""
+
+    shape: tuple
+    dtype_bytes: int = 4  # float32 by default
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("tensor must have at least one dimension")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"invalid shape {self.shape}")
+        if self.dtype_bytes <= 0:
+            raise ValueError(f"invalid dtype size {self.dtype_bytes}")
+
+    @property
+    def elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * self.dtype_bytes
+
+    def with_batch(self, batch: int) -> "Tensor":
+        """Return this tensor with a leading batch dimension of ``batch``."""
+        return Tensor((batch,) + tuple(self.shape), self.dtype_bytes)
+
+
+# The paper's three reference ImageNet images (Sec. 4.2, footnote 3):
+#   Small:  4 kB,    60x70
+#   Medium: 121 kB,  500x375
+#   Large:  9528 kB, 3564x2880
+SMALL_IMAGE = Image(width=60, height=70, compressed_bytes=4 * 1024, name="small")
+MEDIUM_IMAGE = Image(width=500, height=375, compressed_bytes=121 * 1024, name="medium")
+LARGE_IMAGE = Image(width=3564, height=2880, compressed_bytes=9528 * 1024, name="large")
+
+REFERENCE_IMAGES = {
+    "small": SMALL_IMAGE,
+    "medium": MEDIUM_IMAGE,
+    "large": LARGE_IMAGE,
+}

@@ -1,0 +1,82 @@
+"""JPEG codec *cost* model.
+
+A JPEG decode has two qualitatively different phases:
+
+- **entropy (Huffman) decode** — inherently sequential, cost proportional
+  to the *compressed byte count*;
+- **dequantize + IDCT + upsample + colour convert** — parallel, cost
+  proportional to the *pixel count*.
+
+CPU decoders (libjpeg-turbo) run both phases on a core.  GPU decoders
+(nvJPEG in hybrid mode, as used by DALI on consumer GPUs) keep a host-side
+*staging* portion (buffer copy, bitstream parse, Huffman start) and move
+the pixel-parallel portion to GPU kernels.  This module converts an
+:class:`~repro.vision.image.Image` into phase durations using the platform
+:class:`~repro.hardware.calibration.Calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.calibration import Calibration
+from .image import Image
+
+__all__ = ["CpuDecodeCost", "GpuDecodeCost", "cpu_decode_cost", "gpu_decode_cost", "estimate_compressed_bytes"]
+
+
+@dataclass(frozen=True)
+class CpuDecodeCost:
+    """Durations of a full CPU JPEG decode for one image."""
+
+    entropy_seconds: float
+    pixel_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.entropy_seconds + self.pixel_seconds
+
+
+@dataclass(frozen=True)
+class GpuDecodeCost:
+    """Durations of a hybrid (host staging + GPU kernels) decode."""
+
+    staging_seconds: float  # on a DALI host thread
+    kernel_seconds: float  # on the GPU, excludes per-batch launch overhead
+
+    @property
+    def total_seconds(self) -> float:
+        return self.staging_seconds + self.kernel_seconds
+
+
+def cpu_decode_cost(image: Image, calibration: Calibration) -> CpuDecodeCost:
+    """Cost of decoding ``image`` on one CPU core."""
+    cpu = calibration.cpu
+    return CpuDecodeCost(
+        entropy_seconds=image.compressed_bytes * cpu.decode_seconds_per_byte,
+        pixel_seconds=image.pixels * cpu.decode_seconds_per_pixel,
+    )
+
+
+def gpu_decode_cost(image: Image, calibration: Calibration) -> GpuDecodeCost:
+    """Cost of decoding ``image`` with the hybrid GPU decoder."""
+    gpu = calibration.gpu
+    return GpuDecodeCost(
+        staging_seconds=image.compressed_bytes * gpu.staging_seconds_per_byte,
+        kernel_seconds=image.pixels * gpu.decode_seconds_per_pixel,
+    )
+
+
+def estimate_compressed_bytes(width: int, height: int, quality: int = 85) -> int:
+    """Estimate the JPEG size of a photographic image.
+
+    Uses the standard bits-per-pixel rule of thumb for baseline JPEG:
+    ~1.5 bpp at quality 75, rising roughly linearly to ~4 bpp at
+    quality 95.  Used by the synthetic dataset samplers; the paper's
+    three reference images carry their exact measured sizes instead.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    bits_per_pixel = 0.5 + 0.035 * quality
+    size = int(width * height * bits_per_pixel / 8)
+    return max(size, 256)  # headers put a floor on real JPEG sizes

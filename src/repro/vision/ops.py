@@ -1,0 +1,132 @@
+"""Cost models for the non-decode preprocessing operators.
+
+The paper's preprocessing pipeline is *JPEG decode -> resize -> normalize*
+(Sec. 4).  Decode costs live in :mod:`repro.vision.jpeg`; this module
+prices resize and normalize, and composes the full per-image
+preprocessing cost on either device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.calibration import Calibration
+from .image import Image, Tensor
+from .jpeg import cpu_decode_cost, gpu_decode_cost
+
+__all__ = [
+    "CpuPreprocessCost",
+    "GpuPreprocessCost",
+    "cpu_resize_seconds",
+    "cpu_normalize_seconds",
+    "gpu_resize_normalize_seconds",
+    "cpu_preprocess_cost",
+    "gpu_preprocess_cost",
+    "model_input_tensor",
+]
+
+
+def model_input_tensor(input_size: int, dtype_bytes: int = 4) -> Tensor:
+    """The DNN input tensor for a square ``input_size`` model (CHW)."""
+    return Tensor((3, input_size, input_size), dtype_bytes)
+
+
+def cpu_resize_seconds(image: Image, calibration: Calibration) -> float:
+    """Bilinear resize on one CPU core (input-pixel bound for downscale)."""
+    return image.pixels * calibration.cpu.resize_seconds_per_pixel
+
+
+def cpu_normalize_seconds(input_size: int, calibration: Calibration) -> float:
+    """uint8 -> float conversion + mean/std normalization of the output."""
+    output_pixels = input_size * input_size * 3
+    return output_pixels * calibration.cpu.normalize_seconds_per_pixel
+
+
+def gpu_resize_normalize_seconds(image: Image, input_size: int, calibration: Calibration) -> float:
+    """Fused resize+normalize GPU kernel time (memory bound).
+
+    Reads the decoded source pixels and writes the normalized output; both
+    are priced per pixel at the calibrated kernel rate.
+    """
+    output_pixels = input_size * input_size * 3
+    gpu = calibration.gpu
+    return (
+        image.pixels * gpu.decode_seconds_per_pixel * 0.25  # resize pass reads source
+        + output_pixels * gpu.normalize_seconds_per_pixel
+    )
+
+
+@dataclass(frozen=True)
+class CpuPreprocessCost:
+    """Full CPU preprocessing cost of one image, split by phase."""
+
+    request_overhead_seconds: float
+    decode_seconds: float
+    resize_seconds: float
+    normalize_seconds: float
+
+    @property
+    def core_seconds(self) -> float:
+        """Time the image occupies one CPU core."""
+        return (
+            self.request_overhead_seconds
+            + self.decode_seconds
+            + self.resize_seconds
+            + self.normalize_seconds
+        )
+
+    total_seconds = core_seconds
+
+
+@dataclass(frozen=True)
+class GpuPreprocessCost:
+    """Full GPU (DALI-style) preprocessing cost of one image.
+
+    ``staging_seconds`` runs on a host staging thread;
+    ``decode_kernel_seconds`` is JPEG decode (SMs, or the fixed-function
+    engine on A100-class devices) and ``postprocess_kernel_seconds`` is
+    the resize/normalize chain (always SMs).  The per-*batch*
+    launch-chain overhead (``calibration.gpu.preprocess_launch_seconds``)
+    is charged once per preprocessing call by the pipeline, not here.
+    """
+
+    staging_seconds: float
+    decode_kernel_seconds: float
+    postprocess_kernel_seconds: float
+
+    @property
+    def kernel_seconds(self) -> float:
+        return self.decode_kernel_seconds + self.postprocess_kernel_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.staging_seconds + self.kernel_seconds
+
+
+def cpu_preprocess_cost(image: Image, input_size: int, calibration: Calibration) -> CpuPreprocessCost:
+    """Price decode+resize+normalize for one image on one CPU core."""
+    decode = cpu_decode_cost(image, calibration)
+    return CpuPreprocessCost(
+        request_overhead_seconds=calibration.cpu.request_overhead_seconds,
+        decode_seconds=decode.total_seconds,
+        resize_seconds=cpu_resize_seconds(image, calibration),
+        normalize_seconds=cpu_normalize_seconds(input_size, calibration),
+    )
+
+
+def gpu_preprocess_cost(image: Image, input_size: int, calibration: Calibration) -> GpuPreprocessCost:
+    """Price staging + decode/resize/normalize kernels for one image."""
+    gpu = calibration.gpu
+    decode = gpu_decode_cost(image, calibration)
+    staging = decode.staging_seconds
+    decode_kernel = decode.kernel_seconds
+    if gpu.hardware_jpeg_decoder:
+        # The fixed-function engine consumes the bitstream directly:
+        # less host staging, and its own per-pixel rate.
+        staging *= gpu.hw_decoder_staging_factor
+        decode_kernel = image.pixels * gpu.hw_decoder_seconds_per_pixel
+    return GpuPreprocessCost(
+        staging_seconds=staging,
+        decode_kernel_seconds=decode_kernel,
+        postprocess_kernel_seconds=gpu_resize_normalize_seconds(image, input_size, calibration),
+    )

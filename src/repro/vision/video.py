@@ -1,0 +1,202 @@
+"""Compressed-video cost models (the paper's motivating scenario).
+
+The paper's introduction motivates serving overheads with video: "a
+video classification service receives the video in a compressed format
+like MPEG, decodes the video, samples a number of frames, then resizes
+and normalizes the resulting images into the format required by the
+DNN" (Sec. 1).  This module models that substrate:
+
+- a :class:`Video` descriptor (resolution, frame rate, duration,
+  bitrate, GOP structure);
+- the cost of decoding up to a sampled frame: inter-coded video cannot
+  be random-accessed, so sampling frame *k* requires decoding from the
+  preceding keyframe — the structural reason sparse sampling is *not*
+  proportionally cheaper than dense sampling;
+- sampling policies (uniform, keyframe-aligned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hardware.calibration import Calibration
+from .image import Image
+
+__all__ = ["Video", "FrameSample", "VideoDecodeCost", "uniform_sample_indices",
+           "keyframe_sample_indices", "video_decode_cost"]
+
+
+@dataclass(frozen=True)
+class Video:
+    """A compressed (H.264/MPEG-like) video clip."""
+
+    width: int
+    height: int
+    fps: float
+    duration_seconds: float
+    bitrate_bps: float  # compressed bits per second
+    gop_frames: int = 48  # keyframe interval
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"invalid dimensions {self.width}x{self.height}")
+        if self.fps <= 0 or self.duration_seconds <= 0:
+            raise ValueError("fps and duration must be positive")
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if self.gop_frames < 1:
+            raise ValueError("gop_frames must be >= 1")
+
+    @property
+    def frame_count(self) -> int:
+        return max(1, int(self.fps * self.duration_seconds))
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.width * self.height
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(self.bitrate_bps * self.duration_seconds / 8)
+
+    @property
+    def bytes_per_frame(self) -> float:
+        return self.compressed_bytes / self.frame_count
+
+    def frame_as_image(self, index: int = 0) -> Image:
+        """A decoded frame viewed as an image (for per-frame preprocessing)."""
+        return Image(
+            width=self.width,
+            height=self.height,
+            compressed_bytes=max(256, int(self.bytes_per_frame)),
+            name=f"{self.name or 'video'}[{index}]",
+        )
+
+
+@dataclass(frozen=True)
+class FrameSample:
+    """One sampled frame and the decode work needed to reach it."""
+
+    index: int
+    keyframe_index: int
+
+    @property
+    def frames_to_decode(self) -> int:
+        """Frames that must be decoded from the preceding keyframe."""
+        return self.index - self.keyframe_index + 1
+
+
+@dataclass(frozen=True)
+class VideoDecodeCost:
+    """CPU decode cost of reaching a set of sampled frames."""
+
+    sampled_frames: int
+    decoded_frames: int  # includes GOP lead-in frames
+    entropy_seconds: float
+    pixel_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.entropy_seconds + self.pixel_seconds
+
+    @property
+    def amplification(self) -> float:
+        """Decoded frames per sampled frame (the GOP tax)."""
+        if self.sampled_frames == 0:
+            return 0.0
+        return self.decoded_frames / self.sampled_frames
+
+
+def uniform_sample_indices(video: Video, count: int) -> List[FrameSample]:
+    """Sample ``count`` frames evenly across the clip."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    total = video.frame_count
+    count = min(count, total)
+    step = total / count
+    samples = []
+    for i in range(count):
+        index = min(total - 1, int(i * step + step / 2))
+        keyframe = (index // video.gop_frames) * video.gop_frames
+        samples.append(FrameSample(index=index, keyframe_index=keyframe))
+    return samples
+
+
+def keyframe_sample_indices(video: Video, count: int) -> List[FrameSample]:
+    """Sample ``count`` frames aligned to keyframes (cheap random access)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    keyframes = list(range(0, video.frame_count, video.gop_frames))
+    count = min(count, len(keyframes))
+    step = len(keyframes) / count
+    picked = [keyframes[min(len(keyframes) - 1, int(i * step))] for i in range(count)]
+    return [FrameSample(index=k, keyframe_index=k) for k in picked]
+
+
+def video_decode_cost(
+    video: Video,
+    samples: List[FrameSample],
+    calibration: Calibration,
+) -> VideoDecodeCost:
+    """CPU cost of decoding the GOP spans covering ``samples``.
+
+    Within one GOP, overlapping sample lead-ins are decoded once (a real
+    decoder caches the GOP it is positioned in).
+    """
+    cpu = calibration.cpu
+    decoded = 0
+    seen_gop_progress = {}  # keyframe -> highest frame already decoded
+    for sample in sorted(samples, key=lambda s: s.index):
+        already = seen_gop_progress.get(sample.keyframe_index)
+        if already is None:
+            decoded += sample.frames_to_decode
+        elif sample.index > already:
+            decoded += sample.index - already
+        seen_gop_progress[sample.keyframe_index] = max(
+            seen_gop_progress.get(sample.keyframe_index, -1), sample.index
+        )
+
+    entropy = decoded * video.bytes_per_frame * cpu.decode_seconds_per_byte
+    # Inter-frame reconstruction (motion comp) is cheaper per pixel than
+    # a full JPEG IDCT; 0.6x is the standard ratio for P-frames.
+    pixels = decoded * video.pixels_per_frame
+    pixel_seconds = pixels * cpu.decode_seconds_per_pixel * 0.6
+    return VideoDecodeCost(
+        sampled_frames=len(samples),
+        decoded_frames=decoded,
+        entropy_seconds=entropy,
+        pixel_seconds=pixel_seconds,
+    )
+
+
+class VideoClipDataset:
+    """Deterministic stream of video clips for load generation.
+
+    Mirrors :class:`repro.vision.datasets.Dataset` but yields
+    :class:`Video` objects; duration jitter models real clip mixes.
+    """
+
+    def __init__(
+        self,
+        width: int = 1280,
+        height: int = 720,
+        fps: float = 30.0,
+        mean_duration_seconds: float = 8.0,
+        bitrate_bps: float = 4e6,
+        gop_frames: int = 48,
+        name: str = "clips",
+    ) -> None:
+        if mean_duration_seconds <= 0:
+            raise ValueError("mean duration must be positive")
+        self.name = name
+        self._template = dict(
+            width=width, height=height, fps=fps,
+            bitrate_bps=bitrate_bps, gop_frames=gop_frames,
+        )
+        self._mean_duration = mean_duration_seconds
+
+    def sample(self, rng) -> Video:
+        duration = max(1.0, rng.uniform(0.5, 1.5) * self._mean_duration)
+        return Video(duration_seconds=duration, name=self.name, **self._template)

@@ -1,0 +1,117 @@
+"""Tests for breakdowns, tables, and paper-claim comparison records."""
+
+import pytest
+
+from repro.analysis import (
+    ClaimSet,
+    LatencyBreakdown,
+    PaperClaim,
+    breakdown_from_metrics,
+    format_ms,
+    format_pct,
+    format_rate,
+    format_table,
+)
+from repro.core import MetricsCollector
+from repro.core.request import InferenceRequest
+from repro.vision import MEDIUM_IMAGE
+
+
+def make_metrics(spans, latency=1.0):
+    collector = MetricsCollector()
+    collector.arm(0.0)
+    request = InferenceRequest(MEDIUM_IMAGE, arrival_time=0.0)
+    for name, value in spans.items():
+        request.add(name, value)
+    request.complete(latency)
+    collector.record(request)
+    collector.disarm(latency)
+    return collector.finalize()
+
+
+class TestBreakdown:
+    def test_grouping(self):
+        metrics = make_metrics(
+            {
+                "frontend": 0.05,
+                "preprocess_wait": 0.1,
+                "preprocess": 0.3,
+                "queue": 0.2,
+                "transfer": 0.05,
+                "inference": 0.25,
+                "postprocess": 0.05,
+            }
+        )
+        b = breakdown_from_metrics(metrics)
+        assert b.preprocess == pytest.approx(0.4)
+        assert b.inference == pytest.approx(0.25)
+        assert b.queue == pytest.approx(0.2)
+        assert b.preprocess_fraction == pytest.approx(0.4)
+        assert b.inference_fraction == pytest.approx(0.25)
+        assert b.overhead_fraction == pytest.approx(0.75)
+        assert b.queue_fraction == pytest.approx(0.2)
+
+    def test_other_non_negative(self):
+        metrics = make_metrics({"inference": 0.5})
+        b = breakdown_from_metrics(metrics)
+        assert b.other == pytest.approx(0.5)
+
+    def test_zero_total(self):
+        b = LatencyBreakdown(total=0, preprocess=0, inference=0, queue=0, transfer=0, other=0)
+        assert b.preprocess_fraction == 0.0
+        assert b.inference_fraction == 0.0
+
+
+class TestFormatters:
+    def test_rate(self):
+        assert format_rate(1234.5) == "1,234"
+
+    def test_ms(self):
+        assert format_ms(0.00123) == "1.23 ms"
+
+    def test_pct(self):
+        assert format_pct(0.5617) == "56.2%"
+
+    def test_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", "1"], ["long-name", "22"]],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1]
+        assert lines[2].startswith("---")
+        assert len(lines) == 5
+
+    def test_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestClaims:
+    def test_within_tolerance(self):
+        claim = PaperClaim("Fig. 6", "preproc share", 0.56, 0.54, rel_tolerance=0.1)
+        assert claim.within_tolerance
+        assert claim.relative_error == pytest.approx(0.0357, abs=1e-3)
+
+    def test_out_of_tolerance(self):
+        claim = PaperClaim("Fig. 6", "x", 100, 300, rel_tolerance=0.5)
+        assert not claim.within_tolerance
+        assert "OFF" in claim.render()
+
+    def test_directional_claim_always_passes(self):
+        claim = PaperClaim("Fig. 5", "declines", 1, 99, rel_tolerance=None)
+        assert claim.within_tolerance
+
+    def test_zero_paper_value(self):
+        claim = PaperClaim("F", "d", 0, 0.1, rel_tolerance=0.5)
+        assert claim.relative_error == pytest.approx(0.1)
+
+    def test_claim_set_accumulates(self):
+        claims = ClaimSet("Fig. 7")
+        claims.check("a", 1.0, 1.1, rel_tolerance=0.2)
+        claims.check("b", 1.0, 5.0, rel_tolerance=0.2)
+        assert len(claims.claims) == 2
+        assert not claims.all_within_tolerance
+        assert "Fig. 7" in claims.render()

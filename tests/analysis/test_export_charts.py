@@ -1,0 +1,115 @@
+"""Tests for result export and terminal charts."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    bar_chart,
+    metrics_to_dict,
+    result_to_dict,
+    rows_to_csv,
+    rows_to_json,
+    sparkline,
+    stacked_bar_chart,
+    write_csv,
+    write_json,
+)
+from repro.serving import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(
+        ExperimentConfig(concurrency=16, warmup_requests=30, measure_requests=150)
+    )
+
+
+class TestExport:
+    def test_metrics_to_dict(self, small_result):
+        flat = metrics_to_dict(small_result.metrics)
+        assert flat["throughput"] == small_result.throughput
+        assert flat["latency_p99"] >= flat["latency_p50"]
+        assert any(key.startswith("span_") for key in flat)
+        json.dumps(flat)  # JSON-safe
+
+    def test_result_to_dict(self, small_result):
+        flat = result_to_dict(small_result)
+        assert flat["joules_per_image"] == pytest.approx(
+            flat["cpu_joules_per_image"] + flat["gpu_joules_per_image"]
+        )
+        assert 0 <= flat["gpu_utilization"] <= 1
+
+    def test_rows_to_csv_round_trip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "c": 3.5}]
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["a"] == "1"
+        assert parsed[1]["c"] == "3.5"
+        assert parsed[0]["c"] == ""  # union header, missing filled
+
+    def test_rows_to_json_round_trip(self):
+        rows = [{"a": 1}, {"a": 2}]
+        assert json.loads(rows_to_json(rows)) == rows
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            rows_to_csv([])
+        with pytest.raises(ValueError):
+            rows_to_json([])
+
+    def test_write_files(self, tmp_path, small_result):
+        rows = [result_to_dict(small_result)]
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        write_csv(str(csv_path), rows)
+        write_json(str(json_path), rows)
+        assert csv_path.read_text().startswith("completed") or "," in csv_path.read_text()
+        assert json.loads(json_path.read_text())[0]["completed"] == rows[0]["completed"]
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1}, width=2)
+
+    def test_bar_chart_title_and_unit(self):
+        chart = bar_chart({"a": 1.0}, title="T", unit=" img/s")
+        assert chart.startswith("T\n")
+        assert "img/s" in chart
+
+    def test_stacked_bar_chart(self):
+        chart = stacked_bar_chart(
+            {"row1": {"x": 1.0, "y": 1.0}, "row2": {"x": 2.0}},
+            width=12,
+        )
+        lines = chart.splitlines()
+        assert "=x" in lines[0] and "=y" in lines[0]
+        assert len(lines) == 3
+
+    def test_stacked_bar_too_many_segments(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart({"r": {str(i): 1.0 for i in range(20)}})
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_sparkline_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,55 @@
+"""Tests for the un-served baseline loop (Fig. 3 rungs 1-3)."""
+
+import pytest
+
+from repro.apps import NaiveLoopConfig, run_naive_loop
+from repro.vision import reference_dataset
+
+
+def run(preprocess, **kwargs):
+    config = NaiveLoopConfig(preprocess=preprocess, batches=15, **kwargs)
+    return run_naive_loop(config, reference_dataset("medium"))
+
+
+class TestValidation:
+    def test_bad_preprocess(self):
+        with pytest.raises(ValueError):
+            NaiveLoopConfig(preprocess="fpga")
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            NaiveLoopConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            NaiveLoopConfig(batches=0)
+
+
+class TestLadderShape:
+    """Paper Fig. 3: python loop < DALI-CPU << DALI-GPU."""
+
+    def test_dali_cpu_slightly_better_than_python(self):
+        python = run("python").throughput
+        dali_cpu = run("dali-cpu").throughput
+        assert dali_cpu > python
+        assert dali_cpu < python * 1.25  # the paper's gain was only ~3.5%
+
+    def test_dali_gpu_much_better(self):
+        python = run("python").throughput
+        dali_gpu = run("dali-gpu").throughput
+        assert dali_gpu > 1.5 * python  # paper: 431 -> 842 (~2x)
+
+    def test_preprocess_dominates_python_loop(self):
+        result = run("python")
+        assert result.preprocess_seconds_per_batch > result.inference_seconds_per_batch
+
+    def test_gpu_preprocess_removes_input_transfer(self):
+        cpu = run("python")
+        gpu = run("dali-gpu")
+        assert gpu.transfer_seconds_per_batch < cpu.transfer_seconds_per_batch
+
+    def test_throughput_accounting(self):
+        result = run("python")
+        expected = 64 / result.seconds_per_batch
+        assert result.throughput == pytest.approx(expected)
+
+    def test_deterministic(self):
+        assert run("python").throughput == pytest.approx(run("python").throughput)

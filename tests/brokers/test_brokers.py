@@ -1,0 +1,187 @@
+"""Unit tests for the Kafka-like, Redis-like, and fused brokers."""
+
+import pytest
+
+from repro.brokers import FusedBroker, KafkaBroker, Message, RedisBroker, make_broker
+from repro.hardware import DEFAULT_CALIBRATION, ServerNode
+from repro.sim import Environment
+
+
+def make_env():
+    env = Environment()
+    node = ServerNode(env)
+    return env, node
+
+
+class TestFactory:
+    def test_known_brokers(self):
+        env, node = make_env()
+        assert isinstance(make_broker("kafka", env, node), KafkaBroker)
+        assert isinstance(make_broker("redis", env, node), RedisBroker)
+        assert isinstance(make_broker("fused", env, node), FusedBroker)
+
+    def test_unknown_broker(self):
+        env, node = make_env()
+        with pytest.raises(KeyError, match="known brokers"):
+            make_broker("rabbitmq", env, node)
+
+
+class TestFifoDelivery:
+    @pytest.mark.parametrize("name", ["kafka", "redis", "fused"])
+    def test_messages_delivered_in_order(self, name):
+        env, node = make_env()
+        broker = make_broker(name, env, node)
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield from broker.produce(i, 1000)
+
+        def consumer():
+            for _ in range(5):
+                message = yield from broker.consume()
+                received.append(message.payload)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+        assert broker.produced == 5
+        assert broker.consumed == 5
+
+
+class TestCostOrdering:
+    def _produce_time(self, broker, env, nbytes=77 * 1024):
+        def proc():
+            yield from broker.produce("x", nbytes)
+
+        start = env.now
+        env.run(until=env.process(proc()))
+        return env.now - start
+
+    def test_kafka_produce_much_slower_than_redis(self):
+        env_k, node_k = make_env()
+        kafka_time = self._produce_time(KafkaBroker(env_k, node_k), env_k)
+        env_r, node_r = make_env()
+        redis_time = self._produce_time(RedisBroker(env_r, node_r), env_r)
+        assert kafka_time > 5 * redis_time
+
+    def test_fused_produce_is_free(self):
+        env, node = make_env()
+        assert self._produce_time(FusedBroker(env, node), env) == 0.0
+
+    def test_kafka_disk_accounting(self):
+        env, node = make_env()
+        broker = KafkaBroker(env, node)
+
+        def proc():
+            yield from broker.produce("x", 10_000)
+
+        env.run(until=env.process(proc()))
+        assert broker.disk_bytes_written == 10_000
+        assert broker.bytes_through == 10_000
+
+    def test_kafka_disk_bandwidth_limits_throughput(self):
+        """Sustained produce rate cannot exceed disk bandwidth."""
+        env, node = make_env()
+        broker = KafkaBroker(env, node)
+        nbytes = 77 * 1024
+        count = 200
+
+        def producer(k):
+            for _ in range(count):
+                yield from broker.produce("x", nbytes)
+
+        # Many parallel producers: only the shared log writer limits.
+        for k in range(8):
+            env.process(producer(k))
+        env.run()
+        byte_rate = 8 * count * nbytes / env.now
+        assert byte_rate <= DEFAULT_CALIBRATION.broker.kafka_disk_bandwidth * 1.05
+
+    def test_pipelined_produce_cheaper_for_redis(self):
+        env, node = make_env()
+        broker = RedisBroker(env, node)
+
+        def sync(n):
+            for _ in range(n):
+                yield from broker.produce("x", 1000)
+
+        def pipelined(n):
+            yield env.timeout(0)
+            for _ in range(n):
+                yield from broker.produce_pipelined("x", 1000)
+
+        start = env.now
+        env.run(until=env.process(sync(20)))
+        sync_time = env.now - start
+        start = env.now
+        env.run(until=env.process(pipelined(20)))
+        pipe_time = env.now - start
+        assert pipe_time < sync_time / 2
+
+
+class TestConsumeBehaviour:
+    def test_kafka_empty_topic_costs_poll_interval(self):
+        env, node = make_env()
+        broker = KafkaBroker(env, node)
+        got = []
+
+        def consumer():
+            message = yield from broker.consume()
+            got.append((message.payload, env.now))
+
+        def producer():
+            yield env.timeout(broker.poll_interval * 2.5)
+            yield from broker.produce("late", 100)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        # The consumer only notices on a poll boundary after production.
+        assert got[0][1] >= broker.poll_interval * 2.5
+
+    def test_redis_blocking_pop_has_no_poll_latency(self):
+        env, node = make_env()
+        broker = RedisBroker(env, node)
+        got = []
+
+        def consumer():
+            message = yield from broker.consume()
+            got.append(env.now)
+
+        def producer():
+            yield env.timeout(0.005)
+            yield from broker.produce("x", 100)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        produce_cost = (
+            DEFAULT_CALIBRATION.broker.redis_produce_seconds
+            + DEFAULT_CALIBRATION.broker.redis_consume_seconds
+        )
+        assert got[0] == pytest.approx(0.005 + produce_cost, abs=1e-3)
+
+    def test_message_records_queue_delay(self):
+        env, node = make_env()
+        broker = FusedBroker(env, node)
+        messages = []
+
+        def producer():
+            message = yield from broker.produce("x", 100)
+            messages.append(message)
+
+        def consumer():
+            yield env.timeout(2.0)
+            yield from broker.consume()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert messages[0].queue_delay == pytest.approx(2.0)
+
+    def test_unconsumed_message_has_no_delay(self):
+        message = Message("x", 100, produced_at=0.0)
+        with pytest.raises(RuntimeError):
+            _ = message.queue_delay

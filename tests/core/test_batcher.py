@@ -1,0 +1,175 @@
+"""Unit tests for the dynamic batcher policies."""
+
+import pytest
+
+from repro.core import DynamicBatcher
+from repro.sim import Environment
+
+
+def consume(env, batcher, sink, service_time=0.0):
+    """Instance stand-in: drain batches into ``sink``."""
+
+    def instance():
+        while True:
+            batch = yield batcher.next_batch()
+            sink.append((env.now, list(batch)))
+            if service_time:
+                yield env.timeout(service_time)
+
+    return env.process(instance())
+
+
+class TestValidation:
+    def test_bad_args(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DynamicBatcher(env, max_batch=0, max_queue_delay=None)
+        with pytest.raises(ValueError):
+            DynamicBatcher(env, max_batch=4, max_queue_delay=-1)
+        with pytest.raises(ValueError):
+            DynamicBatcher(env, max_batch=4, max_queue_delay=None, output_capacity=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(env, max_batch=4, max_queue_delay=1e-3, preferred_batch=5)
+
+
+class TestGreedyDynamic:
+    def test_idle_consumer_gets_batch_immediately(self):
+        """Triton semantics: no queue delay when an instance is idle."""
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=8, max_queue_delay=10.0)
+        sink = []
+        consume(env, batcher, sink)
+
+        def producer():
+            yield batcher.submit("x")
+
+        env.process(producer())
+        env.run(until=1.0)
+        assert sink == [(0.0, ["x"])]
+
+    def test_busy_consumer_accumulates_until_deadline(self):
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=8, max_queue_delay=0.5)
+        sink = []
+        consume(env, batcher, sink, service_time=2.0)
+
+        def producer():
+            yield batcher.submit("a")  # dispatched instantly (idle consumer)
+            yield env.timeout(0.1)
+            yield batcher.submit("b")  # consumer busy until t=2
+            yield env.timeout(0.1)
+            yield batcher.submit("c")
+
+        env.process(producer())
+        env.run(until=10)
+        assert sink[0] == (0.0, ["a"])
+        # b and c batch together; the batch was formed at the 0.5s deadline
+        # and picked up when the consumer freed at t=2.
+        assert sink[1][1] == ["b", "c"]
+        assert sink[1][0] == pytest.approx(2.0)
+
+    def test_full_batch_dispatches_without_waiting_delay(self):
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=2, max_queue_delay=100.0)
+        sink = []
+        consume(env, batcher, sink, service_time=1.0)
+
+        def producer():
+            for item in "abcd":
+                yield batcher.submit(item)
+
+        env.process(producer())
+        env.run(until=10)
+        batches = [batch for _, batch in sink]
+        assert batches == [["a"], ["b", "c"], ["d"]] or batches == [
+            ["a", "b"],
+            ["c", "d"],
+        ]
+
+    def test_mean_batch_size(self):
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=4, max_queue_delay=0.1)
+        sink = []
+        consume(env, batcher, sink, service_time=1.0)
+
+        def producer():
+            for item in range(8):
+                yield batcher.submit(item)
+
+        env.process(producer())
+        env.run(until=20)
+        assert batcher.dispatched_items == 8
+        assert batcher.mean_batch_size == pytest.approx(8 / batcher.dispatched_batches)
+
+
+class TestPreferredBatch:
+    def test_small_batch_waits_for_preferred(self):
+        env = Environment()
+        batcher = DynamicBatcher(
+            env, max_batch=8, max_queue_delay=1.0, preferred_batch=4
+        )
+        sink = []
+        consume(env, batcher, sink)
+
+        def producer():
+            yield batcher.submit("a")  # below preferred: must wait the delay
+
+        env.process(producer())
+        env.run(until=5)
+        assert sink[0][0] == pytest.approx(1.0)
+
+    def test_preferred_reached_dispatches_immediately(self):
+        env = Environment()
+        batcher = DynamicBatcher(
+            env, max_batch=8, max_queue_delay=5.0, preferred_batch=2
+        )
+        sink = []
+        consume(env, batcher, sink)
+
+        def producer():
+            yield batcher.submit("a")
+            yield batcher.submit("b")
+
+        env.process(producer())
+        env.run(until=10)
+        assert sink[0][0] == pytest.approx(0.0)
+        assert sink[0][1] == ["a", "b"]
+
+
+class TestFixedBatch:
+    def test_waits_for_full_batch(self):
+        """max_queue_delay=None: the pre-dynamic-batching config."""
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=3, max_queue_delay=None)
+        sink = []
+        consume(env, batcher, sink)
+
+        def producer():
+            yield batcher.submit("a")
+            yield env.timeout(5)
+            yield batcher.submit("b")
+            yield env.timeout(5)
+            yield batcher.submit("c")
+
+        env.process(producer())
+        env.run(until=30)
+        assert sink == [(10.0, ["a", "b", "c"])]
+
+
+class TestNonGreedy:
+    def test_waits_out_delay_even_with_idle_consumer(self):
+        """DALI-style pipelines build their preferred batch."""
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=8, max_queue_delay=2.0, greedy=False)
+        sink = []
+        consume(env, batcher, sink)
+
+        def producer():
+            yield batcher.submit("a")
+            yield env.timeout(1.0)
+            yield batcher.submit("b")
+
+        env.process(producer())
+        env.run(until=10)
+        assert sink[0][0] == pytest.approx(2.0)
+        assert sink[0][1] == ["a", "b"]

@@ -1,0 +1,56 @@
+"""Unit tests for ServerConfig validation and helpers."""
+
+import pytest
+
+from repro.core import (
+    CPU_PREPROCESS,
+    GPU_PREPROCESS,
+    MODE_INFERENCE_ONLY,
+    ServerConfig,
+)
+
+
+def test_defaults_are_valid():
+    config = ServerConfig()
+    assert config.preprocess_device == GPU_PREPROCESS
+    assert config.dynamic_batching
+
+
+def test_invalid_device():
+    with pytest.raises(ValueError):
+        ServerConfig(preprocess_device="tpu")
+
+
+def test_invalid_mode():
+    with pytest.raises(ValueError):
+        ServerConfig(mode="training")
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("preprocess_workers", 0),
+        ("inference_instances", 0),
+        ("max_batch_size", 0),
+        ("preprocess_batch_size", 0),
+        ("preprocess_pipelines", 0),
+        ("max_queue_delay_seconds", -1.0),
+        ("preprocess_queue_delay_seconds", -1.0),
+    ],
+)
+def test_invalid_numeric_fields(field, value):
+    with pytest.raises(ValueError):
+        ServerConfig(**{field: value})
+
+
+def test_fixed_batching_mode():
+    config = ServerConfig(max_queue_delay_seconds=None)
+    assert not config.dynamic_batching
+
+
+def test_with_replaces_fields():
+    config = ServerConfig(model="resnet-50")
+    other = config.with_(preprocess_device=CPU_PREPROCESS, mode=MODE_INFERENCE_ONLY)
+    assert other.model == "resnet-50"
+    assert other.preprocess_device == CPU_PREPROCESS
+    assert config.preprocess_device == GPU_PREPROCESS  # original untouched

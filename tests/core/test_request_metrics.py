@@ -1,0 +1,207 @@
+"""Unit tests for request spans and the metrics collector."""
+
+import pytest
+
+from repro.core import InferenceRequest, LatencyStats, MetricsCollector, percentile
+from repro.vision import MEDIUM_IMAGE
+
+
+def make_request(arrival=0.0):
+    return InferenceRequest(MEDIUM_IMAGE, arrival_time=arrival)
+
+
+class TestRequestSpans:
+    def test_begin_end_accumulates(self):
+        r = make_request()
+        r.begin("preprocess", 1.0)
+        r.end("preprocess", 3.0)
+        r.begin("preprocess", 5.0)
+        r.end("preprocess", 6.0)
+        assert r.spans["preprocess"] == pytest.approx(3.0)
+
+    def test_end_without_begin_raises(self):
+        r = make_request()
+        with pytest.raises(RuntimeError):
+            r.end("queue", 1.0)
+
+    def test_add_negative_rejected(self):
+        r = make_request()
+        with pytest.raises(ValueError):
+            r.add("queue", -0.1)
+
+    def test_span_open(self):
+        r = make_request()
+        assert not r.span_open("queue")
+        r.begin("queue", 0.0)
+        assert r.span_open("queue")
+        r.end("queue", 1.0)
+        assert not r.span_open("queue")
+
+    def test_latency_requires_completion(self):
+        r = make_request(arrival=2.0)
+        with pytest.raises(RuntimeError):
+            _ = r.latency
+        r.complete(5.0)
+        assert r.latency == 3.0
+        with pytest.raises(RuntimeError):
+            r.complete(6.0)
+
+    def test_span_fraction(self):
+        r = make_request()
+        r.add("inference", 1.0)
+        r.complete(4.0)
+        assert r.span_fraction("inference") == pytest.approx(0.25)
+        assert r.span_fraction("unknown") == 0.0
+
+    def test_unique_ids(self):
+        assert make_request().request_id != make_request().request_id
+
+
+class TestPercentile:
+    def test_basics(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestLatencyStats:
+    def test_from_values(self):
+        stats = LatencyStats.from_values([3.0, 1.0, 2.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.p50 == 2.0
+        assert stats.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_values([])
+
+
+class TestMetricsCollector:
+    def _completed(self, arrival, finish, spans=None, batch=None):
+        r = make_request(arrival)
+        for name, value in (spans or {}).items():
+            r.add(name, value)
+        if batch is not None:
+            r.batch_size = batch
+        r.complete(finish)
+        return r
+
+    def test_only_armed_requests_counted(self):
+        c = MetricsCollector()
+        c.record(self._completed(0, 1))  # before arming: warm-up
+        c.arm(1.0)
+        c.record(self._completed(1, 2))
+        c.disarm(3.0)
+        metrics = c.finalize()
+        assert metrics.completed == 1
+        assert c.total_completed == 2
+
+    def test_throughput_over_window(self):
+        c = MetricsCollector()
+        c.arm(0.0)
+        for i in range(10):
+            c.record(self._completed(i * 0.1, i * 0.1 + 0.05))
+        c.disarm(2.0)
+        assert c.finalize().throughput == pytest.approx(5.0)
+
+    def test_incomplete_request_rejected(self):
+        c = MetricsCollector()
+        with pytest.raises(ValueError):
+            c.record(make_request())
+
+    def test_finalize_requires_window(self):
+        c = MetricsCollector()
+        with pytest.raises(RuntimeError):
+            c.finalize()
+
+    def test_finalize_requires_samples(self):
+        c = MetricsCollector()
+        c.arm(0.0)
+        c.disarm(1.0)
+        with pytest.raises(RuntimeError, match="no requests"):
+            c.finalize()
+
+    def test_span_means_and_fractions(self):
+        c = MetricsCollector()
+        c.arm(0.0)
+        c.record(self._completed(0, 1.0, spans={"inference": 0.5, "queue": 0.25}))
+        c.record(self._completed(0, 1.0, spans={"inference": 0.5, "queue": 0.25}))
+        c.disarm(2.0)
+        metrics = c.finalize()
+        assert metrics.span_mean("inference") == pytest.approx(0.5)
+        assert metrics.inference_fraction == pytest.approx(0.5)
+        assert metrics.overhead_fraction == pytest.approx(0.5)
+        assert metrics.span_fraction("queue") == pytest.approx(0.25)
+
+    def test_non_canonical_spans_preserved(self):
+        c = MetricsCollector()
+        c.arm(0.0)
+        c.record(self._completed(0, 1.0, spans={"broker": 0.3}))
+        c.disarm(1.0)
+        assert c.finalize().span_mean("broker") == pytest.approx(0.3)
+
+    def test_mean_batch_size(self):
+        c = MetricsCollector()
+        c.arm(0.0)
+        c.record(self._completed(0, 1.0, batch=8))
+        c.record(self._completed(0, 1.0, batch=16))
+        c.disarm(1.0)
+        assert c.finalize().mean_batch_size == 12.0
+
+
+class TestLatencyRetention:
+    def _metrics(self, latencies):
+        c = MetricsCollector()
+        c.arm(0.0)
+        for latency in latencies:
+            c.record(self._request_with_latency(latency))
+        c.disarm(1.0)
+        return c.finalize()
+
+    @staticmethod
+    def _request_with_latency(latency):
+        r = make_request(arrival=0.0)
+        r.complete(latency)
+        return r
+
+    def test_latencies_sorted_and_complete(self):
+        metrics = self._metrics([0.3, 0.1, 0.2])
+        assert metrics.latencies == (0.1, 0.2, 0.3)
+
+    def test_histogram_covers_all_samples(self):
+        metrics = self._metrics([0.1, 0.2, 0.3, 0.4, 0.5])
+        hist = metrics.latency_histogram(buckets=4)
+        assert sum(count for _, _, count in hist) == 5
+        assert hist[0][0] == pytest.approx(0.1)
+        assert hist[-1][1] == pytest.approx(0.5)
+
+    def test_histogram_flat_values(self):
+        metrics = self._metrics([0.2, 0.2, 0.2])
+        hist = metrics.latency_histogram(buckets=5)
+        assert hist == [(0.2, 0.2, 3)]
+
+    def test_histogram_validation(self):
+        metrics = self._metrics([0.1])
+        with pytest.raises(ValueError):
+            metrics.latency_histogram(buckets=0)
+
+    def test_slo_attainment(self):
+        metrics = self._metrics([0.1, 0.2, 0.3, 0.4])
+        assert metrics.slo_attainment(0.25) == pytest.approx(0.5)
+        assert metrics.slo_attainment(1.0) == 1.0
+        with pytest.raises(ValueError):
+            metrics.slo_attainment(0)

@@ -1,0 +1,162 @@
+"""Integration tests for the inference server.
+
+These run small closed-loop simulations and check the serving
+machinery end to end: completion, span accounting, stage-isolation
+modes, both preprocessing devices, batching, and eviction.
+"""
+
+import pytest
+
+from repro.core import ALL_SPANS, InferenceServer, MetricsCollector, ServerConfig
+from repro.hardware import DEFAULT_CALIBRATION, ServerNode
+from repro.hardware.calibration import GpuCalibration
+from repro.serving import ExperimentConfig, run_experiment
+from repro.sim import Environment, RandomStreams
+from repro.vision import MEDIUM_IMAGE, reference_dataset
+
+
+def run_small(server=None, concurrency=32, measure=300, **overrides):
+    config = ExperimentConfig(
+        server=server if server is not None else ServerConfig(),
+        dataset=reference_dataset("medium"),
+        concurrency=concurrency,
+        warmup_requests=50,
+        measure_requests=measure,
+        **overrides,
+    )
+    return run_experiment(config)
+
+
+class TestBasicServing:
+    def test_single_request_completes(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        done = server.submit(MEDIUM_IMAGE)
+        request = env.run(until=done)
+        assert request.completion_time is not None
+        assert request.latency > 0
+
+    def test_spans_roughly_account_for_latency(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        request = env.run(until=server.submit(MEDIUM_IMAGE))
+        # Spans cover the whole request life within a small slack
+        # (event-scheduling boundaries).
+        assert request.accounted_seconds == pytest.approx(request.latency, rel=0.05)
+
+    def test_canonical_spans_present(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        request = env.run(until=server.submit(MEDIUM_IMAGE))
+        for span in ("frontend", "preprocess", "inference", "postprocess"):
+            assert span in request.spans, span
+        assert set(request.spans) <= set(ALL_SPANS)
+
+    def test_cpu_preprocessing_path(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig(preprocess_device="cpu"))
+        request = env.run(until=server.submit(MEDIUM_IMAGE))
+        assert request.spans["preprocess"] > 0
+        assert request.spans["transfer"] > 0  # host tensor moved to GPU
+
+    def test_metrics_recorded(self):
+        env = Environment()
+        node = ServerNode(env)
+        collector = MetricsCollector()
+        collector.arm(0.0)
+        server = InferenceServer(env, node, ServerConfig(), metrics=collector)
+        env.run(until=server.submit(MEDIUM_IMAGE))
+        assert collector.sample_count == 1
+
+
+class TestModes:
+    def test_preprocess_only_skips_inference(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig(mode="preprocess_only"))
+        request = env.run(until=server.submit(MEDIUM_IMAGE))
+        assert "inference" not in request.spans
+        assert request.spans["preprocess"] > 0
+
+    def test_inference_only_skips_preprocess(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig(mode="inference_only"))
+        request = env.run(until=server.submit(MEDIUM_IMAGE))
+        assert "preprocess" not in request.spans
+        assert request.spans["inference"] > 0
+        assert request.spans["transfer"] > 0
+
+
+class TestServingBehaviour:
+    def test_throughput_positive_and_latency_sane(self):
+        result = run_small()
+        assert result.throughput > 100
+        assert result.metrics.latency.p99 >= result.metrics.latency.p50
+
+    def test_batches_form_under_load(self):
+        result = run_small(concurrency=256, measure=600)
+        assert result.metrics.mean_batch_size > 4
+
+    def test_zero_load_runs_batch_one(self):
+        result = run_small(concurrency=1, measure=50)
+        assert result.metrics.mean_batch_size == pytest.approx(1.0)
+
+    def test_multi_gpu_increases_throughput(self):
+        one = run_small(concurrency=256, measure=600)
+        two = run_small(concurrency=512, measure=900, gpu_count=2)
+        assert two.throughput > 1.5 * one.throughput
+
+    def test_fixed_batching_runs(self):
+        server = ServerConfig(max_queue_delay_seconds=None, max_batch_size=16)
+        result = run_small(server=server, concurrency=64, measure=300)
+        assert result.metrics.mean_batch_size == pytest.approx(16.0)
+
+    def test_deterministic_across_runs(self):
+        a = run_small(measure=200)
+        b = run_small(measure=200)
+        assert a.throughput == pytest.approx(b.throughput)
+        assert a.metrics.latency.mean == pytest.approx(b.metrics.latency.mean)
+
+    def test_seed_changes_with_jitter(self):
+        a = run_small(measure=200, seed=1, think_jitter_seconds=1e-3)
+        b = run_small(measure=200, seed=2, think_jitter_seconds=1e-3)
+        assert a.metrics.latency.mean != b.metrics.latency.mean
+
+
+class TestEviction:
+    def _tiny_memory_calibration(self):
+        # A ~1 GB usable pool: large enough for one pinned max batch
+        # (64 x ~5.7 MB), small enough that 256 outstanding requests
+        # (~1.45 GB of working sets) must spill.
+        small_gpu = GpuCalibration(
+            memory_bytes=5 * 1024**3,
+            reserved_bytes=4 * 1024**3,
+        )
+        return DEFAULT_CALIBRATION.with_overrides(gpu=small_gpu)
+
+    def test_memory_pressure_triggers_evictions(self):
+        """With a ~1 GB pool, a few hundred in-flight requests must
+        spill (the Fig. 5 high-concurrency regime, shrunk)."""
+        calibration = self._tiny_memory_calibration()
+        result = run_small(
+            concurrency=256,
+            measure=500,
+            calibration=calibration,
+        )
+        assert result.metrics.eviction_count > 0
+
+    def test_eviction_can_be_disabled(self):
+        calibration = self._tiny_memory_calibration()
+        server = ServerConfig(allow_eviction=False)
+        result = run_small(
+            server=server,
+            concurrency=64,
+            measure=200,
+            calibration=calibration,
+        )
+        assert result.metrics.eviction_count == 0

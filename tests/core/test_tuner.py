@@ -1,0 +1,56 @@
+"""Tests for the server-parameter search (paper Sec. 2.3)."""
+
+import pytest
+
+from repro.core import ServerConfig
+from repro.core.tuner import TuningResult, tune_server
+from repro.vision import reference_dataset
+
+
+@pytest.fixture(scope="module")
+def tuning_result() -> TuningResult:
+    """One small search, shared across assertions (runs are deterministic)."""
+    base = ServerConfig(
+        model="resnet-50",
+        preprocess_workers=8,
+        inference_instances=1,
+        max_batch_size=16,
+        preprocess_batch_size=64,
+    )
+    return tune_server(
+        base,
+        dataset=reference_dataset("medium"),
+        search_space={
+            "preprocess_workers": (8, 16),
+            "inference_instances": (1, 2),
+            "max_batch_size": (16, 64),
+            "concurrency": (128, 256),
+        },
+        baseline_concurrency=128,
+        measure_requests=600,
+        warmup_requests=150,
+    )
+
+
+def test_best_at_least_baseline(tuning_result):
+    assert tuning_result.best.throughput >= tuning_result.baseline.throughput
+    assert tuning_result.improvement >= 0
+    assert tuning_result.speedup >= 1.0
+
+
+def test_search_finds_larger_batch(tuning_result):
+    """From a deliberately poor start, the search must improve things
+    substantially — the paper found ~300 img/s from its quick search."""
+    assert tuning_result.speedup > 1.1
+    assert tuning_result.best.server.max_batch_size >= 16
+
+
+def test_trace_contains_all_evaluations(tuning_result):
+    assert tuning_result.trace[0] == tuning_result.baseline
+    assert len(tuning_result.trace) >= 4
+    assert max(p.throughput for p in tuning_result.trace) == tuning_result.best.throughput
+
+
+def test_points_record_latency(tuning_result):
+    for point in tuning_result.trace:
+        assert point.p99_latency > 0

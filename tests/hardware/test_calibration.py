@@ -1,0 +1,57 @@
+"""Sanity checks on the calibration bundle."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    CpuCalibration,
+    GpuCalibration,
+)
+
+
+def test_default_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_CALIBRATION.cpu.cores = 1  # type: ignore[misc]
+
+
+def test_with_overrides_replaces_section():
+    custom_cpu = CpuCalibration(cores=8)
+    calib = DEFAULT_CALIBRATION.with_overrides(cpu=custom_cpu)
+    assert calib.cpu.cores == 8
+    assert calib.gpu is DEFAULT_CALIBRATION.gpu
+    assert DEFAULT_CALIBRATION.cpu.cores == 24  # untouched
+
+
+def test_testbed_scale_constants():
+    """The defaults mirror the paper's i9-13900K + RTX 4090 testbed."""
+    gpu = DEFAULT_CALIBRATION.gpu
+    assert gpu.memory_bytes == 24 * 1024**3
+    assert 50e12 < gpu.peak_flops < 120e12
+    assert 0 < gpu.efficiency_max <= 1
+    cpu = DEFAULT_CALIBRATION.cpu
+    assert 16 <= cpu.cores <= 32
+
+
+def test_pinned_faster_than_pageable():
+    pcie = DEFAULT_CALIBRATION.pcie
+    assert pcie.bandwidth > pcie.pageable_bandwidth
+
+
+def test_power_ordering():
+    power = DEFAULT_CALIBRATION.power
+    assert power.cpu_peak_watts > power.cpu_idle_watts
+    assert power.gpu_peak_watts > power.gpu_idle_watts
+
+
+def test_broker_cost_ordering():
+    """Kafka's per-message produce dwarfs Redis's (disk vs memory)."""
+    broker = DEFAULT_CALIBRATION.broker
+    assert broker.kafka_produce_seconds > 10 * broker.redis_produce_seconds
+    assert broker.kafka_disk_bandwidth < broker.redis_memory_bandwidth
+
+
+def test_calibration_is_value_like():
+    assert Calibration() == Calibration()

@@ -1,0 +1,193 @@
+"""Unit tests for Cpu, Gpu, EnergyMeter, and ServerNode."""
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_CALIBRATION,
+    Cpu,
+    EnergyMeter,
+    Gpu,
+    ServerNode,
+)
+from repro.hardware.gpu import PRIORITY_INFERENCE, PRIORITY_PREPROCESS
+from repro.sim import Environment
+
+
+class TestCpu:
+    def test_run_occupies_core(self):
+        env = Environment()
+        cpu = Cpu(env, DEFAULT_CALIBRATION.cpu)
+
+        def proc():
+            yield from cpu.run(2.0)
+
+        env.run(until=env.process(proc()))
+        assert env.now == 2.0
+        assert cpu.busy_time() == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        env = Environment()
+        cpu = Cpu(env, DEFAULT_CALIBRATION.cpu)
+
+        def proc():
+            yield from cpu.run(-1)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_core_count_limits_parallelism(self):
+        env = Environment()
+        cpu = Cpu(env, DEFAULT_CALIBRATION.cpu)
+        finished = []
+
+        def proc():
+            yield from cpu.run(1.0)
+            finished.append(env.now)
+
+        for _ in range(cpu.core_count + 1):
+            env.process(proc())
+        env.run()
+        # One task had to wait for a free core.
+        assert max(finished) == pytest.approx(2.0)
+        assert finished.count(1.0) == cpu.core_count
+
+    def test_carved_pool_busy_counts_toward_cpu(self):
+        env = Environment()
+        cpu = Cpu(env, DEFAULT_CALIBRATION.cpu)
+        pool = cpu.carve_pool(2)
+
+        def proc():
+            with pool.request() as grant:
+                yield grant
+                yield env.timeout(3.0)
+
+        env.run(until=env.process(proc()))
+        assert cpu.busy_time() == pytest.approx(3.0)
+
+    def test_utilization_clamped(self):
+        env = Environment()
+        cpu = Cpu(env, DEFAULT_CALIBRATION.cpu)
+        assert cpu.utilization(0) == 0.0
+        assert 0.0 <= cpu.utilization(10.0) <= 1.0
+
+
+class TestGpu:
+    def test_execute_serializes_kernels(self):
+        env = Environment()
+        gpu = Gpu(env, DEFAULT_CALIBRATION)
+        finished = []
+
+        def proc(tag):
+            yield from gpu.execute(1.0)
+            finished.append((tag, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert finished == [("a", 1.0), ("b", 2.0)]
+        assert gpu.kernel_count == 2
+        assert gpu.busy_time() == pytest.approx(2.0)
+
+    def test_preprocess_priority_wins(self):
+        env = Environment()
+        gpu = Gpu(env, DEFAULT_CALIBRATION)
+        order = []
+
+        def holder():
+            yield from gpu.execute(1.0)
+
+        def inference():
+            yield env.timeout(0.1)
+            yield from gpu.execute(1.0, priority=PRIORITY_INFERENCE)
+            order.append("inference")
+
+        def preprocess():
+            yield env.timeout(0.2)  # requests *after* inference queued
+            yield from gpu.execute(1.0, priority=PRIORITY_PREPROCESS)
+            order.append("preprocess")
+
+        env.process(holder())
+        env.process(inference())
+        env.process(preprocess())
+        env.run()
+        assert order == ["preprocess", "inference"]
+
+    def test_memory_pool_sized_below_device(self):
+        env = Environment()
+        gpu = Gpu(env, DEFAULT_CALIBRATION)
+        expected = DEFAULT_CALIBRATION.gpu.memory_bytes - DEFAULT_CALIBRATION.gpu.reserved_bytes
+        assert gpu.memory.capacity_bytes == expected
+
+
+class TestEnergyMeter:
+    def test_energy_between_snapshots(self):
+        meter = EnergyMeter()
+        busy = {"t": 0.0}
+        meter.register("dev", lambda: busy["t"], capacity=1, idle_watts=10, peak_watts=110)
+
+        start = meter.snapshot(0.0)
+        busy["t"] = 5.0
+        end = meter.snapshot(10.0)
+
+        report = meter.energy_between(start, end)["dev"]
+        assert report.window_seconds == 10.0
+        assert report.utilization == pytest.approx(0.5)
+        assert report.idle_joules == pytest.approx(100.0)
+        assert report.dynamic_joules == pytest.approx(500.0)
+        assert report.total_joules == pytest.approx(600.0)
+
+    def test_duplicate_registration_rejected(self):
+        meter = EnergyMeter()
+        meter.register("dev", lambda: 0.0, 1, 10, 100)
+        with pytest.raises(ValueError):
+            meter.register("dev", lambda: 0.0, 1, 10, 100)
+
+    def test_validation(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.register("bad", lambda: 0.0, 0, 10, 100)
+        with pytest.raises(ValueError):
+            meter.register("bad", lambda: 0.0, 1, 100, 10)
+
+    def test_reversed_snapshots_rejected(self):
+        meter = EnergyMeter()
+        meter.register("dev", lambda: 0.0, 1, 10, 100)
+        with pytest.raises(ValueError):
+            meter.energy_between(meter.snapshot(5.0), meter.snapshot(1.0))
+
+
+class TestServerNode:
+    def test_default_node(self):
+        env = Environment()
+        node = ServerNode(env)
+        assert node.gpu_count == 1
+        assert node.cpu.core_count == DEFAULT_CALIBRATION.cpu.cores
+        assert node.energy.device_names == ["cpu", "gpu0"]
+
+    def test_multi_gpu_node(self):
+        env = Environment()
+        node = ServerNode(env, gpu_count=4)
+        assert node.gpu_count == 4
+        assert len(node.gpu_energy_names()) == 4
+        # Each GPU gets its own PCIe link and memory pool.
+        links = {gpu.link.name for gpu in node.gpus}
+        assert len(links) == 4
+
+    def test_invalid_gpu_count(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ServerNode(env, gpu_count=0)
+
+    def test_staging_pool_shared_and_counted(self):
+        env = Environment()
+        node = ServerNode(env, gpu_count=2)
+        assert node.staging.capacity == DEFAULT_CALIBRATION.gpu.staging_threads
+
+        def proc():
+            with node.staging.request() as grant:
+                yield grant
+                yield env.timeout(2.0)
+
+        env.run(until=env.process(proc()))
+        assert node.cpu.busy_time() == pytest.approx(2.0)

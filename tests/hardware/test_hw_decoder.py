@@ -1,0 +1,113 @@
+"""Tests for the A100-style hardware JPEG decode engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import DEFAULT_CALIBRATION, Gpu, ServerNode
+from repro.serving import ExperimentConfig, run_experiment
+from repro.core import ServerConfig
+from repro.sim import Environment
+from repro.vision import LARGE_IMAGE, gpu_preprocess_cost, reference_dataset
+
+HW_CALIBRATION = DEFAULT_CALIBRATION.with_overrides(
+    gpu=dataclasses.replace(DEFAULT_CALIBRATION.gpu, hardware_jpeg_decoder=True)
+)
+
+
+class TestCostModel:
+    def test_hw_decoder_reduces_staging(self):
+        soft = gpu_preprocess_cost(LARGE_IMAGE, 224, DEFAULT_CALIBRATION)
+        hard = gpu_preprocess_cost(LARGE_IMAGE, 224, HW_CALIBRATION)
+        assert hard.staging_seconds < soft.staging_seconds / 2
+
+    def test_postprocess_kernels_unchanged(self):
+        soft = gpu_preprocess_cost(LARGE_IMAGE, 224, DEFAULT_CALIBRATION)
+        hard = gpu_preprocess_cost(LARGE_IMAGE, 224, HW_CALIBRATION)
+        assert hard.postprocess_kernel_seconds == pytest.approx(
+            soft.postprocess_kernel_seconds
+        )
+
+    def test_decomposition(self):
+        cost = gpu_preprocess_cost(LARGE_IMAGE, 224, HW_CALIBRATION)
+        assert cost.kernel_seconds == pytest.approx(
+            cost.decode_kernel_seconds + cost.postprocess_kernel_seconds
+        )
+
+
+class TestDevice:
+    def test_decoder_engine_present_only_when_enabled(self):
+        env = Environment()
+        assert Gpu(env, DEFAULT_CALIBRATION).decoder is None
+        assert Gpu(env, HW_CALIBRATION).decoder is not None
+
+    def test_decode_overlaps_compute(self):
+        """Decode on the engine runs concurrently with SM kernels."""
+        env = Environment()
+        gpu = Gpu(env, HW_CALIBRATION)
+        finished = []
+
+        def compute():
+            yield from gpu.execute(1.0)
+            finished.append(("compute", env.now))
+
+        def decode():
+            yield from gpu.decode(1.0)
+            finished.append(("decode", env.now))
+
+        env.process(compute())
+        env.process(decode())
+        env.run()
+        assert all(at == pytest.approx(1.0) for _, at in finished)
+
+    def test_decode_falls_back_to_compute_without_engine(self):
+        env = Environment()
+        gpu = Gpu(env, DEFAULT_CALIBRATION)
+        finished = []
+
+        def compute():
+            yield from gpu.execute(1.0)
+            finished.append(env.now)
+
+        def decode():
+            yield from gpu.decode(1.0)
+            finished.append(env.now)
+
+        env.process(compute())
+        env.process(decode())
+        env.run()
+        assert max(finished) == pytest.approx(2.0)  # serialized
+
+    def test_negative_duration_rejected(self):
+        env = Environment()
+        gpu = Gpu(env, HW_CALIBRATION)
+
+        def proc():
+            yield from gpu.decode(-1)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestServingImpact:
+    def test_hw_decoder_lifts_large_image_throughput(self):
+        """The paper's Sec. 2.2 point: the A100's dedicated JPEG engine
+        exists because decode-on-SMs throttles serving."""
+        results = {}
+        for label, calibration in (("soft", DEFAULT_CALIBRATION), ("hw", HW_CALIBRATION)):
+            results[label] = run_experiment(
+                ExperimentConfig(
+                    server=ServerConfig(
+                        model="vit-base-16",
+                        preprocess_device="gpu",
+                        preprocess_batch_size=64,
+                    ),
+                    dataset=reference_dataset("large"),
+                    concurrency=256,
+                    calibration=calibration,
+                    warmup_requests=200,
+                    measure_requests=800,
+                )
+            ).throughput
+        assert results["hw"] > 1.5 * results["soft"]

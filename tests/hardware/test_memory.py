@@ -1,0 +1,192 @@
+"""Unit tests for the GPU memory pool and eviction machinery."""
+
+import pytest
+
+from repro.hardware import GpuMemoryPool, OutOfMemoryError
+from repro.sim import Environment
+
+
+class TestBasicAllocation:
+    def test_alloc_and_free(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        allocations = []
+
+        def proc():
+            a = yield from pool.alloc(400)
+            allocations.append(a)
+
+        env.run(until=env.process(proc()))
+        assert pool.used_bytes == 400
+        pool.free(allocations[0])
+        assert pool.used_bytes == 0
+
+    def test_free_is_idempotent(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        holder = []
+
+        def proc():
+            a = yield from pool.alloc(400)
+            holder.append(a)
+
+        env.run(until=env.process(proc()))
+        pool.free(holder[0])
+        pool.free(holder[0])
+        assert pool.used_bytes == 0
+
+    def test_oversized_alloc_raises(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+
+        def proc():
+            yield from pool.alloc(1001)
+
+        env.process(proc())
+        with pytest.raises(OutOfMemoryError):
+            env.run()
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            GpuMemoryPool(env, 0)
+        with pytest.raises(ValueError):
+            GpuMemoryPool(env, 100, evict_policy="random")
+        pool = GpuMemoryPool(env, 100)
+        with pytest.raises(ValueError):
+            pool.try_alloc(-1)
+
+    def test_try_alloc(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        a = pool.try_alloc(600)
+        assert a is not None
+        assert pool.try_alloc(600) is None
+        pool.free(a)
+        assert pool.try_alloc(600) is not None
+
+    def test_alloc_blocks_until_free(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        trace = []
+
+        def first():
+            a = yield from pool.alloc(800)
+            yield env.timeout(5)
+            pool.free(a)
+
+        def second():
+            yield env.timeout(1)
+            yield from pool.alloc(800)
+            trace.append(env.now)
+
+        env.process(first())
+        env.process(second())
+        env.run()
+        assert trace == [5]
+
+    def test_peak_used_tracks_high_water_mark(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+
+        def proc():
+            a = yield from pool.alloc(700)
+            pool.free(a)
+            yield from pool.alloc(100)
+
+        env.run(until=env.process(proc()))
+        assert pool.peak_used == 700
+
+
+class TestEviction:
+    def test_evicts_to_make_room(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        evicted = []
+
+        def proc():
+            yield from pool.alloc(600, evictable=True, on_evict=lambda a: evicted.append(a))
+            yield from pool.alloc(600)  # must evict the first
+
+        env.run(until=env.process(proc()))
+        assert len(evicted) == 1
+        assert evicted[0].evicted
+        assert pool.eviction_count == 1
+        assert pool.evicted_bytes == 600
+        assert pool.used_bytes == 600
+
+    def test_non_evictable_not_evicted(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+
+        def holder():
+            yield from pool.alloc(600, evictable=False)
+
+        def contender():
+            yield env.timeout(1)
+            yield from pool.alloc(600)
+
+        env.process(holder())
+        env.process(contender())
+        env.run(until=5)
+        assert pool.eviction_count == 0
+        assert pool.used_bytes == 600  # contender still waiting
+
+    def test_pin_removes_from_eviction_set(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        evicted = []
+
+        def proc():
+            a = yield from pool.alloc(600, evictable=True, on_evict=evicted.append)
+            pool.pin(a)
+            # This alloc cannot be satisfied by eviction any more.
+            later = pool.try_alloc(600)
+            assert later is None
+            yield env.timeout(0)
+
+        env.run(until=env.process(proc()))
+        assert evicted == []
+        assert pool.eviction_count == 0
+
+    def test_newest_policy_evicts_most_recent(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000, evict_policy="newest")
+        order = []
+
+        def proc():
+            yield from pool.alloc(300, evictable=True, on_evict=lambda a: order.append("old"))
+            yield env.timeout(1)
+            yield from pool.alloc(300, evictable=True, on_evict=lambda a: order.append("new"))
+            yield from pool.alloc(500)  # evicts one: the newest
+
+        env.run(until=env.process(proc()))
+        assert order == ["new"]
+
+    def test_oldest_policy_evicts_first_allocated(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000, evict_policy="oldest")
+        order = []
+
+        def proc():
+            yield from pool.alloc(300, evictable=True, on_evict=lambda a: order.append("old"))
+            yield env.timeout(1)
+            yield from pool.alloc(300, evictable=True, on_evict=lambda a: order.append("new"))
+            yield from pool.alloc(500)
+
+        env.run(until=env.process(proc()))
+        assert order == ["old"]
+
+    def test_eviction_cascades_until_fit(self):
+        env = Environment()
+        pool = GpuMemoryPool(env, 1000)
+        evicted = []
+
+        def proc():
+            for _ in range(3):
+                yield from pool.alloc(300, evictable=True, on_evict=evicted.append)
+            yield from pool.alloc(900)  # needs all three evicted
+
+        env.run(until=env.process(proc()))
+        assert len(evicted) == 3
+        assert pool.used_bytes == 900

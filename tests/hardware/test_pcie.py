@@ -1,0 +1,98 @@
+"""Unit tests for the PCIe link model."""
+
+import pytest
+
+from repro.hardware import DEFAULT_CALIBRATION, D2H, H2D, PcieLink
+from repro.sim import Environment
+
+
+def make_link(env):
+    return PcieLink(env, DEFAULT_CALIBRATION.pcie)
+
+
+class TestTransferSeconds:
+    def test_includes_latency(self):
+        env = Environment()
+        link = make_link(env)
+        assert link.transfer_seconds(0) == pytest.approx(link.latency)
+
+    def test_scales_with_bytes(self):
+        env = Environment()
+        link = make_link(env)
+        one_gb = link.transfer_seconds(1e9)
+        two_gb = link.transfer_seconds(2e9)
+        assert two_gb - one_gb == pytest.approx(1e9 / link.bandwidth)
+
+    def test_pageable_slower_than_pinned(self):
+        env = Environment()
+        link = make_link(env)
+        assert link.transfer_seconds(1e6, pinned=False) > link.transfer_seconds(1e6, pinned=True)
+
+    def test_negative_bytes_rejected(self):
+        env = Environment()
+        link = make_link(env)
+        with pytest.raises(ValueError):
+            link.transfer_seconds(-1)
+
+    def test_unknown_direction_rejected(self):
+        env = Environment()
+        link = make_link(env)
+        with pytest.raises(ValueError):
+            link.busy_time("sideways")
+
+
+class TestTransfers:
+    def test_transfer_advances_time_and_counts(self):
+        env = Environment()
+        link = make_link(env)
+
+        def proc():
+            yield from link.transfer(24e9, H2D)  # exactly 1s of wire time
+
+        env.run(until=env.process(proc()))
+        assert env.now == pytest.approx(1.0 + link.latency)
+        assert link.bytes_moved[H2D] == 24e9
+        assert link.transfer_count[H2D] == 1
+        assert link.bytes_moved[D2H] == 0
+
+    def test_same_direction_serializes(self):
+        env = Environment()
+        link = make_link(env)
+        done = []
+
+        def proc(tag):
+            yield from link.transfer(24e9, H2D)
+            done.append((tag, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        # Second transfer must wait for the first: ~2s total.
+        assert done[1][1] == pytest.approx(2 * (1.0 + link.latency))
+
+    def test_opposite_directions_overlap(self):
+        env = Environment()
+        link = make_link(env)
+        done = []
+
+        def proc(direction):
+            yield from link.transfer(24e9, direction)
+            done.append(env.now)
+
+        env.process(proc(H2D))
+        env.process(proc(D2H))
+        env.run()
+        # Full duplex: both finish at ~1s.
+        for at in done:
+            assert at == pytest.approx(1.0 + link.latency)
+
+    def test_busy_time_accounting(self):
+        env = Environment()
+        link = make_link(env)
+
+        def proc():
+            yield from link.transfer(12e9, H2D)  # 0.5s
+
+        env.run(until=env.process(proc()))
+        assert link.busy_time(H2D) == pytest.approx(0.5 + link.latency)
+        assert link.busy_time(D2H) == 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for the model zoo, runtimes, and roofline latency model."""
+
+import pytest
+
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.models import (
+    FIG4_MODELS,
+    MODEL_ZOO,
+    ONNXRUNTIME,
+    PYTORCH,
+    RUNTIMES,
+    TENSORRT,
+    batch_efficiency,
+    get_model,
+    get_runtime,
+    inference_cost,
+    inference_latency,
+    models_by_task,
+    peak_throughput,
+)
+
+CAL = DEFAULT_CALIBRATION
+
+
+class TestZoo:
+    def test_lookup(self):
+        vit = get_model("vit-base-16")
+        assert vit.gflops == pytest.approx(17.6)
+        assert vit.input_size == 224
+
+    def test_unknown_model_message(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("alexnet")
+
+    def test_fig4_models_ordered_by_flops(self):
+        flops = [MODEL_ZOO[name].gflops for name in FIG4_MODELS]
+        assert flops == sorted(flops)
+
+    def test_fig4_excludes_embedding_models(self):
+        assert "facenet" not in FIG4_MODELS
+        assert len(FIG4_MODELS) >= 20  # "a large number of DNNs"
+
+    def test_all_tasks_covered(self):
+        """The paper spans classification, segmentation, detection, depth."""
+        tasks = {spec.task for spec in MODEL_ZOO.values()}
+        assert {"classification", "segmentation", "detection", "depth", "embedding"} <= tasks
+
+    def test_models_by_task(self):
+        classifiers = models_by_task("classification")
+        assert len(classifiers) >= 10
+        assert classifiers[0].gflops <= classifiers[-1].gflops
+        with pytest.raises(KeyError):
+            models_by_task("text-generation")
+
+    def test_derived_byte_counts(self):
+        vit = get_model("vit-base-16")
+        assert vit.param_bytes == pytest.approx(86.6e6 * 2)
+        assert vit.input_pixels == 224 * 224
+
+
+class TestRuntimes:
+    def test_registry(self):
+        assert set(RUNTIMES) == {"tensorrt", "onnxruntime", "pytorch"}
+        assert get_runtime("tensorrt") is TENSORRT
+        with pytest.raises(KeyError, match="known runtimes"):
+            get_runtime("tvm")
+
+    def test_efficiency_ordering(self):
+        """TensorRT > ONNX runtime > eager PyTorch (paper Fig. 3 ladder)."""
+        assert TENSORRT.efficiency_multiplier > ONNXRUNTIME.efficiency_multiplier
+        assert ONNXRUNTIME.efficiency_multiplier > PYTORCH.efficiency_multiplier
+        assert TENSORRT.dispatch_overhead_seconds < PYTORCH.dispatch_overhead_seconds
+
+
+class TestRoofline:
+    def test_batch_efficiency_increases_with_batch(self):
+        e1 = batch_efficiency(1, TENSORRT, CAL)
+        e8 = batch_efficiency(8, TENSORRT, CAL)
+        e64 = batch_efficiency(64, TENSORRT, CAL)
+        assert e1 < e8 < e64 < CAL.gpu.efficiency_max
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            batch_efficiency(0, TENSORRT, CAL)
+
+    def test_model_half_batch_override(self):
+        """Detectors saturate the GPU at batch 1 (flat batching curve)."""
+        rcnn = get_model("faster-rcnn-face")
+        vit = get_model("vit-base-16")
+        assert batch_efficiency(1, TENSORRT, CAL, rcnn) > batch_efficiency(1, TENSORRT, CAL, vit)
+
+    def test_latency_monotonic_in_batch(self):
+        vit = get_model("vit-base-16")
+        latencies = [inference_latency(vit, TENSORRT, b, CAL) for b in (1, 2, 4, 8, 16, 32, 64)]
+        assert latencies == sorted(latencies)
+
+    def test_per_image_latency_decreases_with_batch(self):
+        vit = get_model("vit-base-16")
+        per_image_1 = inference_cost(vit, TENSORRT, 1, CAL).per_image_seconds
+        per_image_64 = inference_cost(vit, TENSORRT, 64, CAL).per_image_seconds
+        assert per_image_64 < per_image_1 / 2
+
+    def test_tensorrt_faster_than_pytorch(self):
+        vit = get_model("vit-base-16")
+        assert inference_latency(vit, TENSORRT, 64, CAL) < inference_latency(vit, PYTORCH, 64, CAL)
+
+    def test_plausible_vit_batch1_latency(self):
+        """TensorRT ViT-base at batch 1 on a 4090: a couple of ms."""
+        vit = get_model("vit-base-16")
+        latency = inference_latency(vit, TENSORRT, 1, CAL)
+        assert 1e-3 < latency < 5e-3
+
+    def test_peak_throughput_reasonable(self):
+        vit = get_model("vit-base-16")
+        peak = peak_throughput(vit, TENSORRT, 128, CAL)
+        assert 1500 < peak < 5000  # paper: >1600 end-to-end, inference higher
+
+    def test_cost_decomposition(self):
+        tiny = get_model("tinyvit-5m")
+        cost = inference_cost(tiny, TENSORRT, 64, CAL)
+        assert cost.total_seconds == pytest.approx(
+            max(cost.compute_seconds, cost.memory_seconds) + cost.launch_seconds
+        )
+        assert cost.batch == 64

@@ -1,0 +1,107 @@
+"""Property-based tests for metrics, cost models, and the batcher."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicBatcher, percentile
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.models import TENSORRT, get_model, inference_cost
+from repro.sim import Environment
+from repro.vision import Image, cpu_preprocess_cost, gpu_preprocess_cost
+
+CAL = DEFAULT_CALIBRATION
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=100),
+       q1=st.floats(min_value=0, max_value=100),
+       q2=st.floats(min_value=0, max_value=100))
+@settings(max_examples=80, deadline=None)
+def test_percentile_monotone_and_bounded(values, q1, q2):
+    ordered = sorted(values)
+    lo, hi = min(q1, q2), max(q1, q2)
+    p_lo = percentile(ordered, lo)
+    p_hi = percentile(ordered, hi)
+    assert p_lo <= p_hi
+    assert ordered[0] <= p_lo <= ordered[-1]
+    assert ordered[0] <= p_hi <= ordered[-1]
+
+
+@st.composite
+def images(draw):
+    width = draw(st.integers(min_value=16, max_value=4000))
+    height = draw(st.integers(min_value=16, max_value=4000))
+    nbytes = draw(st.integers(min_value=256, max_value=20_000_000))
+    return Image(width=width, height=height, compressed_bytes=nbytes)
+
+
+@given(image=images())
+@settings(max_examples=80, deadline=None)
+def test_preprocess_costs_positive_and_finite(image):
+    cpu = cpu_preprocess_cost(image, 224, CAL)
+    gpu = gpu_preprocess_cost(image, 224, CAL)
+    assert cpu.core_seconds > 0
+    assert gpu.staging_seconds > 0
+    assert gpu.kernel_seconds > 0
+    assert cpu.core_seconds < 10  # no image takes 10 CPU-seconds
+
+
+@given(image=images(), scale=st.integers(min_value=2, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_cpu_preprocess_monotone_in_pixels(image, scale):
+    bigger = Image(
+        width=image.width * scale,
+        height=image.height,
+        compressed_bytes=image.compressed_bytes,
+    )
+    small = cpu_preprocess_cost(image, 224, CAL).core_seconds
+    large = cpu_preprocess_cost(bigger, 224, CAL).core_seconds
+    assert large > small
+
+
+@given(batch=st.integers(min_value=1, max_value=256),
+       model_name=st.sampled_from(["vit-base-16", "resnet-50", "tinyvit-5m", "detr-resnet-50"]))
+@settings(max_examples=80, deadline=None)
+def test_inference_cost_invariants(batch, model_name):
+    model = get_model(model_name)
+    cost = inference_cost(model, TENSORRT, batch, CAL)
+    assert cost.total_seconds > 0
+    assert cost.per_image_seconds > 0
+    if batch > 1:
+        one = inference_cost(model, TENSORRT, 1, CAL)
+        # More images never run faster in total...
+        assert cost.total_seconds >= one.total_seconds
+        # ...but amortize better (or at least no worse) per image.
+        assert cost.per_image_seconds <= one.per_image_seconds * 1.0001
+
+
+@given(item_count=st.integers(min_value=1, max_value=60),
+       max_batch=st.integers(min_value=1, max_value=16),
+       delay_ms=st.floats(min_value=0.0, max_value=5.0,
+                          allow_nan=False, allow_infinity=False))
+@settings(max_examples=60, deadline=None)
+def test_batcher_lossless_and_bounded(item_count, max_batch, delay_ms):
+    """Every submitted item is dispatched exactly once, in FIFO order,
+    in batches that never exceed max_batch."""
+    env = Environment()
+    batcher = DynamicBatcher(env, max_batch=max_batch, max_queue_delay=delay_ms / 1e3)
+    dispatched = []
+
+    def instance():
+        while True:
+            batch = yield batcher.next_batch()
+            assert 1 <= len(batch) <= max_batch
+            dispatched.extend(batch)
+            yield env.timeout(0.001)
+
+    env.process(instance())
+
+    def producer():
+        for i in range(item_count):
+            yield batcher.submit(i)
+            yield env.timeout(0.0003)
+
+    env.process(producer())
+    env.run(until=10.0)
+    assert dispatched == list(range(item_count))

@@ -1,0 +1,116 @@
+"""Property-based tests for the extension subsystems."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.serving.loadgen import BurstyArrivals, DiurnalArrivals
+from repro.sim import Environment, Gauge
+from repro.vision.video import (
+    Video,
+    keyframe_sample_indices,
+    uniform_sample_indices,
+    video_decode_cost,
+)
+
+CAL = DEFAULT_CALIBRATION
+
+
+@st.composite
+def videos(draw):
+    return Video(
+        width=draw(st.integers(min_value=64, max_value=3840)),
+        height=draw(st.integers(min_value=64, max_value=2160)),
+        fps=draw(st.sampled_from([24.0, 30.0, 60.0])),
+        duration_seconds=draw(st.floats(min_value=0.5, max_value=60.0,
+                                        allow_nan=False, allow_infinity=False)),
+        bitrate_bps=draw(st.floats(min_value=1e5, max_value=5e7,
+                                   allow_nan=False, allow_infinity=False)),
+        gop_frames=draw(st.integers(min_value=1, max_value=300)),
+    )
+
+
+@given(video=videos(), count=st.integers(min_value=1, max_value=64))
+@settings(max_examples=80, deadline=None)
+def test_video_sampling_invariants(video, count):
+    """Samples are in bounds, sorted, and decode work is consistent."""
+    samples = uniform_sample_indices(video, count)
+    assert 1 <= len(samples) <= min(count, video.frame_count)
+    indices = [s.index for s in samples]
+    assert indices == sorted(indices)
+    for sample in samples:
+        assert 0 <= sample.keyframe_index <= sample.index < video.frame_count
+        assert sample.keyframe_index % video.gop_frames == 0
+        assert 1 <= sample.frames_to_decode <= video.gop_frames
+
+
+@given(video=videos(), count=st.integers(min_value=1, max_value=32))
+@settings(max_examples=60, deadline=None)
+def test_video_decode_cost_invariants(video, count):
+    """Decoded frames are bounded by the clip; keyframe sampling never
+    costs more than uniform sampling of the same count."""
+    uniform = video_decode_cost(video, uniform_sample_indices(video, count), CAL)
+    keyed = video_decode_cost(video, keyframe_sample_indices(video, count), CAL)
+    assert 0 < uniform.decoded_frames <= video.frame_count
+    assert uniform.decoded_frames >= uniform.sampled_frames
+    assert keyed.total_seconds <= uniform.total_seconds * 1.0001
+    assert keyed.amplification == 1.0
+
+
+@given(
+    base=st.floats(min_value=1, max_value=1e4, allow_nan=False, allow_infinity=False),
+    burst_mult=st.floats(min_value=1.1, max_value=50,
+                         allow_nan=False, allow_infinity=False),
+    base_s=st.floats(min_value=0.01, max_value=10, allow_nan=False,
+                     allow_infinity=False),
+    burst_s=st.floats(min_value=0.01, max_value=10, allow_nan=False,
+                      allow_infinity=False),
+    t=st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_bursty_rate_is_one_of_the_two_phases(base, burst_mult, base_s, burst_s, t):
+    arrivals = BurstyArrivals(base_rate=base, burst_rate=base * burst_mult,
+                              base_seconds=base_s, burst_seconds=burst_s)
+    rate = arrivals.rate_at(t)
+    assert rate in (arrivals.base_rate, arrivals.burst_rate)
+    assert arrivals.base_rate <= arrivals.mean_rate <= arrivals.burst_rate
+
+
+@given(
+    mean=st.floats(min_value=1, max_value=1e5, allow_nan=False, allow_infinity=False),
+    swing=st.floats(min_value=0, max_value=0.99, allow_nan=False,
+                    allow_infinity=False),
+    t=st.floats(min_value=0, max_value=1e4, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_diurnal_rate_bounded_and_positive(mean, swing, t):
+    arrivals = DiurnalArrivals(mean, swing=swing, period_seconds=60)
+    rate = arrivals.rate_at(t)
+    assert mean * (1 - swing) - 1e-6 <= rate <= mean * (1 + swing) + 1e-6
+    assert rate > 0
+
+
+@given(levels=st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=10, allow_nan=False,
+                  allow_infinity=False),  # hold duration
+        st.floats(min_value=-100, max_value=100, allow_nan=False,
+                  allow_infinity=False),  # new level
+    ),
+    min_size=1, max_size=30,
+))
+@settings(max_examples=60, deadline=None)
+def test_gauge_time_average_bounded_by_extremes(levels):
+    env = Environment()
+    gauge = Gauge(env, initial=0.0)
+
+    def proc():
+        for hold, value in levels:
+            yield env.timeout(hold)
+            gauge.set(value)
+        yield env.timeout(0.5)
+
+    env.run(until=env.process(proc()))
+    seen = [0.0] + [value for _, value in levels]
+    avg = gauge.time_average()
+    assert min(seen) - 1e-9 <= avg <= max(seen) + 1e-9

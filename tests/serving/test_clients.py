@@ -1,0 +1,112 @@
+"""Tests for closed-loop / open-loop clients and the experiment runner."""
+
+import pytest
+
+from repro.core import ServerConfig
+from repro.serving import (
+    ClosedLoopClient,
+    ExperimentConfig,
+    OpenLoopClient,
+    run_experiment,
+)
+from repro.core.server import InferenceServer
+from repro.hardware import ServerNode
+from repro.sim import Environment, RandomStreams
+from repro.vision import reference_dataset
+
+
+class TestClosedLoopClient:
+    def test_validation(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        with pytest.raises(ValueError):
+            ClosedLoopClient(env, server, reference_dataset("medium"), 0, RandomStreams(0))
+        with pytest.raises(ValueError):
+            ClosedLoopClient(
+                env, server, reference_dataset("medium"), 1, RandomStreams(0),
+                think_time_seconds=-1,
+            )
+
+    def test_maintains_concurrency(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        client = ClosedLoopClient(env, server, reference_dataset("medium"), 8, RandomStreams(0))
+        env.run(until=0.5)
+        completed = server.metrics.total_completed
+        # In flight at any time == concurrency.
+        assert client.issued - completed == 8
+
+    def test_stop_halts_new_requests(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        client = ClosedLoopClient(env, server, reference_dataset("medium"), 4, RandomStreams(0))
+        env.run(until=0.2)
+        client.stop()
+        issued = client.issued
+        env.run(until=0.6)
+        assert client.issued <= issued + 4  # only in-flight ones finish
+
+
+class TestOpenLoopClient:
+    def test_rate_validation(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        with pytest.raises(ValueError):
+            OpenLoopClient(env, server, reference_dataset("medium"), 0, RandomStreams(0))
+
+    def test_offered_rate_approximately_respected(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        client = OpenLoopClient(env, server, reference_dataset("medium"), 500, RandomStreams(0))
+        env.run(until=2.0)
+        assert client.issued == pytest.approx(1000, rel=0.2)
+
+    def test_completion_callback(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        seen = []
+        client = OpenLoopClient(
+            env, server, reference_dataset("medium"), 200, RandomStreams(0),
+            on_complete=seen.append,
+        )
+        env.run(until=1.0)
+        assert len(seen) > 50
+        assert all(r.completion_time is not None for r in seen)
+
+
+class TestRunner:
+    def test_run_result_fields(self):
+        result = run_experiment(
+            ExperimentConfig(concurrency=16, warmup_requests=30, measure_requests=150)
+        )
+        assert result.throughput > 0
+        assert result.mean_latency > 0
+        assert result.p99_latency >= result.mean_latency * 0.5
+        assert result.cpu_joules_per_image > 0
+        assert result.gpu_joules_per_image > 0
+        assert result.joules_per_image == pytest.approx(
+            result.cpu_joules_per_image + result.gpu_joules_per_image
+        )
+        assert 0 <= result.cpu_utilization <= 1
+        assert 0 <= result.gpu_utilization <= 1
+
+    def test_energy_window_excludes_warmup(self):
+        """Warm-up traffic must not inflate per-image energy."""
+        short = run_experiment(
+            ExperimentConfig(concurrency=16, warmup_requests=20, measure_requests=200)
+        )
+        long = run_experiment(
+            ExperimentConfig(concurrency=16, warmup_requests=400, measure_requests=200)
+        )
+        assert short.joules_per_image == pytest.approx(long.joules_per_image, rel=0.1)
+
+    def test_config_with(self):
+        config = ExperimentConfig()
+        assert config.with_(concurrency=99).concurrency == 99
+        assert config.concurrency == 64

@@ -1,0 +1,115 @@
+"""Tests for the multi-node fleet: load balancer and capacity planning."""
+
+import pytest
+
+from repro.core import ServerConfig
+from repro.serving import (
+    LEAST_OUTSTANDING,
+    ROUND_ROBIN,
+    plan_capacity,
+    run_fleet_experiment,
+)
+from repro.serving.fleet import Fleet, LoadBalancer
+from repro.sim import Environment
+from repro.vision import reference_dataset
+
+SERVER = ServerConfig(model="resnet-50", preprocess_batch_size=64)
+
+
+class TestValidation:
+    def test_balancer_args(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            LoadBalancer(env, [], per_node_cap=1)
+        fleet = Fleet(env, 1, SERVER)
+        with pytest.raises(ValueError):
+            LoadBalancer(env, fleet.servers, per_node_cap=0)
+        with pytest.raises(ValueError):
+            LoadBalancer(env, fleet.servers, per_node_cap=1, policy="random")
+
+    def test_fleet_args(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Fleet(env, 0, SERVER)
+
+    def test_run_args(self):
+        with pytest.raises(ValueError):
+            run_fleet_experiment(SERVER, node_count=1, offered_rate=0)
+
+    def test_plan_args(self):
+        with pytest.raises(ValueError):
+            plan_capacity(SERVER, offered_rate=100, p99_slo_seconds=0)
+
+
+class TestFleetBehaviour:
+    def test_two_nodes_serve_more_than_one(self):
+        one = run_fleet_experiment(
+            SERVER, node_count=1, offered_rate=9000,
+            warmup_requests=800, measure_requests=1500,
+        )
+        two = run_fleet_experiment(
+            SERVER, node_count=2, offered_rate=9000,
+            warmup_requests=800, measure_requests=1500,
+        )
+        assert one.goodput_fraction < 0.85  # one node is overloaded
+        assert two.goodput_fraction > 0.95  # two nodes absorb the load
+        assert two.throughput > 1.3 * one.throughput
+
+    def test_least_outstanding_balances_evenly(self):
+        result = run_fleet_experiment(
+            SERVER, node_count=3, offered_rate=6000,
+            warmup_requests=500, measure_requests=1500,
+            policy=LEAST_OUTSTANDING,
+        )
+        assert result.balance_ratio < 1.2
+
+    def test_round_robin_balances_evenly(self):
+        result = run_fleet_experiment(
+            SERVER, node_count=3, offered_rate=6000,
+            warmup_requests=500, measure_requests=1500,
+            policy=ROUND_ROBIN,
+        )
+        assert result.balance_ratio < 1.2
+
+    def test_backlog_grows_under_overload(self):
+        result = run_fleet_experiment(
+            SERVER, node_count=1, offered_rate=12000,
+            warmup_requests=500, measure_requests=1000,
+            per_node_cap=256,
+        )
+        assert result.peak_backlog > 100
+
+    def test_deterministic(self):
+        a = run_fleet_experiment(SERVER, node_count=2, offered_rate=4000,
+                                 warmup_requests=300, measure_requests=800)
+        b = run_fleet_experiment(SERVER, node_count=2, offered_rate=4000,
+                                 warmup_requests=300, measure_requests=800)
+        assert a.throughput == pytest.approx(b.throughput)
+
+
+class TestCapacityPlanning:
+    def test_plan_finds_minimum_fleet(self):
+        plan = plan_capacity(
+            SERVER,
+            offered_rate=8000,
+            p99_slo_seconds=0.2,
+            dataset=reference_dataset("medium"),
+            warmup_requests=1500,
+            measure_requests=2500,
+        )
+        # One ~5.7k img/s node cannot absorb 8k req/s; two can.
+        assert plan.nodes_required == 2
+        assert plan.achieved_p99 <= 0.2
+        assert 1 in plan.evaluations
+
+    def test_plan_raises_when_impossible(self):
+        with pytest.raises(RuntimeError, match="no fleet"):
+            plan_capacity(
+                SERVER,
+                offered_rate=50000,
+                p99_slo_seconds=0.001,
+                max_nodes=2,
+                warmup_requests=200,
+                measure_requests=400,
+                max_sim_seconds=5.0,
+            )

@@ -1,0 +1,121 @@
+"""Tests for arrival processes and the patterned open-loop client."""
+
+import pytest
+
+from repro.core import MetricsCollector, ServerConfig
+from repro.core.server import InferenceServer
+from repro.hardware import ServerNode
+from repro.serving import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PatternedClient,
+    PoissonArrivals,
+)
+from repro.sim import Environment, RandomStreams
+from repro.vision import reference_dataset
+
+
+class TestArrivalProcesses:
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+    def test_poisson_constant_rate(self):
+        arrivals = PoissonArrivals(100)
+        assert arrivals.rate_at(0) == arrivals.rate_at(42.0) == 100
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(base_rate=0, burst_rate=10)
+        with pytest.raises(ValueError):
+            BurstyArrivals(base_rate=10, burst_rate=5)
+        with pytest.raises(ValueError):
+            BurstyArrivals(base_rate=10, burst_rate=20, base_seconds=0)
+
+    def test_bursty_phases(self):
+        arrivals = BurstyArrivals(base_rate=100, burst_rate=1000,
+                                  base_seconds=1.0, burst_seconds=0.5)
+        assert arrivals.rate_at(0.5) == 100
+        assert arrivals.rate_at(1.2) == 1000
+        assert arrivals.rate_at(1.6) == 100  # wrapped into the next period
+        assert arrivals.mean_rate == pytest.approx((100 * 1 + 1000 * 0.5) / 1.5)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(100, swing=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(100, period_seconds=0)
+
+    def test_diurnal_swings_around_mean(self):
+        arrivals = DiurnalArrivals(100, swing=0.5, period_seconds=60)
+        peak = arrivals.rate_at(15)  # quarter period: sin = 1
+        trough = arrivals.rate_at(45)
+        assert peak == pytest.approx(150)
+        assert trough == pytest.approx(50)
+
+    def test_intervals_reflect_rate(self):
+        import random
+
+        rng = random.Random(0)
+        fast = PoissonArrivals(1000)
+        slow = PoissonArrivals(10)
+        fast_mean = sum(fast.next_interval(0, rng) for _ in range(500)) / 500
+        slow_mean = sum(slow.next_interval(0, rng) for _ in range(500)) / 500
+        assert fast_mean < slow_mean / 10
+
+
+class TestPatternedClient:
+    def _run(self, arrivals, seconds=2.0):
+        env = Environment()
+        node = ServerNode(env)
+        collector = MetricsCollector()
+        collector.arm(0.0)
+        server = InferenceServer(
+            env, node, ServerConfig(model="resnet-50", preprocess_batch_size=64),
+            metrics=collector,
+        )
+        client = PatternedClient(
+            env, server, reference_dataset("medium"), arrivals, RandomStreams(0)
+        )
+        env.run(until=seconds)
+        collector.disarm(env.now)
+        return client, collector
+
+    def test_poisson_rate_respected(self):
+        client, collector = self._run(PoissonArrivals(500))
+        assert client.issued == pytest.approx(1000, rel=0.2)
+
+    def test_bursty_issues_more_during_bursts(self):
+        arrivals = BurstyArrivals(base_rate=200, burst_rate=2000,
+                                  base_seconds=1.0, burst_seconds=0.25)
+        client, _ = self._run(arrivals, seconds=2.5)
+        expected = arrivals.mean_rate * 2.5
+        assert client.issued == pytest.approx(expected, rel=0.3)
+
+    def test_stop(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig())
+        client = PatternedClient(
+            env, server, reference_dataset("medium"), PoissonArrivals(100),
+            RandomStreams(0),
+        )
+        env.run(until=0.5)
+        client.stop()
+        issued = client.issued
+        env.run(until=1.5)
+        assert client.issued <= issued + 1
+
+    def test_completion_callback(self):
+        env = Environment()
+        node = ServerNode(env)
+        server = InferenceServer(env, node, ServerConfig(model="resnet-50"))
+        seen = []
+        PatternedClient(
+            env, server, reference_dataset("medium"), PoissonArrivals(200),
+            RandomStreams(0), on_complete=seen.append,
+        )
+        env.run(until=1.0)
+        assert len(seen) > 50

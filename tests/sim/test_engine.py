@@ -1,0 +1,440 @@
+"""Unit tests for the DES engine: time, processes, events, conditions."""
+
+import pytest
+
+from repro.sim import Environment, EmptySchedule, Interrupt
+
+
+def test_initial_time_is_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_initial_time_can_be_set():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_value_delivered():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_process_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return 42
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == 42
+    assert env.now == 2
+
+
+def test_run_empty_schedule_returns_none():
+    env = Environment()
+    assert env.run() is None
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_events_processed_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in "abcde":
+        env.process(proc(env, tag))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_process_waits_for_process():
+    env = Environment()
+    trace = []
+
+    def child(env):
+        yield env.timeout(5)
+        trace.append("child done")
+        return "result"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        trace.append(f"parent got {value}")
+
+    env.process(parent(env))
+    env.run()
+    assert trace == ["child done", "parent got result"]
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    done = env.event()
+    got = []
+
+    def waiter(env):
+        value = yield done
+        got.append(value)
+
+    def firer(env):
+        yield env.timeout(2)
+        done.succeed("fired")
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert got == ["fired"]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("nope"))
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    ev.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_escalates():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("unhandled"))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_uncaught_exception_in_waited_process_propagates():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise RuntimeError("child crashed")
+
+    def parent(env):
+        with pytest.raises(RuntimeError, match="child crashed"):
+            yield env.process(child(env))
+
+    env.run(until=env.process(parent(env)))
+
+
+def test_uncaught_exception_in_unwaited_process_escalates():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise RuntimeError("nobody is watching")
+
+    env.process(child(env))
+    with pytest.raises(RuntimeError, match="nobody is watching"):
+        env.run()
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield 42
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="invalid yield"):
+        env.run()
+
+
+def test_yielding_already_processed_event_resumes_immediately():
+    env = Environment()
+    trace = []
+
+    def proc(env):
+        t = env.timeout(1, value="v")
+        yield env.timeout(5)
+        value = yield t  # processed long ago; should not block
+        trace.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert trace == [(5, "v")]
+
+
+def test_process_is_alive():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+
+    env.process(proc(env))
+    # The Initialize event is scheduled at t=0.
+    assert env.peek() == 0.0
+    env.step()
+    assert env.peek() == 7.0
+
+
+class TestConditions:
+    def test_all_of(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(2, value="b")
+            cond = yield env.all_of([t1, t2])
+            results.append((env.now, cond.values()))
+
+        env.process(proc(env))
+        env.run()
+        assert results == [(2, ["a", "b"])]
+
+    def test_any_of(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(2, value="b")
+            cond = yield env.any_of([t1, t2])
+            results.append((env.now, cond.values()))
+
+        env.process(proc(env))
+        env.run()
+        assert results == [(1, ["a"])]
+
+    def test_and_operator(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            yield env.timeout(1) & env.timeout(3)
+            results.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert results == [3]
+
+    def test_or_operator(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            yield env.timeout(1) | env.timeout(3)
+            results.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert results == [1]
+
+    def test_empty_all_of_triggers_immediately(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            yield env.all_of([])
+            results.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert results == [0]
+
+    def test_condition_failure_propagates(self):
+        env = Environment()
+        ev = env.event()
+
+        def proc(env):
+            with pytest.raises(ValueError, match="cond"):
+                yield env.all_of([ev, env.timeout(10)])
+
+        p = env.process(proc(env))
+        ev.fail(ValueError("cond"))
+        env.run(until=p)
+
+    def test_condition_value_mapping(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="x")
+            t2 = env.timeout(1, value="y")
+            cond = yield env.all_of([t1, t2])
+            assert cond[t1] == "x"
+            assert cond[t2] == "y"
+            assert t1 in cond
+            assert len(cond) == 2
+
+        env.run(until=env.process(proc(env)))
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        caught = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                caught.append((env.now, exc.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(3)
+            victim_proc.interrupt("stop now")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert caught == [(3, "stop now")]
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+        trace = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                trace.append("interrupted")
+            yield env.timeout(1)
+            trace.append(f"done at {env.now:g}")
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2)
+            victim_proc.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert trace == ["interrupted", "done at 3"]
+
+    def test_interrupt_terminated_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self):
+        env = Environment()
+
+        def proc(env):
+            with pytest.raises(RuntimeError):
+                env.active_process.interrupt()
+            yield env.timeout(0)
+
+        env.run(until=env.process(proc(env)))
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1)
+            victim_proc.interrupt("die")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        with pytest.raises(Interrupt):
+            env.run()

@@ -1,0 +1,136 @@
+"""Tests for the Monitor/Counter/Gauge instrumentation."""
+
+import pytest
+
+from repro.sim import Counter, Environment, Gauge, Monitor
+
+
+class TestMonitor:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Monitor(env, interval=0)
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("x", lambda: 0)
+        with pytest.raises(ValueError):
+            monitor.probe("x", lambda: 0)
+        with pytest.raises(KeyError, match="unknown series"):
+            monitor.series("y")
+
+    def test_samples_at_interval(self):
+        env = Environment()
+        state = {"v": 0.0}
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("level", lambda: state["v"])
+        monitor.start()
+
+        def mutate():
+            for i in range(5):
+                state["v"] = float(i)
+                yield env.timeout(1.0)
+
+        env.process(mutate())
+        env.run(until=4.5)
+        series = monitor.series("level")
+        assert series.times == [0.0, 1.0, 2.0, 3.0, 4.0]
+        # The sampler fires before the same-instant mutation (FIFO event
+        # order), so each sample sees the previous value.
+        assert series.values == [0.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_start_idempotent_and_stop(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("x", lambda: 1.0)
+        monitor.start()
+        monitor.start()
+        env.run(until=2.5)
+        count = len(monitor.series("x"))
+        monitor.stop()
+        env.run(until=10)
+        assert len(monitor.series("x")) <= count + 1  # one in-flight sample
+
+    def test_series_statistics(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        values = iter([1.0, 3.0, 5.0, 3.0])
+        monitor.probe("x", lambda: next(values))
+        monitor.start()
+        env.run(until=3.5)
+        series = monitor.series("x")
+        assert series.mean == pytest.approx(3.0)
+        assert series.maximum == 5.0
+        assert series.minimum == 1.0
+
+    def test_series_window(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("t", lambda: env.now)
+        monitor.start()
+        env.run(until=5.5)
+        window = monitor.series("t").window(2.0, 4.0)
+        assert window.times == [2.0, 3.0]
+
+    def test_empty_series_statistics_raise(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("x", lambda: 1.0)
+        with pytest.raises(ValueError):
+            _ = monitor.series("x").mean
+
+
+class TestCounter:
+    def test_count_and_rate(self):
+        env = Environment()
+        counter = Counter(env)
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(0.5)
+                counter.increment()
+
+        env.run(until=env.process(proc()))
+        assert counter.count == 10
+        assert counter.rate() == pytest.approx(2.0)
+
+    def test_windowed_rate(self):
+        env = Environment()
+        counter = Counter(env)
+
+        def proc():
+            counter.increment(5)  # burst at t=0
+            yield env.timeout(10)
+            counter.increment()  # one at t=10
+
+        env.run(until=env.process(proc()))
+        assert counter.rate(window=1.0) < counter.rate()
+
+    def test_negative_increment_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Counter(env).increment(-1)
+
+    def test_empty_rate(self):
+        env = Environment()
+        assert Counter(env).rate() == 0.0
+
+
+class TestGauge:
+    def test_time_average(self):
+        env = Environment()
+        gauge = Gauge(env, initial=0.0)
+
+        def proc():
+            yield env.timeout(5)
+            gauge.set(10.0)
+            yield env.timeout(5)
+
+        env.run(until=env.process(proc()))
+        # 0 for 5s, 10 for 5s -> average 5.
+        assert gauge.time_average() == pytest.approx(5.0)
+        assert gauge.value == 10.0
+
+    def test_add(self):
+        env = Environment()
+        gauge = Gauge(env, initial=2.0)
+        gauge.add(3.0)
+        assert gauge.value == 5.0

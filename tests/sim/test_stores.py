@@ -1,0 +1,245 @@
+"""Unit tests for Store / FilterStore / PriorityStore and RandomStreams."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    RandomStreams,
+    Store,
+)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def proc(env):
+            yield store.put("x")
+            item = yield store.get()
+            got.append(item)
+
+        env.run(until=env.process(proc(env)))
+        assert got == ["x"]
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for item in "abc":
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [("late", 5)]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        trace = []
+
+        def producer(env):
+            yield store.put(1)
+            trace.append(("put1", env.now))
+            yield store.put(2)
+            trace.append(("put2", env.now))
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert trace == [("put1", 0), ("put2", 3)]
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_peak_size(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            for i in range(5):
+                yield store.put(i)
+            for _ in range(5):
+                yield store.get()
+
+        env.run(until=env.process(proc(env)))
+        assert store.peak_size == 5
+        assert store.size == 0
+
+    def test_get_wait_time(self):
+        env = Environment()
+        store = Store(env)
+        waits = []
+
+        def consumer(env):
+            get = store.get()
+            item = yield get
+            waits.append((item, get.wait_time))
+
+        def producer(env):
+            yield env.timeout(2.5)
+            yield store.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert waits == [("x", 2.5)]
+
+    def test_cancel_pending_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            get = store.get()
+            yield env.timeout(1)
+            get.cancel()
+            yield store.put("x")
+
+        env.run(until=env.process(proc(env)))
+        assert store.size == 1  # nobody consumed it
+
+
+class TestFilterStore:
+    def test_filter_selects_matching_item(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def proc(env):
+            yield store.put(1)
+            yield store.put(2)
+            yield store.put(3)
+            item = yield store.get(lambda x: x % 2 == 0)
+            got.append(item)
+
+        env.run(until=env.process(proc(env)))
+        assert got == [2]
+        assert store.items == [1, 3]
+
+    def test_filter_blocks_until_match_arrives(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(lambda x: x == "wanted")
+            got.append((item, env.now))
+
+        def producer(env):
+            yield store.put("other")
+            yield env.timeout(4)
+            yield store.put("wanted")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [("wanted", 4)]
+
+    def test_blocked_filter_getter_does_not_block_others(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def picky(env):
+            item = yield store.get(lambda x: x == "never")
+            got.append(item)
+
+        def easy(env):
+            yield env.timeout(1)
+            item = yield store.get(lambda x: True)
+            got.append(item)
+
+        def producer(env):
+            yield env.timeout(2)
+            yield store.put("anything")
+
+        env.process(picky(env))
+        env.process(easy(env))
+        env.process(producer(env))
+        env.run(until=10)
+        assert got == ["anything"]
+
+
+class TestPriorityStore:
+    def test_pops_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def proc(env):
+            yield store.put(PriorityItem(3, "c"))
+            yield store.put(PriorityItem(1, "a"))
+            yield store.put(PriorityItem(2, "b"))
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.run(until=env.process(proc(env)))
+        assert got == ["a", "b", "c"]
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(seed=7).stream("arrivals")
+        b = RandomStreams(seed=7).stream("arrivals")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(seed=3)
+        s1.stream("x")
+        first = s1.stream("y").random()
+
+        s2 = RandomStreams(seed=3)
+        second = s2.stream("y").random()  # y created before x here
+        s2.stream("x")
+        assert first == second
+
+    def test_spawn_derives_independent_family(self):
+        parent = RandomStreams(seed=1)
+        child = parent.spawn("gpu0")
+        assert child.seed != parent.seed
+        # Deterministic: same spawn name gives same child seed.
+        assert parent.spawn("gpu0").seed == child.seed
+        assert parent.spawn("gpu1").seed != child.seed

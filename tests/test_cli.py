@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "alexnet"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model == "resnet-50"
+        assert args.preprocess == "gpu"
+
+
+class TestCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet-50" in out
+        assert "faster-rcnn-face" in out
+
+    def test_models_json_export(self, tmp_path, capsys):
+        path = tmp_path / "zoo.json"
+        assert main(["models", "--json", str(path)]) == 0
+        rows = json.loads(path.read_text())
+        assert any(r["name"] == "vit-base-16" for r in rows)
+
+    def test_serve(self, capsys):
+        assert main(["serve", "--model", "resnet-50", "--concurrency", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "img/s" in out
+
+    def test_serve_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "run.csv"
+        assert main([
+            "serve", "--model", "tinyvit-5m", "--concurrency", "64",
+            "--csv", str(path),
+        ]) == 0
+        text = path.read_text()
+        assert "throughput" in text.splitlines()[0]
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "--model", "resnet-50", "--size", "large"]) == 0
+        out = capsys.readouterr().out
+        assert "preprocessing" in out
+        assert "cpu" in out and "gpu" in out
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "--model", "resnet-50", "--concurrencies", "1,64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "c=1" in out and "c=64" in out
+
+    def test_faces(self, capsys):
+        assert main([
+            "faces", "--brokers", "redis,fused", "--faces", "5",
+            "--frames", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "redis" in out and "fused" in out
+
+    def test_plan(self, capsys):
+        assert main([
+            "plan", "--model", "resnet-50", "--rate", "2000",
+            "--slo-ms", "500", "--max-nodes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nodes needed : 1" in out
+        assert "p99 by fleet size" in out

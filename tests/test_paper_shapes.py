@@ -1,0 +1,140 @@
+"""Fast regressions of the paper's headline shapes.
+
+Shrunk versions of the benchmark experiments: enough samples to pin the
+qualitative result, small enough to run in the unit-test suite.  If a
+calibration or scheduling change breaks one of the paper's findings,
+these fail long before the full benchmarks run.
+"""
+
+import pytest
+
+from repro.analysis import breakdown_from_metrics
+from repro.apps import FacePipelineConfig, zero_load_breakdown
+from repro.core import ServerConfig
+from repro.serving import ExperimentConfig, run_experiment, run_face_pipeline
+from repro.vision import reference_dataset
+
+
+def quick_run(server, size="medium", concurrency=384, measure=1200, **kw):
+    return run_experiment(
+        ExperimentConfig(
+            server=server,
+            dataset=reference_dataset(size),
+            concurrency=concurrency,
+            warmup_requests=300,
+            measure_requests=measure,
+            **kw,
+        )
+    )
+
+
+class TestFig6Shapes:
+    def test_medium_image_preprocessing_share(self):
+        """Paper: up to 56% (CPU) / 49% (GPU) for the medium image."""
+        cpu = breakdown_from_metrics(
+            zero_load_breakdown(preprocess_device="cpu").metrics
+        ).preprocess_fraction
+        gpu = breakdown_from_metrics(
+            zero_load_breakdown(preprocess_device="gpu").metrics
+        ).preprocess_fraction
+        assert 0.45 < cpu < 0.65
+        assert 0.40 < gpu < 0.62
+
+    def test_large_image_dominated_by_preprocessing(self):
+        cpu = breakdown_from_metrics(
+            zero_load_breakdown(preprocess_device="cpu", image_size="large").metrics
+        ).preprocess_fraction
+        assert cpu > 0.9
+
+    def test_small_image_cpu_beats_gpu(self):
+        cpu = zero_load_breakdown(preprocess_device="cpu", image_size="small")
+        gpu = zero_load_breakdown(preprocess_device="gpu", image_size="small")
+        assert cpu.mean_latency < gpu.mean_latency
+
+
+class TestFig7Shapes:
+    def test_tinyvit_transfer_anomaly(self):
+        """End-to-end beats inference-only for a small model + medium image."""
+        e2e = quick_run(
+            ServerConfig(model="tinyvit-5m", preprocess_device="gpu",
+                         preprocess_batch_size=64)
+        ).throughput
+        inf_only = quick_run(
+            ServerConfig(model="tinyvit-5m", mode="inference_only")
+        ).throughput
+        assert e2e > inf_only
+
+    def test_large_image_is_preprocessing_bound(self):
+        e2e = quick_run(
+            ServerConfig(model="vit-base-16", preprocess_device="gpu",
+                         preprocess_batch_size=64),
+            size="large", concurrency=256, measure=800,
+        ).throughput
+        inf_only = quick_run(
+            ServerConfig(model="vit-base-16", mode="inference_only"),
+            size="large", concurrency=256, measure=800,
+        ).throughput
+        assert e2e < 0.3 * inf_only
+
+
+class TestFig5Shapes:
+    def test_gpu_preprocessing_outperforms_cpu_at_load(self):
+        gpu = quick_run(
+            ServerConfig(model="resnet-50", preprocess_device="gpu",
+                         preprocess_batch_size=64),
+            concurrency=768, measure=2000,
+        ).throughput
+        cpu = quick_run(
+            ServerConfig(model="resnet-50", preprocess_device="cpu",
+                         preprocess_batch_size=64),
+            concurrency=768, measure=2000,
+        ).throughput
+        assert gpu > cpu
+
+    def test_queue_dominates_at_high_concurrency(self):
+        result = quick_run(
+            ServerConfig(model="resnet-50", preprocess_batch_size=64),
+            concurrency=1024, measure=2048,
+        )
+        queue = result.metrics.span_mean("queue") + result.metrics.span_mean(
+            "preprocess_wait"
+        )
+        assert queue / result.mean_latency > 0.5
+
+
+class TestFig11Shapes:
+    def test_redis_beats_kafka_at_high_fanout(self):
+        rates = {}
+        for broker in ("redis", "kafka"):
+            rates[broker] = run_face_pipeline(
+                FacePipelineConfig(broker=broker, faces_per_frame=25),
+                concurrency=96, warmup_requests=100, measure_requests=600,
+            ).throughput
+        assert rates["redis"] > 1.7 * rates["kafka"]
+
+    def test_fused_wins_at_single_face(self):
+        rates = {}
+        for broker in ("fused", "redis"):
+            rates[broker] = run_face_pipeline(
+                FacePipelineConfig(broker=broker, faces_per_frame=1),
+                concurrency=96, warmup_requests=100, measure_requests=600,
+            ).throughput
+        assert rates["fused"] > rates["redis"]
+
+
+class TestFig4Shapes:
+    def test_small_models_are_overhead_dominated(self):
+        result = quick_run(
+            ServerConfig(model="resnet-50", preprocess_device="gpu",
+                         preprocess_batch_size=64),
+            concurrency=16, measure=400,
+        )
+        assert breakdown_from_metrics(result.metrics).inference_fraction < 0.5
+
+    def test_large_models_are_inference_dominated(self):
+        result = quick_run(
+            ServerConfig(model="detr-resnet-50", preprocess_device="gpu",
+                         preprocess_batch_size=64),
+            concurrency=16, measure=300,
+        )
+        assert breakdown_from_metrics(result.metrics).inference_fraction > 0.4

@@ -1,0 +1,103 @@
+"""Unit tests for JPEG and preprocessing cost models."""
+
+import pytest
+
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.vision import (
+    LARGE_IMAGE,
+    MEDIUM_IMAGE,
+    SMALL_IMAGE,
+    cpu_decode_cost,
+    cpu_preprocess_cost,
+    estimate_compressed_bytes,
+    gpu_decode_cost,
+    gpu_preprocess_cost,
+)
+
+CAL = DEFAULT_CALIBRATION
+
+
+class TestDecodeCosts:
+    def test_cpu_cost_monotonic_in_image_size(self):
+        small = cpu_decode_cost(SMALL_IMAGE, CAL).total_seconds
+        medium = cpu_decode_cost(MEDIUM_IMAGE, CAL).total_seconds
+        large = cpu_decode_cost(LARGE_IMAGE, CAL).total_seconds
+        assert small < medium < large
+
+    def test_gpu_cost_monotonic_in_image_size(self):
+        small = gpu_decode_cost(SMALL_IMAGE, CAL).total_seconds
+        medium = gpu_decode_cost(MEDIUM_IMAGE, CAL).total_seconds
+        large = gpu_decode_cost(LARGE_IMAGE, CAL).total_seconds
+        assert small < medium < large
+
+    def test_gpu_kernels_much_faster_than_cpu_for_large(self):
+        cpu = cpu_decode_cost(LARGE_IMAGE, CAL).total_seconds
+        gpu = gpu_decode_cost(LARGE_IMAGE, CAL).kernel_seconds
+        assert gpu < cpu / 10
+
+    def test_entropy_scales_with_bytes(self):
+        cost = cpu_decode_cost(MEDIUM_IMAGE, CAL)
+        expected = MEDIUM_IMAGE.compressed_bytes * CAL.cpu.decode_seconds_per_byte
+        assert cost.entropy_seconds == pytest.approx(expected)
+
+
+class TestPreprocessCosts:
+    def test_cpu_components_sum(self):
+        cost = cpu_preprocess_cost(MEDIUM_IMAGE, 224, CAL)
+        assert cost.core_seconds == pytest.approx(
+            cost.request_overhead_seconds
+            + cost.decode_seconds
+            + cost.resize_seconds
+            + cost.normalize_seconds
+        )
+
+    def test_normalize_depends_only_on_output(self):
+        a = cpu_preprocess_cost(SMALL_IMAGE, 224, CAL)
+        b = cpu_preprocess_cost(LARGE_IMAGE, 224, CAL)
+        assert a.normalize_seconds == pytest.approx(b.normalize_seconds)
+
+    def test_gpu_staging_scales_with_compressed_bytes(self):
+        a = gpu_preprocess_cost(SMALL_IMAGE, 224, CAL)
+        b = gpu_preprocess_cost(LARGE_IMAGE, 224, CAL)
+        ratio = b.staging_seconds / a.staging_seconds
+        expected = LARGE_IMAGE.compressed_bytes / SMALL_IMAGE.compressed_bytes
+        assert ratio == pytest.approx(expected)
+
+    def test_cpu_beats_gpu_launch_for_small_image(self):
+        """Paper Sec. 4.2: CPU preprocessing wins for small images."""
+        cpu = cpu_preprocess_cost(SMALL_IMAGE, 224, CAL).core_seconds
+        gpu_total = (
+            gpu_preprocess_cost(SMALL_IMAGE, 224, CAL).total_seconds
+            + CAL.gpu.preprocess_launch_seconds
+        )
+        assert cpu < gpu_total
+
+    def test_gpu_beats_cpu_for_large_image(self):
+        cpu = cpu_preprocess_cost(LARGE_IMAGE, 224, CAL).core_seconds
+        gpu_total = (
+            gpu_preprocess_cost(LARGE_IMAGE, 224, CAL).total_seconds
+            + CAL.gpu.preprocess_launch_seconds
+        )
+        assert gpu_total < cpu
+
+
+class TestJpegSizeEstimate:
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            estimate_compressed_bytes(100, 100, quality=0)
+        with pytest.raises(ValueError):
+            estimate_compressed_bytes(100, 100, quality=101)
+
+    def test_higher_quality_is_bigger(self):
+        low = estimate_compressed_bytes(640, 480, quality=60)
+        high = estimate_compressed_bytes(640, 480, quality=95)
+        assert high > low
+
+    def test_floor_for_tiny_images(self):
+        assert estimate_compressed_bytes(8, 8, quality=50) >= 256
+
+    def test_plausible_medium_size(self):
+        """A 500x375 q~87 photo should be on the order of the paper's
+        121 kB medium reference image."""
+        size = estimate_compressed_bytes(500, 375, quality=87)
+        assert 60_000 < size < 200_000

@@ -1,0 +1,86 @@
+"""Unit tests for workload datasets."""
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.vision import (
+    FixedImageDataset,
+    ImageNetLikeDataset,
+    MEDIUM_IMAGE,
+    MixtureDataset,
+    SMALL_IMAGE,
+    VideoFrameDataset,
+    reference_dataset,
+)
+
+
+class TestFixedImageDataset:
+    def test_always_same_image(self):
+        ds = FixedImageDataset(MEDIUM_IMAGE)
+        streams = RandomStreams(0)
+        images = list(ds.iterate(10, streams))
+        assert all(img is MEDIUM_IMAGE for img in images)
+
+    def test_reference_lookup(self):
+        assert reference_dataset("medium").image is MEDIUM_IMAGE
+        with pytest.raises(KeyError, match="unknown reference size"):
+            reference_dataset("huge")
+
+
+class TestMixtureDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixtureDataset([])
+        with pytest.raises(ValueError):
+            MixtureDataset([SMALL_IMAGE], weights=[1.0, 2.0])
+
+    def test_samples_from_members(self):
+        ds = MixtureDataset([SMALL_IMAGE, MEDIUM_IMAGE])
+        streams = RandomStreams(1)
+        seen = {img.name for img in ds.iterate(50, streams)}
+        assert seen == {"small", "medium"}
+
+    def test_weights_bias_sampling(self):
+        ds = MixtureDataset([SMALL_IMAGE, MEDIUM_IMAGE], weights=[0.99, 0.01])
+        streams = RandomStreams(2)
+        images = list(ds.iterate(200, streams))
+        small_count = sum(1 for img in images if img.name == "small")
+        assert small_count > 150
+
+
+class TestImageNetLikeDataset:
+    def test_deterministic_for_seed(self):
+        a = [
+            (img.width, img.height, img.compressed_bytes)
+            for img in ImageNetLikeDataset().iterate(30, RandomStreams(7))
+        ]
+        b = [
+            (img.width, img.height, img.compressed_bytes)
+            for img in ImageNetLikeDataset().iterate(30, RandomStreams(7))
+        ]
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = [img.width for img in ImageNetLikeDataset().iterate(30, RandomStreams(1))]
+        b = [img.width for img in ImageNetLikeDataset().iterate(30, RandomStreams(2))]
+        assert a != b
+
+    def test_statistics_are_imagenet_like(self):
+        """Mean file size ~110 kB, dominated by ~500px images."""
+        images = list(ImageNetLikeDataset().iterate(2000, RandomStreams(3)))
+        mean_bytes = sum(img.compressed_bytes for img in images) / len(images)
+        assert 50_000 < mean_bytes < 400_000
+        typical = sum(1 for img in images if 300 <= img.width <= 640)
+        assert typical / len(images) > 0.7
+
+    def test_has_a_large_tail(self):
+        images = list(ImageNetLikeDataset().iterate(2000, RandomStreams(4)))
+        assert any(img.width >= 2000 for img in images)
+
+
+class TestVideoFrameDataset:
+    def test_fixed_resolution(self):
+        ds = VideoFrameDataset(width=1280, height=720)
+        streams = RandomStreams(0)
+        frames = list(ds.iterate(5, streams))
+        assert all(f.width == 1280 and f.height == 720 for f in frames)

@@ -1,0 +1,65 @@
+"""Unit tests for image descriptors and reference sizes."""
+
+import pytest
+
+from repro.vision import (
+    LARGE_IMAGE,
+    MEDIUM_IMAGE,
+    REFERENCE_IMAGES,
+    SMALL_IMAGE,
+    Image,
+    Tensor,
+)
+
+
+class TestImage:
+    def test_properties(self):
+        img = Image(width=100, height=50, compressed_bytes=1000)
+        assert img.pixels == 5000
+        assert img.decoded_bytes == 15000
+        assert img.compression_ratio == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Image(width=0, height=10, compressed_bytes=100)
+        with pytest.raises(ValueError):
+            Image(width=10, height=-1, compressed_bytes=100)
+        with pytest.raises(ValueError):
+            Image(width=10, height=10, compressed_bytes=0)
+
+    def test_str(self):
+        assert "small" in str(SMALL_IMAGE)
+
+    def test_paper_reference_sizes(self):
+        """Footnote 3 of the paper, reproduced exactly."""
+        assert (SMALL_IMAGE.width, SMALL_IMAGE.height) == (60, 70)
+        assert SMALL_IMAGE.compressed_bytes == 4 * 1024
+        assert (MEDIUM_IMAGE.width, MEDIUM_IMAGE.height) == (500, 375)
+        assert MEDIUM_IMAGE.compressed_bytes == 121 * 1024
+        assert (LARGE_IMAGE.width, LARGE_IMAGE.height) == (3564, 2880)
+        assert LARGE_IMAGE.compressed_bytes == 9528 * 1024
+        assert set(REFERENCE_IMAGES) == {"small", "medium", "large"}
+
+    def test_decoded_raw_is_about_5x_compressed_for_medium(self):
+        """The Fig. 7 TinyViT root cause: raw ~5x larger than JPEG."""
+        ratio = (224 * 224 * 3 * 4) / MEDIUM_IMAGE.compressed_bytes
+        assert 4 <= ratio <= 6
+
+
+class TestTensor:
+    def test_sizes(self):
+        t = Tensor((3, 224, 224))
+        assert t.elements == 3 * 224 * 224
+        assert t.nbytes == t.elements * 4
+
+    def test_with_batch(self):
+        t = Tensor((3, 224, 224)).with_batch(8)
+        assert t.shape == (8, 3, 224, 224)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tensor(())
+        with pytest.raises(ValueError):
+            Tensor((3, 0))
+        with pytest.raises(ValueError):
+            Tensor((3,), dtype_bytes=0)

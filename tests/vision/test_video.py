@@ -1,0 +1,124 @@
+"""Tests for the compressed-video cost model."""
+
+import pytest
+
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.sim import RandomStreams
+from repro.vision import (
+    Video,
+    VideoClipDataset,
+    keyframe_sample_indices,
+    uniform_sample_indices,
+    video_decode_cost,
+)
+
+CAL = DEFAULT_CALIBRATION
+
+
+def clip(duration=10.0, gop=48):
+    return Video(width=1280, height=720, fps=30, duration_seconds=duration,
+                 bitrate_bps=4e6, gop_frames=gop)
+
+
+class TestVideo:
+    def test_derived_quantities(self):
+        video = clip(duration=10.0)
+        assert video.frame_count == 300
+        assert video.compressed_bytes == int(4e6 * 10 / 8)
+        assert video.pixels_per_frame == 1280 * 720
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Video(width=0, height=720, fps=30, duration_seconds=1, bitrate_bps=1e6)
+        with pytest.raises(ValueError):
+            Video(width=10, height=10, fps=0, duration_seconds=1, bitrate_bps=1e6)
+        with pytest.raises(ValueError):
+            Video(width=10, height=10, fps=30, duration_seconds=1, bitrate_bps=0)
+        with pytest.raises(ValueError):
+            Video(width=10, height=10, fps=30, duration_seconds=1, bitrate_bps=1e6,
+                  gop_frames=0)
+
+    def test_frame_as_image(self):
+        video = clip()
+        image = video.frame_as_image(3)
+        assert image.width == 1280
+        assert image.compressed_bytes >= 256
+
+
+class TestSampling:
+    def test_uniform_count_and_bounds(self):
+        video = clip()
+        samples = uniform_sample_indices(video, 8)
+        assert len(samples) == 8
+        indices = [s.index for s in samples]
+        assert indices == sorted(indices)
+        assert all(0 <= i < video.frame_count for i in indices)
+
+    def test_uniform_capped_at_frame_count(self):
+        video = clip(duration=0.2)  # 6 frames
+        assert len(uniform_sample_indices(video, 100)) == video.frame_count
+
+    def test_keyframes_are_gop_aligned(self):
+        video = clip()
+        for sample in keyframe_sample_indices(video, 4):
+            assert sample.index % video.gop_frames == 0
+            assert sample.frames_to_decode == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_sample_indices(clip(), 0)
+        with pytest.raises(ValueError):
+            keyframe_sample_indices(clip(), 0)
+
+
+class TestDecodeCost:
+    def test_gop_amplification(self):
+        """Uniform samples land mid-GOP: decoding must cover lead-ins."""
+        video = clip()
+        cost = video_decode_cost(video, uniform_sample_indices(video, 8), CAL)
+        assert cost.decoded_frames > cost.sampled_frames
+        assert cost.amplification > 2
+
+    def test_keyframe_sampling_is_much_cheaper(self):
+        video = clip()
+        uniform = video_decode_cost(video, uniform_sample_indices(video, 8), CAL)
+        keyed = video_decode_cost(video, keyframe_sample_indices(video, 8), CAL)
+        assert keyed.total_seconds < uniform.total_seconds / 3
+        assert keyed.amplification == pytest.approx(1.0)
+
+    def test_more_samples_cost_more(self):
+        video = clip()
+        few = video_decode_cost(video, uniform_sample_indices(video, 4), CAL)
+        many = video_decode_cost(video, uniform_sample_indices(video, 16), CAL)
+        assert many.total_seconds > few.total_seconds
+
+    def test_shared_gop_leadins_not_double_counted(self):
+        """Two samples in one GOP decode the span once."""
+        video = clip(gop=300)  # single GOP
+        dense = video_decode_cost(video, uniform_sample_indices(video, 16), CAL)
+        assert dense.decoded_frames <= video.frame_count
+
+    def test_zero_samples(self):
+        video = clip()
+        cost = video_decode_cost(video, [], CAL)
+        assert cost.total_seconds == 0.0
+        assert cost.amplification == 0.0
+
+
+class TestVideoClipDataset:
+    def test_deterministic(self):
+        a = VideoClipDataset().sample(RandomStreams(5).stream("v"))
+        b = VideoClipDataset().sample(RandomStreams(5).stream("v"))
+        assert a.duration_seconds == b.duration_seconds
+
+    def test_duration_jitter(self):
+        streams = RandomStreams(1)
+        ds = VideoClipDataset(mean_duration_seconds=8.0)
+        rng = streams.stream("v")
+        durations = {ds.sample(rng).duration_seconds for _ in range(10)}
+        assert len(durations) > 1
+        assert all(4.0 <= d <= 12.0 for d in durations)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoClipDataset(mean_duration_seconds=0)
