@@ -67,7 +67,7 @@ def run_ladder():
     result = _serve(onnx_fixed, concurrency=96)
     open_loop = run_open_loop(
         ExperimentConfig(
-            server=onnx_fixed.with_(preprocess_queue_delay_seconds=5e-3),
+            server=onnx_fixed.with_overrides(preprocess_queue_delay_seconds=5e-3),
             dataset=DATASET,
             warmup_requests=200,
             measure_requests=1200,
@@ -82,11 +82,11 @@ def run_ladder():
 
     # Rung 5: dynamic batching — slightly lower peak throughput, far
     # better tail latency (paper: 55 ms -> 38 ms p99).
-    onnx_dynamic = onnx_fixed.with_(max_queue_delay_seconds=1.0e-3)
+    onnx_dynamic = onnx_fixed.with_overrides(max_queue_delay_seconds=1.0e-3)
     result = _serve(onnx_dynamic, concurrency=96)
     open_loop = run_open_loop(
         ExperimentConfig(
-            server=onnx_dynamic.with_(preprocess_queue_delay_seconds=5e-3),
+            server=onnx_dynamic.with_overrides(preprocess_queue_delay_seconds=5e-3),
             dataset=DATASET,
             warmup_requests=200,
             measure_requests=1200,
@@ -119,7 +119,7 @@ def run_ladder():
     }
 
     # Rung 7: TensorRT with the tuned settings.
-    trt = tuned.best.server.with_(runtime="tensorrt")
+    trt = tuned.best.server.with_overrides(runtime="tensorrt")
     result = _serve(trt, concurrency=tuned.best.concurrency)
     rows["+ TensorRT"] = {
         "throughput": result.throughput,

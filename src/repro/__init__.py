@@ -45,9 +45,29 @@ from .core import (
     ServerConfig,
 )
 from .core.tuner import TuningResult, tune_server
+from .faults import (
+    BrokerFault,
+    FaultInjector,
+    FaultPlan,
+    GpuCrash,
+    NodeOutage,
+    PcieThrottle,
+    SlowNode,
+    gpu_crash_plan,
+    run_fault_experiment,
+    sweep_fault_rates,
+)
 from .hardware import DEFAULT_CALIBRATION, Calibration, ServerNode
 from .models import MODEL_ZOO, ModelSpec, get_model, inference_latency
-from .serving import ExperimentConfig, RunResult, run_experiment, run_face_pipeline
+from .serving import (
+    BreakerPolicy,
+    ExperimentConfig,
+    ResiliencePolicy,
+    RetryPolicy,
+    RunResult,
+    run_experiment,
+    run_face_pipeline,
+)
 from .sim import Environment, RandomStreams
 from .vision import (
     LARGE_IMAGE,
@@ -61,8 +81,21 @@ from .vision import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BreakerPolicy",
+    "BrokerFault",
     "Calibration",
     "ClaimSet",
+    "FaultInjector",
+    "FaultPlan",
+    "GpuCrash",
+    "NodeOutage",
+    "PcieThrottle",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "SlowNode",
+    "gpu_crash_plan",
+    "run_fault_experiment",
+    "sweep_fault_rates",
     "DEFAULT_CALIBRATION",
     "DynamicBatcher",
     "Environment",

@@ -1,6 +1,6 @@
 """Result analysis: breakdowns, figure tables, paper comparison."""
 
-from .breakdown import LatencyBreakdown, breakdown_from_metrics
+from .breakdown import LatencyBreakdown, breakdown_from_metrics, resilience_summary
 from .charts import bar_chart, sparkline, stacked_bar_chart
 from .compare import ClaimSet, PaperClaim
 from .export import (
@@ -35,4 +35,5 @@ __all__ = [
     "format_pct",
     "format_rate",
     "format_table",
+    "resilience_summary",
 ]

@@ -9,6 +9,7 @@ queue share (Fig. 5 right).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from ..core.metrics import RunMetrics
 from ..core.request import (
@@ -21,7 +22,7 @@ from ..core.request import (
     SPAN_TRANSFER,
 )
 
-__all__ = ["LatencyBreakdown", "breakdown_from_metrics"]
+__all__ = ["LatencyBreakdown", "breakdown_from_metrics", "resilience_summary"]
 
 #: Spans grouped the way the paper's figures group them.
 PREPROCESS_SPANS = (SPAN_PREPROCESS_WAIT, SPAN_PREPROCESS)
@@ -77,3 +78,20 @@ def breakdown_from_metrics(metrics: RunMetrics) -> LatencyBreakdown:
         transfer=transfer,
         other=other,
     )
+
+
+def resilience_summary(metrics: RunMetrics) -> Dict[str, float]:
+    """Fault-handling outcome counters for a run.
+
+    ``success_fraction`` is the SLO-attainment number: requests that
+    completed within their deadline over everything the system accepted
+    (successes + timeouts + shed).  All values are zero for a fault-free
+    run, so the summary is safe to report unconditionally.
+    """
+    return {
+        "completed": metrics.completed,
+        "timeout_count": metrics.timeout_count,
+        "retry_count": metrics.retry_count,
+        "shed_count": metrics.shed_count,
+        "success_fraction": metrics.success_fraction,
+    }

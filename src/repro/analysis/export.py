@@ -15,7 +15,17 @@ from typing import Any, Dict, List, Mapping, Sequence
 
 from ..core.metrics import RunMetrics
 
-__all__ = ["metrics_to_dict", "result_to_dict", "rows_to_csv", "rows_to_json", "write_csv", "write_json"]
+__all__ = [
+    "metrics_to_dict",
+    "result_to_dict",
+    "run_result_to_dict",
+    "fleet_result_to_dict",
+    "tuning_result_to_dict",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_csv",
+    "write_json",
+]
 
 
 def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
@@ -31,14 +41,18 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
         "latency_max": metrics.latency.maximum,
         "mean_batch_size": metrics.mean_batch_size,
         "eviction_count": metrics.eviction_count,
+        "timeout_count": metrics.timeout_count,
+        "retry_count": metrics.retry_count,
+        "shed_count": metrics.shed_count,
+        "success_fraction": metrics.success_fraction,
     }
     for span, value in sorted(metrics.span_means.items()):
         out[f"span_{span}"] = value
     return out
 
 
-def result_to_dict(result) -> Dict[str, Any]:
-    """Flatten a RunResult (metrics + energy + utilization)."""
+def run_result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.serving.runner.RunResult`."""
     out = metrics_to_dict(result.metrics)
     out.update(
         {
@@ -49,7 +63,56 @@ def result_to_dict(result) -> Dict[str, Any]:
             "gpu_utilization": result.gpu_utilization,
         }
     )
+    if getattr(result, "fault_count", 0):
+        out["fault_count"] = result.fault_count
     return out
+
+
+def fleet_result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.serving.fleet.FleetResult`."""
+    out = metrics_to_dict(result.metrics)
+    out.update(
+        {
+            "node_count": result.node_count,
+            "offered_rate": result.offered_rate,
+            "goodput_fraction": result.goodput_fraction,
+            "balance_ratio": result.balance_ratio,
+            "peak_backlog": result.peak_backlog,
+            "fault_count": result.fault_count,
+            "breaker_opens": result.breaker_opens,
+        }
+    )
+    return out
+
+
+def tuning_result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.core.tuner.TuningResult`."""
+    return {
+        "baseline_throughput": result.baseline.throughput,
+        "best_throughput": result.best.throughput,
+        "speedup": result.speedup,
+        "improvement": result.improvement,
+        "trace_points": len(result.trace),
+        "best_preprocess_device": result.best.server.preprocess_device,
+        "best_max_batch": result.best.server.max_batch_size,
+        "best_instances": result.best.server.inference_instances,
+        "best_concurrency": result.best.concurrency,
+    }
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Flatten any result object into JSON/CSV-safe scalars.
+
+    Dispatches on shape rather than type so the result dataclasses can
+    delegate here without circular imports: a fleet result carries
+    ``dispatched_per_node``, a tuning result carries ``baseline`` and
+    ``best``, and anything else with ``metrics`` is a single-node run.
+    """
+    if hasattr(result, "dispatched_per_node"):
+        return fleet_result_to_dict(result)
+    if hasattr(result, "baseline") and hasattr(result, "best"):
+        return tuning_result_to_dict(result)
+    return run_result_to_dict(result)
 
 
 def _field_names(rows: Sequence[Mapping[str, Any]]) -> List[str]:

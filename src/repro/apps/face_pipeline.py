@@ -21,6 +21,7 @@ batch-1 efficiency as Fused while also paying broker costs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
@@ -54,7 +55,7 @@ SPAN_IDENTIFY = "identify"
 _BROKER_MODES = ("kafka", "redis", "fused")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class FacePipelineConfig:
     """Deployment knobs for the two-stage pipeline."""
 
@@ -95,8 +96,23 @@ class FacePipelineConfig:
         if self.detection_max_batch < 1 or self.identification_max_batch < 1:
             raise ValueError("batch sizes must be >= 1")
 
-    def with_(self, **kwargs) -> "FacePipelineConfig":
+    def validate(self) -> "FacePipelineConfig":
+        """Re-run field validation (useful after deserialization)."""
+        self.__post_init__()
+        return self
+
+    def with_overrides(self, **kwargs) -> "FacePipelineConfig":
+        """Copy with fields replaced."""
         return replace(self, **kwargs)
+
+    def with_(self, **kwargs) -> "FacePipelineConfig":
+        """Deprecated alias of :meth:`with_overrides`."""
+        warnings.warn(
+            "FacePipelineConfig.with_() is deprecated; use with_overrides()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.with_overrides(**kwargs)
 
 
 class _Frame:
@@ -261,7 +277,9 @@ class FacePipeline:
             if broker.name == "kafka":
                 # Prior-work style: synchronous produce per message.
                 for face_index in range(frame.faces_total):
-                    yield from broker.produce((frame, face_index), FACE_CROP_BYTES)
+                    message = yield from broker.produce((frame, face_index), FACE_CROP_BYTES)
+                    if message.lost:
+                        self._note_lost_face(frame)
             else:
                 # Redis pipelining: one round trip, per-message marginal
                 # cost inside the broker.
@@ -274,7 +292,23 @@ class FacePipeline:
         # ...then the broker processes each message without the producer
         # paying a per-message round trip.
         for face_index in range(frame.faces_total):
-            yield from broker.produce_pipelined((frame, face_index), FACE_CROP_BYTES)
+            message = yield from broker.produce_pipelined((frame, face_index), FACE_CROP_BYTES)
+            if message.lost:
+                self._note_lost_face(frame)
+
+    def _note_lost_face(self, frame: _Frame) -> None:
+        """Account a face whose message an at-most-once broker dropped.
+
+        The frame must still finish (the client is waiting on its done
+        event), so a lost face counts as handled; if it was the last
+        outstanding face the frame finalizes here instead of in the
+        identification stage.
+        """
+        frame.faces_remaining -= 1
+        if frame.faces_remaining == 0:
+            if frame.request.span_open(SPAN_IDENTIFY):
+                frame.request.end(SPAN_IDENTIFY, self.env.now)
+            self.env.process(self._finalize(frame))
 
     def _consumer(self):
         """Drain the topic into the identification batcher."""

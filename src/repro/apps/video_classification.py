@@ -14,6 +14,7 @@ even more preprocessing-bound than image serving.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
@@ -64,8 +65,18 @@ class VideoServerConfig:
         if self.max_queue_delay_seconds < 0:
             raise ValueError("max_queue_delay_seconds must be >= 0")
 
-    def with_(self, **kwargs) -> "VideoServerConfig":
+    def with_overrides(self, **kwargs) -> "VideoServerConfig":
+        """Copy with fields replaced."""
         return replace(self, **kwargs)
+
+    def with_(self, **kwargs) -> "VideoServerConfig":
+        """Deprecated alias of :meth:`with_overrides`."""
+        warnings.warn(
+            "VideoServerConfig.with_() is deprecated; use with_overrides()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.with_overrides(**kwargs)
 
 
 class _Clip:

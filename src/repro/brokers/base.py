@@ -26,7 +26,7 @@ class Message:
     """One payload flowing producer -> broker -> consumer."""
 
     __slots__ = ("payload", "nbytes", "produced_at", "consumed_at",
-                 "broker_seconds", "consume_seconds")
+                 "broker_seconds", "consume_seconds", "lost")
 
     def __init__(self, payload: Any, nbytes: float, produced_at: float) -> None:
         self.payload = payload
@@ -37,6 +37,8 @@ class Message:
         self.broker_seconds = 0.0
         #: Consume-side broker time (poll + deserialize) for this message.
         self.consume_seconds = 0.0
+        #: True when an at-most-once broker dropped this message.
+        self.lost = False
 
     @property
     def queue_delay(self) -> float:
@@ -49,6 +51,10 @@ class Broker:
     """Base broker: an in-simulation topic plus cost hooks."""
 
     name = "broker"
+    #: Delivery guarantee under injected faults: ``"at_least_once"``
+    #: brokers retry a lost delivery after a redelivery delay (the
+    #: message is never dropped); ``"at_most_once"`` hand-offs drop it.
+    delivery = "at_least_once"
 
     def __init__(self, env: Environment, node: ServerNode) -> None:
         self.env = env
@@ -57,6 +63,13 @@ class Broker:
         self.produced = 0
         self.consumed = 0
         self.bytes_through = 0.0
+        #: Fault-injection hook (:class:`~repro.faults.health.BrokerHealth`);
+        #: ``None`` on the healthy path so fault-free runs pay nothing.
+        self.health = None
+        #: Messages dropped (at-most-once delivery under loss faults).
+        self.lost = 0
+        #: Redelivery attempts (at-least-once delivery under loss faults).
+        self.redelivered = 0
 
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__} depth={self.topic.size}>"
@@ -87,12 +100,27 @@ class Broker:
     # -- shared helpers ------------------------------------------------------
 
     def _publish(self, message: Message) -> Generator:
+        if self.health is not None:
+            yield from self.health.gate()
+            while self.health.draw_loss():
+                if self.delivery == "at_most_once":
+                    message.lost = True
+                    self.lost += 1
+                    return
+                # At-least-once: the producer pays a redelivery round
+                # trip and tries again; the message is never dropped.
+                self.redelivered += 1
+                yield self.env.timeout(self.health.redelivery_seconds)
+                message.broker_seconds += self.health.redelivery_seconds
+                yield from self.health.gate()
         yield self.topic.put(message)
         self.produced += 1
         self.bytes_through += message.nbytes
 
     def _take(self) -> Generator:
         message = yield self.topic.get()
+        if self.health is not None:
+            yield from self.health.gate()
         message.consumed_at = self.env.now
         self.consumed += 1
         return message

@@ -1,9 +1,10 @@
 """Command-line interface: run serving experiments from a shell.
 
-    python -m repro serve --model resnet-50 --preprocess gpu
+    python -m repro serve --model resnet-50 --preprocess-device gpu
     python -m repro breakdown --model vit-base-16 --size large
     python -m repro sweep --model resnet-50 --concurrencies 1,64,512,4096
     python -m repro faces --brokers fused,redis,kafka --faces 1,9,25
+    python -m repro faults --downtimes 0.01,0.05 --rate 150
     python -m repro models
     python -m repro plan --rate 8000 --slo-ms 150
 
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Dict, List, Optional
 
 from .analysis.charts import bar_chart, stacked_bar_chart
@@ -46,8 +48,41 @@ def _add_export_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", help="export rows to a CSV file")
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Accepts a deprecated flag spelling with a warning."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        canonical = "--" + self.dest.replace("_", "-")
+        message = f"{option_string} is deprecated; use {canonical}"
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        # Default warning filters hide DeprecationWarning outside
+        # __main__; a CLI user still needs to see the notice.
+        print(f"warning: {message}", file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+def _add_preprocess_device_flag(parser: argparse.ArgumentParser, default: str,
+                                choices: Optional[List[str]] = None,
+                                help_text: str = "preprocessing device") -> None:
+    """The canonical ``--preprocess-device`` flag plus its deprecated
+    ``--preprocess`` alias (kept for one release)."""
+    kwargs = {"default": default, "help": help_text}
+    if choices is not None:
+        kwargs["choices"] = choices
+    parser.add_argument("--preprocess-device", dest="preprocess_device", **kwargs)
+    alias_kwargs = {"dest": "preprocess_device", "action": _DeprecatedAlias,
+                    "default": argparse.SUPPRESS, "help": argparse.SUPPRESS}
+    if choices is not None:
+        alias_kwargs["choices"] = choices
+    parser.add_argument("--preprocess", **alias_kwargs)
+
+
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
 
 
 def _str_list(text: str) -> List[str]:
@@ -61,7 +96,7 @@ def cmd_serve(args) -> int:
     trace = TraceCollector(limit=500) if args.trace else None
     result = serve_classification(
         model=args.model,
-        preprocess_device=args.preprocess,
+        preprocess_device=args.preprocess_device,
         image_size=args.size,
         concurrency=args.concurrency,
         gpu_count=args.gpus,
@@ -69,8 +104,8 @@ def cmd_serve(args) -> int:
         seed=args.seed,
         on_complete=trace,
     )
-    row = {"model": args.model, "preprocess": args.preprocess, "image": args.size,
-           **result_to_dict(result)}
+    row = {"model": args.model, "preprocess_device": args.preprocess_device,
+           "image": args.size, **result.to_dict()}
     print(
         format_table(
             ["metric", "value"],
@@ -82,7 +117,7 @@ def cmd_serve(args) -> int:
                 ["energy", f"{result.joules_per_image:.3f} J/img"],
                 ["GPU utilization", f"{result.gpu_utilization * 100:.0f}%"],
             ],
-            title=f"{args.model} | {args.preprocess} preprocessing | {args.size} image",
+            title=f"{args.model} | {args.preprocess_device} preprocessing | {args.size} image",
         )
     )
     if args.trace and trace is not None:
@@ -96,7 +131,7 @@ def cmd_serve(args) -> int:
 def cmd_breakdown(args) -> int:
     rows = []
     chart_rows = {}
-    for device in _str_list(args.preprocess):
+    for device in _str_list(args.preprocess_device):
         result = zero_load_breakdown(
             model=args.model, preprocess_device=device, image_size=args.size
         )
@@ -141,7 +176,7 @@ def cmd_sweep(args) -> int:
             ExperimentConfig(
                 server=ServerConfig(
                     model=args.model,
-                    preprocess_device=args.preprocess,
+                    preprocess_device=args.preprocess_device,
                     preprocess_batch_size=64,
                 ),
                 dataset=reference_dataset(args.size),
@@ -154,12 +189,12 @@ def cmd_sweep(args) -> int:
         rows.append(
             {
                 "concurrency": concurrency,
-                **result_to_dict(result),
+                **result.to_dict(),
             }
         )
         chart[f"c={concurrency}"] = result.throughput
     print(bar_chart(chart, unit=" img/s",
-                    title=f"Throughput vs concurrency — {args.model} ({args.preprocess})"))
+                    title=f"Throughput vs concurrency — {args.model} ({args.preprocess_device})"))
     _export(args, rows)
     return 0
 
@@ -176,7 +211,7 @@ def cmd_faces(args) -> int:
                 measure_requests=args.frames,
                 seed=args.seed,
             )
-            rows.append({"broker": broker, "faces": faces, **result_to_dict(result)})
+            rows.append({"broker": broker, "faces": faces, **result.to_dict()})
             chart[broker] = result.throughput
         print(bar_chart(chart, unit=" frames/s", title=f"{faces} faces/frame"))
         print()
@@ -211,9 +246,77 @@ def cmd_models(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .faults.experiment import sweep_fault_rates
+    from .serving.resilience import ResiliencePolicy, RetryPolicy
+
+    try:
+        fractions = _float_list(args.downtimes)
+        for fraction in fractions:
+            if not 0.0 < fraction < 1.0:
+                raise ValueError(
+                    f"downtime fractions must be in (0, 1), got {fraction}"
+                )
+        resilience = ResiliencePolicy(
+            deadline_seconds=args.deadline_ms / 1e3 if args.deadline_ms > 0 else None,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            max_backlog=args.max_backlog,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not fractions:
+        print("error: no downtime fractions given", file=sys.stderr)
+        return 1
+    points = sweep_fault_rates(
+        ServerConfig(model=args.model, preprocess_device=args.preprocess_device,
+                     preprocess_batch_size=64),
+        downtime_fractions=fractions,
+        restart_seconds=args.restart_ms / 1e3,
+        resilience=resilience,
+        node_count=args.nodes,
+        offered_rate=args.rate,
+        dataset=reference_dataset(args.size),
+        seed=args.seed,
+        warmup_requests=args.warmup,
+        measure_requests=args.requests,
+        max_sim_seconds=args.max_seconds,
+    )
+    rows = [{"downtime_fraction": 0.0, **points[0].baseline.to_dict()}]
+    for point in points:
+        rows.append({
+            "downtime_fraction": point.downtime_fraction,
+            "goodput_ratio": point.goodput_ratio,
+            "p99_ratio": point.p99_ratio,
+            **point.result.to_dict(),
+        })
+    print(
+        format_table(
+            ["downtime", "goodput", "p99 (ms)", "timeouts", "retries", "shed", "faults"],
+            [["0.0%", "100.0%",
+              f"{points[0].baseline.metrics.latency.p99 * 1e3:.1f}",
+              "0", "0", "0", "0"]] +
+            [
+                [f"{p.downtime_fraction * 100:.1f}%",
+                 f"{p.goodput_ratio * 100:.1f}%",
+                 f"{p.result.metrics.latency.p99 * 1e3:.1f}",
+                 str(p.timeouts), str(p.retries),
+                 str(p.result.metrics.shed_count),
+                 str(p.result.fault_count)]
+                for p in points
+            ],
+            title=f"GPU-crash tolerance — {args.model}, {args.nodes} node(s) @ {args.rate:.0f} req/s",
+        )
+    )
+    print(bar_chart({f"{p.downtime_fraction * 100:.1f}%": p.goodput_ratio * 100 for p in points},
+                    unit="%", title="Goodput vs per-GPU downtime"))
+    _export(args, rows)
+    return 0
+
+
 def cmd_plan(args) -> int:
     plan = plan_capacity(
-        ServerConfig(model=args.model, preprocess_device=args.preprocess,
+        ServerConfig(model=args.model, preprocess_device=args.preprocess_device,
                      preprocess_batch_size=64),
         offered_rate=args.rate,
         p99_slo_seconds=args.slo_ms / 1e3,
@@ -249,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="run one serving experiment")
     serve.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
-    serve.add_argument("--preprocess", default="gpu", choices=["cpu", "gpu"])
+    _add_preprocess_device_flag(serve, default="gpu", choices=["cpu", "gpu"])
     serve.add_argument("--size", default="medium", choices=["small", "medium", "large"])
     serve.add_argument("--concurrency", type=int, default=512)
     serve.add_argument("--gpus", type=int, default=1)
@@ -263,14 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown = sub.add_parser("breakdown", help="zero-load latency breakdown")
     breakdown.add_argument("--model", default="vit-base-16", choices=sorted(MODEL_ZOO))
     breakdown.add_argument("--size", default="medium", choices=["small", "medium", "large"])
-    breakdown.add_argument("--preprocess", default="cpu,gpu",
-                           help="comma-separated devices")
+    _add_preprocess_device_flag(breakdown, default="cpu,gpu",
+                                help_text="comma-separated devices")
     _add_export_flags(breakdown)
     breakdown.set_defaults(func=cmd_breakdown)
 
     sweep = sub.add_parser("sweep", help="concurrency sweep")
     sweep.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
-    sweep.add_argument("--preprocess", default="gpu", choices=["cpu", "gpu"])
+    _add_preprocess_device_flag(sweep, default="gpu", choices=["cpu", "gpu"])
     sweep.add_argument("--size", default="medium", choices=["small", "medium", "large"])
     sweep.add_argument("--concurrencies", default="1,16,64,256,1024")
     sweep.add_argument("--seed", type=int, default=0)
@@ -286,13 +389,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_export_flags(faces)
     faces.set_defaults(func=cmd_faces)
 
+    faults = sub.add_parser("faults", help="fault-tolerance sweep (GPU crashes)")
+    faults.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    _add_preprocess_device_flag(faults, default="gpu", choices=["cpu", "gpu"])
+    faults.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    faults.add_argument("--nodes", type=int, default=2)
+    faults.add_argument("--rate", type=float, default=150.0, help="offered req/s")
+    faults.add_argument("--downtimes", default="0.01,0.02,0.05",
+                        help="comma-separated per-GPU downtime fractions")
+    faults.add_argument("--restart-ms", type=float, default=500.0,
+                        help="GPU restart time per crash (ms)")
+    faults.add_argument("--deadline-ms", type=float, default=250.0,
+                        help="per-attempt deadline (ms); 0 disables deadlines")
+    faults.add_argument("--max-attempts", type=int, default=3)
+    faults.add_argument("--max-backlog", type=int, default=None,
+                        help="shed new requests beyond this balancer backlog")
+    faults.add_argument("--warmup", type=int, default=200)
+    faults.add_argument("--requests", type=int, default=1000)
+    faults.add_argument("--max-seconds", type=float, default=60.0)
+    faults.add_argument("--seed", type=int, default=0)
+    _add_export_flags(faults)
+    faults.set_defaults(func=cmd_faults)
+
     models = sub.add_parser("models", help="list the model zoo")
     _add_export_flags(models)
     models.set_defaults(func=cmd_models)
 
     plan = sub.add_parser("plan", help="size a fleet for a rate + p99 SLO")
     plan.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
-    plan.add_argument("--preprocess", default="gpu", choices=["cpu", "gpu"])
+    _add_preprocess_device_flag(plan, default="gpu", choices=["cpu", "gpu"])
     plan.add_argument("--size", default="medium", choices=["small", "medium", "large"])
     plan.add_argument("--rate", type=float, required=True, help="offered req/s")
     plan.add_argument("--slo-ms", type=float, required=True, help="p99 SLO in ms")

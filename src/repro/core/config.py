@@ -9,6 +9,7 @@ device choice the paper sweeps throughout Sec. 4.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -25,7 +26,7 @@ MODE_INFERENCE_ONLY = "inference_only"
 _MODES = (MODE_END_TO_END, MODE_PREPROCESS_ONLY, MODE_INFERENCE_ONLY)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ServerConfig:
     """Tunable serving parameters for one model deployment."""
 
@@ -80,6 +81,20 @@ class ServerConfig:
     def dynamic_batching(self) -> bool:
         return self.max_queue_delay_seconds is not None
 
-    def with_(self, **kwargs) -> "ServerConfig":
+    def validate(self) -> "ServerConfig":
+        """Re-run field validation (useful after deserialization)."""
+        self.__post_init__()
+        return self
+
+    def with_overrides(self, **kwargs) -> "ServerConfig":
         """Copy with fields replaced (tuner convenience)."""
         return replace(self, **kwargs)
+
+    def with_(self, **kwargs) -> "ServerConfig":
+        """Deprecated alias of :meth:`with_overrides`."""
+        warnings.warn(
+            "ServerConfig.with_() is deprecated; use with_overrides()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.with_overrides(**kwargs)

@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .request import ALL_SPANS, InferenceRequest
+from .request import ALL_SPANS, OUTCOME_OK, InferenceRequest
 
 __all__ = ["LatencyStats", "MetricsCollector", "RunMetrics", "percentile"]
 
@@ -49,6 +49,11 @@ class LatencyStats:
     maximum: float
 
     @classmethod
+    def empty(cls) -> "LatencyStats":
+        """Zero-sample statistics (a window in which nothing succeeded)."""
+        return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, maximum=0.0)
+
+    @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencyStats":
         if not values:
             raise ValueError("no latency samples")
@@ -79,6 +84,12 @@ class RunMetrics:
     #: analysis: histograms, CDFs, SLO attainment.
     latencies: Tuple[float, ...] = ()
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Requests that completed past their deadline inside the window.
+    timeout_count: int = 0
+    #: Retry attempts issued inside the window (client or balancer).
+    retry_count: int = 0
+    #: Requests rejected by admission control inside the window.
+    shed_count: int = 0
 
     def latency_histogram(self, buckets: int = 10) -> List[Tuple[float, float, int]]:
         """Equal-width histogram of request latencies.
@@ -129,6 +140,19 @@ class RunMetrics:
         """Share of latency spent outside DNN inference."""
         return 1.0 - self.inference_fraction
 
+    @property
+    def attempted(self) -> int:
+        """Successes plus failed attempts observed inside the window."""
+        return self.completed + self.timeout_count + self.shed_count
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of attempts that completed within their deadline."""
+        attempted = self.attempted
+        if attempted == 0:
+            return 1.0
+        return self.completed / attempted
+
 
 class MetricsCollector:
     """Accumulates completed requests inside a measurement window."""
@@ -139,6 +163,14 @@ class MetricsCollector:
         self._window_end: Optional[float] = None
         self._requests: List[InferenceRequest] = []
         self.total_completed = 0  # including warm-up
+        # Resilience counters: window-gated values feed RunMetrics, the
+        # ``total_*`` twins count the whole run (including warm-up).
+        self._timeouts = 0
+        self._retries = 0
+        self._shed = 0
+        self.total_timeouts = 0
+        self.total_retries = 0
+        self.total_shed = 0
 
     def arm(self, now: float) -> None:
         """Open the measurement window."""
@@ -159,12 +191,33 @@ class MetricsCollector:
         return len(self._requests)
 
     def record(self, request: InferenceRequest) -> None:
-        """Feed one completed request (counted only while armed)."""
+        """Feed one completed request (counted only while armed).
+
+        Requests that missed their deadline count as timeouts, not as
+        latency samples — a late answer is a failed answer under an SLO.
+        """
         if request.completion_time is None:
             raise ValueError("request has not completed")
         self.total_completed += 1
+        if request.outcome != OUTCOME_OK:
+            self.total_timeouts += 1
+            if self._armed:
+                self._timeouts += 1
+            return
         if self._armed:
             self._requests.append(request)
+
+    def note_retry(self) -> None:
+        """Record one retry attempt (client- or balancer-side)."""
+        self.total_retries += 1
+        if self._armed:
+            self._retries += 1
+
+    def note_shed(self) -> None:
+        """Record one request rejected by admission control."""
+        self.total_shed += 1
+        if self._armed:
+            self._shed += 1
 
     def finalize(self) -> RunMetrics:
         """Compute window metrics; requires an opened and closed window."""
@@ -173,16 +226,19 @@ class MetricsCollector:
         window = self._window_end - self._window_start
         if window <= 0:
             raise RuntimeError(f"empty measurement window ({window})")
-        if not self._requests:
+        if not self._requests and not (self._timeouts or self._shed):
             raise RuntimeError("no requests completed inside the window")
 
         latencies = [r.latency for r in self._requests]
-        stats = LatencyStats.from_values(latencies)
+        # A window may legitimately contain zero successes under heavy
+        # fault injection; report zero goodput rather than crash.
+        stats = LatencyStats.from_values(latencies) if latencies else LatencyStats.empty()
+        sample_count = max(1, len(self._requests))
 
         span_means: Dict[str, float] = {}
         for span in ALL_SPANS:
             total = sum(r.spans.get(span, 0.0) for r in self._requests)
-            span_means[span] = total / len(self._requests)
+            span_means[span] = total / sample_count
         # Any non-canonical spans (e.g. broker) are preserved too.
         extra_spans = {
             span
@@ -192,7 +248,7 @@ class MetricsCollector:
         }
         for span in sorted(extra_spans):
             total = sum(r.spans.get(span, 0.0) for r in self._requests)
-            span_means[span] = total / len(self._requests)
+            span_means[span] = total / sample_count
 
         mean_latency = stats.mean
         span_fractions = {
@@ -213,4 +269,7 @@ class MetricsCollector:
             mean_batch_size=mean_batch,
             eviction_count=sum(r.eviction_count for r in self._requests),
             latencies=tuple(sorted(latencies)),
+            timeout_count=self._timeouts,
+            retry_count=self._retries,
+            shed_count=self._shed,
         )

@@ -23,6 +23,10 @@ __all__ = [
     "SPAN_INFERENCE",
     "SPAN_POSTPROCESS",
     "ALL_SPANS",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "OUTCOME_SHED",
+    "OUTCOMES",
 ]
 
 SPAN_FRONTEND = "frontend"
@@ -44,6 +48,14 @@ ALL_SPANS = (
     SPAN_POSTPROCESS,
 )
 
+#: Request outcomes.  ``ok`` requests count toward throughput and the
+#: latency sample; ``timeout`` (deadline exceeded) and ``shed``
+#: (rejected by admission control) count toward the failure counters.
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_SHED = "shed"
+OUTCOMES = (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_SHED)
+
 _request_ids = itertools.count()
 
 
@@ -59,10 +71,19 @@ class InferenceRequest:
         "gpu_index",
         "batch_size",
         "eviction_count",
+        "deadline",
+        "attempt",
+        "outcome",
         "_open_spans",
     )
 
-    def __init__(self, image: Image, arrival_time: float) -> None:
+    def __init__(
+        self,
+        image: Image,
+        arrival_time: float,
+        deadline: Optional[float] = None,
+        attempt: int = 0,
+    ) -> None:
         self.request_id = next(_request_ids)
         self.image = image
         self.arrival_time = arrival_time
@@ -73,6 +94,13 @@ class InferenceRequest:
         self.batch_size: Optional[int] = None
         #: Number of times this request's tensor was evicted from GPU memory.
         self.eviction_count = 0
+        #: Absolute simulation time by which the request must complete,
+        #: or ``None`` for no deadline (default).
+        self.deadline = deadline
+        #: Retry attempt index (0 for the first submission).
+        self.attempt = attempt
+        #: Lifecycle outcome; stamped at completion (see ``OUTCOMES``).
+        self.outcome = OUTCOME_OK
         self._open_spans: Dict[str, float] = {}
 
     def __repr__(self) -> str:
@@ -103,10 +131,18 @@ class InferenceRequest:
         self.spans[span] = self.spans.get(span, 0.0) + seconds
 
     def complete(self, now: float) -> None:
-        """Mark the request finished."""
+        """Mark the request finished; stamps a ``timeout`` outcome when a
+        deadline was set and missed."""
         if self.completion_time is not None:
             raise RuntimeError(f"{self!r} completed twice")
         self.completion_time = now
+        if self.deadline is not None and now >= self.deadline:
+            self.outcome = OUTCOME_TIMEOUT
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        """True once the request has missed its deadline."""
+        return self.outcome == OUTCOME_TIMEOUT
 
     # -- derived quantities ---------------------------------------------------
 

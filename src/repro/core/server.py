@@ -167,17 +167,27 @@ class InferenceServer:
 
     # -- public API ----------------------------------------------------------
 
-    def submit(self, image: Image, arrival_time: Optional[float] = None) -> Event:
+    def submit(
+        self,
+        image: Image,
+        arrival_time: Optional[float] = None,
+        deadline: Optional[float] = None,
+        attempt: int = 0,
+    ) -> Event:
         """Submit one request; the returned event succeeds at completion
         with the finished :class:`InferenceRequest` as its value.
 
         ``arrival_time`` lets a load balancer backdate the request to
         when it entered the datacenter, so balancer queueing counts
-        toward end-to-end latency.
+        toward end-to-end latency.  ``deadline`` (absolute simulation
+        time) marks the request as a timeout if it completes at or past
+        it; ``attempt`` is the retry index stamped by resilient callers.
         """
         request = InferenceRequest(
             image,
             arrival_time=self.env.now if arrival_time is None else arrival_time,
+            deadline=deadline,
+            attempt=attempt,
         )
         done = self.env.event()
         self.env.process(self._handle(request, done))

@@ -14,7 +14,7 @@ starting point can be reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .config import ServerConfig
 
@@ -46,6 +46,20 @@ class TuningResult:
     baseline: TuningPoint
     best: TuningPoint
     trace: Tuple[TuningPoint, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict of the search outcome (see
+        :func:`repro.analysis.export.result_to_dict`)."""
+        from ..analysis.export import result_to_dict
+
+        return result_to_dict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"tuned {self.baseline.throughput:.0f} -> {self.best.throughput:.0f} img/s "
+            f"({self.speedup:.2f}x) over {len(self.trace)} evaluations"
+        )
 
     @property
     def improvement(self) -> float:
@@ -105,7 +119,7 @@ def tune_server(
         for value in values:
             if getattr(best.server, field_name) == value:
                 continue
-            candidate = best.server.with_(**{field_name: value})
+            candidate = best.server.with_overrides(**{field_name: value})
             point = evaluate(candidate, best.concurrency)
             trace.append(point)
             if point.throughput > best.throughput:

@@ -1,0 +1,127 @@
+"""Fault-tolerance experiments: goodput and tail latency vs fault rate.
+
+The headline robustness question: how much of the paper's healthy-
+testbed throughput survives a given fault rate, and what do deadlines,
+retries, and circuit breaking buy?  :func:`run_fault_experiment` runs
+one fleet under one fault plan; :func:`sweep_fault_rates` walks GPU
+downtime fractions and reports goodput/p99 degradation against the
+fault-free baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.config import ServerConfig
+from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
+from ..serving.fleet import FleetResult, run_fleet_experiment
+from ..serving.resilience import ResiliencePolicy
+from ..vision.datasets import Dataset
+from .profiles import FaultPlan, gpu_crash_plan
+
+__all__ = ["FaultSweepPoint", "run_fault_experiment", "sweep_fault_rates"]
+
+
+def run_fault_experiment(
+    server_config: ServerConfig,
+    faults: Optional[FaultPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
+    node_count: int = 2,
+    offered_rate: float = 150.0,
+    dataset: Optional[Dataset] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    gpu_count: int = 1,
+    per_node_cap: int = 512,
+    seed: int = 0,
+    warmup_requests: int = 300,
+    measure_requests: int = 2000,
+    max_sim_seconds: float = 60.0,
+) -> FleetResult:
+    """One fleet experiment under a fault plan.
+
+    A thin front door over
+    :func:`~repro.serving.fleet.run_fleet_experiment` that defaults the
+    resilience policy on whenever a fault plan is active (running faults
+    without deadlines would just hang the tail).
+    """
+    if resilience is None and faults is not None and faults.enabled:
+        resilience = ResiliencePolicy()
+    return run_fleet_experiment(
+        server_config,
+        node_count=node_count,
+        offered_rate=offered_rate,
+        dataset=dataset,
+        calibration=calibration,
+        gpu_count=gpu_count,
+        per_node_cap=per_node_cap,
+        seed=seed,
+        warmup_requests=warmup_requests,
+        measure_requests=measure_requests,
+        max_sim_seconds=max_sim_seconds,
+        resilience=resilience,
+        faults=faults,
+    )
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultSweepPoint:
+    """One point of a fault-rate sweep, relative to the healthy baseline."""
+
+    downtime_fraction: float
+    result: FleetResult
+    baseline: FleetResult
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Throughput under faults relative to the fault-free run."""
+        if self.baseline.throughput <= 0:
+            return 0.0
+        return self.result.throughput / self.baseline.throughput
+
+    @property
+    def p99_ratio(self) -> float:
+        """p99 latency under faults relative to the fault-free run."""
+        if self.baseline.metrics.latency.p99 <= 0:
+            return float("inf")
+        return self.result.metrics.latency.p99 / self.baseline.metrics.latency.p99
+
+    @property
+    def retries(self) -> int:
+        return self.result.metrics.retry_count
+
+    @property
+    def timeouts(self) -> int:
+        return self.result.metrics.timeout_count
+
+
+def sweep_fault_rates(
+    server_config: ServerConfig,
+    downtime_fractions: Sequence[float] = (0.005, 0.01, 0.02, 0.05),
+    restart_seconds: float = 0.5,
+    resilience: Optional[ResiliencePolicy] = None,
+    **run_kwargs,
+) -> List[FaultSweepPoint]:
+    """GPU-crash sweep: goodput/p99 degradation vs per-GPU downtime.
+
+    Runs one fault-free baseline plus one experiment per downtime
+    fraction; all runs share the same seed and load, so differences are
+    attributable to the injected faults alone.
+    """
+    if resilience is None:
+        resilience = ResiliencePolicy()
+    baseline = run_fault_experiment(
+        server_config, faults=None, resilience=resilience, **run_kwargs
+    )
+    points: List[FaultSweepPoint] = []
+    for fraction in downtime_fractions:
+        plan = gpu_crash_plan(fraction, restart_seconds=restart_seconds)
+        result = run_fault_experiment(
+            server_config, faults=plan, resilience=resilience, **run_kwargs
+        )
+        points.append(
+            FaultSweepPoint(
+                downtime_fraction=fraction, result=result, baseline=baseline
+            )
+        )
+    return points

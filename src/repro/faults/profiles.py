@@ -1,0 +1,169 @@
+"""Fault profiles: declarative specifications of what can go wrong.
+
+Each profile describes one failure mode as a Poisson hazard (mean time
+between faults) plus the fault's shape (duration, severity).  Profiles
+carry no simulation state — a
+:class:`~repro.faults.injector.FaultInjector` turns them into
+deterministic on/off timelines against concrete targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple, Union
+
+__all__ = [
+    "GpuCrash",
+    "SlowNode",
+    "PcieThrottle",
+    "NodeOutage",
+    "BrokerFault",
+    "FaultProfile",
+    "FaultPlan",
+    "gpu_crash_plan",
+]
+
+
+def _check_hazard(mtbf_seconds: float, duration_seconds: float) -> None:
+    if mtbf_seconds <= 0:
+        raise ValueError("mtbf_seconds must be positive")
+    if duration_seconds <= 0:
+        raise ValueError("fault duration must be positive")
+
+
+@dataclass(frozen=True, kw_only=True)
+class GpuCrash:
+    """A GPU instance crashes and restarts (driver reset / OOM kill).
+
+    While down, kernels queued on the device stall until the restart
+    completes; resilient callers detect the stall via their deadline and
+    retry elsewhere.
+    """
+
+    kind = "gpu_crash"
+    #: Mean time between crashes, per GPU.
+    mtbf_seconds: float = 30.0
+    #: Restart time (driver reset + model reload + engine warm-up).
+    restart_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_hazard(self.mtbf_seconds, self.restart_seconds)
+
+    @property
+    def downtime_fraction(self) -> float:
+        """Long-run fraction of time each GPU spends restarting."""
+        return self.restart_seconds / (self.mtbf_seconds + self.restart_seconds)
+
+
+@dataclass(frozen=True, kw_only=True)
+class SlowNode:
+    """Transient degradation: every kernel runs ``slowdown`` times longer
+    (thermal throttling, a noisy co-tenant, ECC scrubbing)."""
+
+    kind = "slow_node"
+    mtbf_seconds: float = 20.0
+    duration_seconds: float = 2.0
+    slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        _check_hazard(self.mtbf_seconds, self.duration_seconds)
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1.0")
+
+
+@dataclass(frozen=True, kw_only=True)
+class PcieThrottle:
+    """Link contention: PCIe transfers run at ``bandwidth_factor`` of the
+    calibrated rate for the fault's duration."""
+
+    kind = "pcie_throttle"
+    mtbf_seconds: float = 20.0
+    duration_seconds: float = 2.0
+    bandwidth_factor: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_hazard(self.mtbf_seconds, self.duration_seconds)
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+
+
+@dataclass(frozen=True, kw_only=True)
+class NodeOutage:
+    """The whole node drops out: the balancer marks it unhealthy and its
+    GPUs stall for the outage duration (power event, kernel panic)."""
+
+    kind = "node_outage"
+    mtbf_seconds: float = 60.0
+    duration_seconds: float = 3.0
+
+    def __post_init__(self) -> None:
+        _check_hazard(self.mtbf_seconds, self.duration_seconds)
+
+
+@dataclass(frozen=True, kw_only=True)
+class BrokerFault:
+    """Broker outage and/or message loss.
+
+    Outages block producers and consumers until the broker returns.
+    ``loss_probability`` models delivery failures: at-least-once brokers
+    (kafka, redis) pay a redelivery delay but never lose the message;
+    the at-most-once fused hand-off drops it.
+    """
+
+    kind = "broker"
+    mtbf_seconds: float = 30.0
+    duration_seconds: float = 1.0
+    loss_probability: float = 0.0
+    redelivery_seconds: float = 50e-3
+
+    def __post_init__(self) -> None:
+        _check_hazard(self.mtbf_seconds, self.duration_seconds)
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.redelivery_seconds <= 0:
+            raise ValueError("redelivery_seconds must be positive")
+
+
+FaultProfile = Union[GpuCrash, SlowNode, PcieThrottle, NodeOutage, BrokerFault]
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultPlan:
+    """A bundle of fault profiles active during one experiment."""
+
+    profiles: Tuple[FaultProfile, ...] = ()
+    #: Faults fire only after this much simulated time (lets the system
+    #: warm up cleanly before degradation starts).
+    start_after_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_after_seconds < 0:
+            raise ValueError("start_after_seconds must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.profiles)
+
+    def with_overrides(self, **kwargs) -> "FaultPlan":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+
+def gpu_crash_plan(
+    downtime_fraction: float,
+    restart_seconds: float = 0.5,
+    start_after_seconds: float = 0.0,
+) -> FaultPlan:
+    """A GPU-crash plan targeting a long-run per-GPU downtime fraction.
+
+    ``downtime_fraction=0.01`` means each GPU spends ~1 % of the run
+    restarting; the implied mean time between crashes is
+    ``restart * (1 - f) / f``.
+    """
+    if not 0.0 < downtime_fraction < 1.0:
+        raise ValueError("downtime_fraction must be in (0, 1)")
+    mtbf = restart_seconds * (1.0 - downtime_fraction) / downtime_fraction
+    return FaultPlan(
+        profiles=(GpuCrash(mtbf_seconds=mtbf, restart_seconds=restart_seconds),),
+        start_after_seconds=start_after_seconds,
+    )

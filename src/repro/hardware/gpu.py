@@ -57,6 +57,9 @@ class Gpu:
             else None
         )
         self.kernel_count = 0
+        #: Fault-injection hook (:class:`~repro.faults.health.DeviceHealth`);
+        #: ``None`` on the healthy path so fault-free runs pay nothing.
+        self.health = None
 
     def __repr__(self) -> str:
         return f"<Gpu {self.name}>"
@@ -70,6 +73,9 @@ class Gpu:
             raise ValueError(f"negative kernel duration {seconds}")
         with self.compute.request(priority=priority) as grant:
             yield grant
+            if self.health is not None:
+                yield from self.health.gate()
+                seconds *= self.health.slowdown
             yield self.env.timeout(seconds)
         self.kernel_count += 1
 
@@ -84,6 +90,9 @@ class Gpu:
         engine = self.decoder if self.decoder is not None else self.compute
         with engine.request(priority=PRIORITY_PREPROCESS) as grant:
             yield grant
+            if self.health is not None:
+                yield from self.health.gate()
+                seconds *= self.health.slowdown
             yield self.env.timeout(seconds)
 
     def busy_time(self) -> float:

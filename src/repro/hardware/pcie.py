@@ -40,6 +40,9 @@ class PcieLink:
         }
         self.bytes_moved = {H2D: 0.0, D2H: 0.0}
         self.transfer_count = {H2D: 0, D2H: 0}
+        #: Fault-injection hook (:class:`~repro.faults.health.DeviceHealth`);
+        #: ``None`` on the healthy path so fault-free runs pay nothing.
+        self.health = None
 
     def __repr__(self) -> str:
         return f"<PcieLink {self.name} ({self.bandwidth / 1e9:.0f} GB/s)>"
@@ -63,7 +66,14 @@ class PcieLink:
         engine = self._direction_engine(direction)
         with engine.request() as grant:
             yield grant
-            yield self.env.timeout(self.transfer_seconds(nbytes, pinned))
+            seconds = self.transfer_seconds(nbytes, pinned)
+            if self.health is not None:
+                yield from self.health.gate()
+                if self.health.bandwidth_factor != 1.0:
+                    # Throttling scales the wire (bandwidth) term only;
+                    # submission latency is unaffected.
+                    seconds = self.latency + (seconds - self.latency) / self.health.bandwidth_factor
+            yield self.env.timeout(seconds)
         self.bytes_moved[direction] += nbytes
         self.transfer_count[direction] += 1
 

@@ -19,9 +19,19 @@ from .fleet import (
     plan_capacity,
     run_fleet_experiment,
 )
+from .resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from .runner import ExperimentConfig, RunResult, run_experiment, run_face_pipeline, run_open_loop
 
 __all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "ArrivalProcess",
     "AutoscaledFleet",
     "AutoscalerPolicy",

@@ -17,15 +17,20 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.config import ServerConfig
 from ..core.metrics import MetricsCollector, RunMetrics
+from ..core.request import OUTCOME_SHED, OUTCOME_TIMEOUT, InferenceRequest
 from ..core.server import InferenceServer
 from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..hardware.platform import ServerNode
 from ..sim import Environment, Event, RandomStreams, Store
 from ..vision.datasets import Dataset, reference_dataset
+from .resilience import CircuitBreaker, ResiliencePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..faults import FaultPlan
 
 __all__ = [
     "DispatchPolicy",
@@ -45,12 +50,32 @@ DispatchPolicy = str
 _POLICIES = (ROUND_ROBIN, LEAST_OUTSTANDING)
 
 
+class _Job:
+    """One request travelling through the balancer (possibly retried)."""
+
+    __slots__ = ("image", "done", "enqueued_at", "attempt")
+
+    def __init__(self, image, done: Event, enqueued_at: float) -> None:
+        self.image = image
+        self.done = done
+        self.enqueued_at = enqueued_at
+        self.attempt = 0
+
+
 class LoadBalancer:
     """Dispatches requests across nodes with a per-node concurrency cap.
 
     When every node is at its cap, requests wait in the balancer's own
     queue (the datacenter-level backlog the paper's model assumes gets
     absorbed by *adding servers*).
+
+    With a :class:`~repro.serving.resilience.ResiliencePolicy` the
+    balancer also enforces per-attempt deadlines (racing each dispatch
+    against a timer), retries timed-out attempts with exponential
+    backoff, sheds new work when its backlog exceeds ``max_backlog``,
+    and ejects failing nodes behind per-node circuit breakers.  With
+    ``resilience=None`` (the default) none of that machinery exists and
+    the dispatch path is identical to the fault-free balancer.
     """
 
     def __init__(
@@ -59,6 +84,10 @@ class LoadBalancer:
         servers: List[InferenceServer],
         per_node_cap: int,
         policy: DispatchPolicy = LEAST_OUTSTANDING,
+        *,
+        resilience: Optional[ResiliencePolicy] = None,
+        streams: Optional[RandomStreams] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         if not servers:
             raise ValueError("fleet needs at least one server")
@@ -70,8 +99,23 @@ class LoadBalancer:
         self.servers = servers
         self.per_node_cap = per_node_cap
         self.policy = policy
+        self.resilience = resilience
+        self.metrics = metrics
         self.outstanding = [0] * len(servers)
         self.dispatched = [0] * len(servers)
+        #: Health flags flipped by the fault injector on node outages.
+        self.node_up = [True] * len(servers)
+        self.breakers: Optional[List[CircuitBreaker]] = None
+        if resilience is not None and resilience.breaker is not None:
+            self.breakers = [CircuitBreaker(resilience.breaker) for _ in servers]
+        self._retry_rng = None
+        if resilience is not None and streams is not None:
+            self._retry_rng = streams.stream("balancer:retry")
+        # Resilience counters (balancer's own view; the collector holds
+        # the measure-window versions).
+        self.timeouts = 0
+        self.retries = 0
+        self.shed = 0
         self._rr = itertools.cycle(range(len(servers)))
         self._backlog: Store = Store(env)
         env.process(self._dispatcher())
@@ -84,47 +128,143 @@ class LoadBalancer:
     def total_outstanding(self) -> int:
         return sum(self.outstanding)
 
+    def set_node_up(self, index: int, up: bool) -> None:
+        """Mark a node (un)healthy; used by node-outage fault injection."""
+        self.node_up[index] = up
+
     def submit(self, image) -> Event:
         """Route one request; the returned event completes with the
         finished request (same contract as ``InferenceServer.submit``)."""
         done = self.env.event()
-        self._backlog.put((image, done, self.env.now))
+        if (
+            self.resilience is not None
+            and self.resilience.max_backlog is not None
+            and self._backlog.size >= self.resilience.max_backlog
+        ):
+            return self._shed(image, done)
+        self._backlog.put(_Job(image, done, self.env.now))
+        return done
+
+    def _shed(self, image, done: Event) -> Event:
+        """Admission control: reject without touching any node."""
+        self.shed += 1
+        if self.metrics is not None:
+            self.metrics.note_shed()
+        request = InferenceRequest(image, arrival_time=self.env.now)
+        request.outcome = OUTCOME_SHED
+        done.succeed(request)
         return done
 
     # -- dispatch loop -------------------------------------------------------
 
+    def _node_available(self, index: int, now: float) -> bool:
+        if not self.node_up[index]:
+            return False
+        if self.outstanding[index] >= self.per_node_cap:
+            return False
+        if self.breakers is not None and not self.breakers[index].allows(now):
+            return False
+        return True
+
     def _pick_node(self) -> Optional[int]:
+        now = self.env.now
         if self.policy == ROUND_ROBIN:
             for _ in range(len(self.servers)):
                 index = next(self._rr)
-                if self.outstanding[index] < self.per_node_cap:
+                if self._node_available(index, now):
                     return index
             return None
-        # least outstanding
-        index = min(range(len(self.servers)), key=lambda i: self.outstanding[i])
-        if self.outstanding[index] >= self.per_node_cap:
+        # least outstanding among available nodes
+        candidates = [i for i in range(len(self.servers)) if self._node_available(i, now)]
+        if not candidates:
             return None
-        return index
+        return min(candidates, key=lambda i: self.outstanding[i])
 
     def _dispatcher(self):
         while True:
-            image, done, enqueued_at = yield self._backlog.get()
+            job = yield self._backlog.get()
             while True:
                 index = self._pick_node()
                 if index is not None:
                     break
-                # All nodes at cap: wait for any completion signal.
+                # All nodes at cap (or unavailable): back off briefly.
                 yield self.env.timeout(0.5e-3)
             self.outstanding[index] += 1
             self.dispatched[index] += 1
-            # Backdated so balancer queueing counts in request latency.
-            inner = self.servers[index].submit(image, arrival_time=enqueued_at)
-            self.env.process(self._track(index, inner, done))
+            if self.breakers is not None:
+                self.breakers[index].note_dispatch()
+            deadline = None
+            if self.resilience is not None and self.resilience.deadline_seconds is not None:
+                deadline = self.env.now + self.resilience.deadline_seconds
+            # Backdated so balancer queueing (and earlier failed
+            # attempts) count in request latency.
+            inner = self.servers[index].submit(
+                job.image, arrival_time=job.enqueued_at,
+                deadline=deadline, attempt=job.attempt,
+            )
+            self.env.process(self._track(index, job, inner, deadline))
 
-    def _track(self, index: int, inner: Event, done: Event):
-        request = yield inner
+    def _track(self, index: int, job: _Job, inner: Event, deadline: Optional[float]):
+        if deadline is None:
+            request = yield inner
+            self._settle_success(index, job, request)
+            return
+        yield inner | self.env.timeout(deadline - self.env.now)
+        if inner.triggered:
+            request = inner.value
+            if request.deadline_exceeded:
+                # Finished exactly at/after the deadline: the server has
+                # already recorded it as a timeout; treat it likewise.
+                self.outstanding[index] -= 1
+                self._note_attempt_timeout(index)
+                self._retry_or_fail(job)
+            else:
+                self._settle_success(index, job, request)
+            return
+        # Deadline fired with the attempt still in flight: give up on it
+        # now (retry elsewhere) and release the node slot whenever the
+        # stalled attempt finally drains.
+        self._note_attempt_timeout(index)
+        self.env.process(self._drain(index, inner))
+        self._retry_or_fail(job)
+
+    def _settle_success(self, index: int, job: _Job, request) -> None:
         self.outstanding[index] -= 1
-        done.succeed(request)
+        if self.breakers is not None:
+            self.breakers[index].record_success(self.env.now)
+        job.done.succeed(request)
+
+    def _note_attempt_timeout(self, index: int) -> None:
+        self.timeouts += 1
+        if self.breakers is not None:
+            self.breakers[index].record_failure(self.env.now)
+
+    def _drain(self, index: int, inner: Event):
+        yield inner
+        self.outstanding[index] -= 1
+
+    def _retry_or_fail(self, job: _Job) -> None:
+        assert self.resilience is not None
+        next_attempt = job.attempt + 1
+        if next_attempt >= self.resilience.retry.max_attempts:
+            # Attempt budget exhausted: fail the request to the caller.
+            # (Each timed-out attempt was already recorded server-side.)
+            request = InferenceRequest(job.image, arrival_time=job.enqueued_at,
+                                       attempt=job.attempt)
+            request.outcome = OUTCOME_TIMEOUT
+            job.done.succeed(request)
+            return
+        job.attempt = next_attempt
+        self.retries += 1
+        if self.metrics is not None:
+            self.metrics.note_retry()
+        self.env.process(self._requeue(job))
+
+    def _requeue(self, job: _Job):
+        delay = self.resilience.retry.backoff_seconds(job.attempt, self._retry_rng)
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self._backlog.put(job)
 
 
 class Fleet:
@@ -141,6 +281,8 @@ class Fleet:
         policy: DispatchPolicy = LEAST_OUTSTANDING,
         metrics: Optional[MetricsCollector] = None,
         on_complete=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        streams: Optional[RandomStreams] = None,
     ) -> None:
         if node_count < 1:
             raise ValueError(f"node_count must be >= 1, got {node_count}")
@@ -154,7 +296,10 @@ class Fleet:
                             on_complete=on_complete)
             for node in self.nodes
         ]
-        self.balancer = LoadBalancer(env, self.servers, per_node_cap, policy)
+        self.balancer = LoadBalancer(
+            env, self.servers, per_node_cap, policy,
+            resilience=resilience, streams=streams, metrics=self.metrics,
+        )
 
     @property
     def node_count(self) -> int:
@@ -173,6 +318,25 @@ class FleetResult:
     metrics: RunMetrics
     dispatched_per_node: List[int]
     peak_backlog: int
+    #: Faults injected during the run (0 for fault-free experiments).
+    fault_count: int = 0
+    #: Circuit-breaker open transitions across all nodes.
+    breaker_opens: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict of the fleet measurements (see
+        :func:`repro.analysis.export.result_to_dict`)."""
+        from ..analysis.export import result_to_dict
+
+        return result_to_dict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"fleet[{self.node_count}] offered={self.offered_rate:.0f}/s "
+            f"throughput={self.throughput:.1f}/s goodput={self.goodput_fraction:.1%} "
+            f"p99={self.metrics.latency.p99 * 1e3:.1f}ms"
+        )
 
     @property
     def throughput(self) -> float:
@@ -207,8 +371,16 @@ def run_fleet_experiment(
     warmup_requests: int = 300,
     measure_requests: int = 2000,
     max_sim_seconds: float = 60.0,
+    resilience: Optional[ResiliencePolicy] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> FleetResult:
-    """Open-loop Poisson load against an N-node fleet."""
+    """Open-loop Poisson load against an N-node fleet.
+
+    ``resilience`` enables deadlines/retries/shedding/circuit-breaking
+    in the balancer; ``faults`` injects the given fault plan.  Both
+    default to ``None``, which reproduces the fault-free experiment
+    exactly (no extra processes, no extra RNG draws).
+    """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
     env = Environment()
@@ -237,7 +409,17 @@ def run_fleet_experiment(
         policy=policy,
         metrics=collector,
         on_complete=on_complete,
+        resilience=resilience,
+        streams=streams,
     )
+
+    injector = None
+    if faults is not None and faults.enabled:
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(env, streams, faults)
+        injector.attach_fleet(fleet)
+        injector.start()
     images = dataset if dataset is not None else reference_dataset("medium")
     rng = streams.stream("fleet:images")
     arrival_rng = streams.stream("fleet:arrivals")
@@ -269,6 +451,12 @@ def run_fleet_experiment(
         metrics=collector.finalize(),
         dispatched_per_node=list(fleet.balancer.dispatched),
         peak_backlog=peak_backlog["n"],
+        fault_count=injector.fault_count if injector is not None else 0,
+        breaker_opens=(
+            sum(b.open_transitions for b in fleet.balancer.breakers)
+            if fleet.balancer.breakers is not None
+            else 0
+        ),
     )
 
 

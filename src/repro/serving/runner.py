@@ -12,8 +12,9 @@ breakdowns, and per-image energy.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..core.config import ServerConfig
 from ..core.metrics import MetricsCollector, RunMetrics
@@ -24,11 +25,15 @@ from ..hardware.power import DeviceEnergy
 from ..sim import Environment, RandomStreams
 from ..vision.datasets import Dataset, reference_dataset
 from .client import ClosedLoopClient
+from .resilience import ResiliencePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..faults import FaultPlan
 
 __all__ = ["ExperimentConfig", "RunResult", "run_experiment", "run_face_pipeline", "run_open_loop"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ExperimentConfig:
     """One serving experiment: platform, deployment, and load."""
 
@@ -48,9 +53,41 @@ class ExperimentConfig:
     #: Optional callback invoked with every completed request (e.g. a
     #: :class:`~repro.analysis.tracing.TraceCollector`).
     on_complete: Optional[Callable] = None
+    #: Client-side deadlines/retries; ``None`` leaves the submit path
+    #: untouched (fault-free runs are bit-identical).
+    resilience: Optional[ResiliencePolicy] = None
+    #: Fault plan injected into the node; ``None`` injects nothing.
+    faults: Optional["FaultPlan"] = None
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.gpu_count < 1:
+            raise ValueError(f"gpu_count must be >= 1, got {self.gpu_count}")
+        if self.warmup_requests < 0 or self.measure_requests < 1:
+            raise ValueError("warmup_requests must be >= 0 and measure_requests >= 1")
+        if self.max_sim_seconds <= 0:
+            raise ValueError("max_sim_seconds must be positive")
+        if self.think_jitter_seconds < 0:
+            raise ValueError("think_jitter_seconds must be >= 0")
+
+    def validate(self) -> "ExperimentConfig":
+        """Re-run field validation (useful after deserialization)."""
+        self.__post_init__()
+        return self
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
 
     def with_(self, **kwargs) -> "ExperimentConfig":
-        return replace(self, **kwargs)
+        """Deprecated alias of :meth:`with_overrides`."""
+        warnings.warn(
+            "ExperimentConfig.with_() is deprecated; use with_overrides()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.with_overrides(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -62,6 +99,23 @@ class RunResult:
     energy: Dict[str, DeviceEnergy]
     cpu_utilization: float
     gpu_utilization: float  # mean across GPUs
+    #: Faults injected during the run (0 for fault-free experiments).
+    fault_count: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict of the run's measurements (see
+        :func:`repro.analysis.export.result_to_dict`)."""
+        from ..analysis.export import result_to_dict
+
+        return result_to_dict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"throughput={self.throughput:.1f}/s "
+            f"mean={self.mean_latency * 1e3:.1f}ms p99={self.p99_latency * 1e3:.1f}ms "
+            f"cpu={self.cpu_utilization:.0%} gpu={self.gpu_utilization:.0%}"
+        )
 
     @property
     def throughput(self) -> float:
@@ -120,7 +174,17 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         concurrency=config.concurrency,
         streams=streams,
         think_jitter_seconds=config.think_jitter_seconds,
+        resilience=config.resilience,
+        metrics=collector,
     )
+
+    injector = None
+    if config.faults is not None and config.faults.enabled:
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(env, streams, config.faults)
+        injector.attach_node(node)
+        injector.start()
 
     snapshots = {}
 
@@ -153,6 +217,7 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         energy=energy,
         cpu_utilization=cpu_util,
         gpu_utilization=gpu_util,
+        fault_count=injector.fault_count if injector is not None else 0,
     )
 
 

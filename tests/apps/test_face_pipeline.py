@@ -32,7 +32,7 @@ class TestValidation:
 
     def test_with_(self):
         config = FacePipelineConfig(broker="kafka")
-        assert config.with_(faces_per_frame=9).broker == "kafka"
+        assert config.with_overrides(faces_per_frame=9).broker == "kafka"
 
 
 class TestSingleFrame:

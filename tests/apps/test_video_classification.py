@@ -31,7 +31,7 @@ class TestValidation:
 
     def test_with_(self):
         config = VideoServerConfig(frames_per_clip=4)
-        assert config.with_(model="resnet-50").frames_per_clip == 4
+        assert config.with_overrides(model="resnet-50").frames_per_clip == 4
 
 
 class TestSingleClip:

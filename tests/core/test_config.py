@@ -50,7 +50,7 @@ def test_fixed_batching_mode():
 
 def test_with_replaces_fields():
     config = ServerConfig(model="resnet-50")
-    other = config.with_(preprocess_device=CPU_PREPROCESS, mode=MODE_INFERENCE_ONLY)
+    other = config.with_overrides(preprocess_device=CPU_PREPROCESS, mode=MODE_INFERENCE_ONLY)
     assert other.model == "resnet-50"
     assert other.preprocess_device == CPU_PREPROCESS
     assert config.preprocess_device == GPU_PREPROCESS  # original untouched

@@ -1,0 +1,229 @@
+"""Tests for fault injection: health gating, determinism, broker loss."""
+
+import pytest
+
+from repro.brokers import FusedBroker, KafkaBroker
+from repro.faults import (
+    BrokerFault,
+    DeviceHealth,
+    FaultInjector,
+    FaultPlan,
+    GpuCrash,
+    PcieThrottle,
+    SlowNode,
+    gpu_crash_plan,
+)
+from repro.hardware import ServerNode
+from repro.hardware.pcie import H2D
+from repro.sim import Environment, RandomStreams
+
+
+def make_node(seed=0):
+    env = Environment()
+    node = ServerNode(env)
+    return env, node, RandomStreams(seed)
+
+
+class TestDeviceHealth:
+    def test_gate_blocks_until_restore(self):
+        env, node, _ = make_node()
+        gpu = node.gpus[0]
+        gpu.health = DeviceHealth(env)
+        gpu.health.fail(1.0)
+        finished = []
+
+        def work():
+            yield from gpu.execute(0.01)
+            finished.append(env.now)
+
+        env.process(work())
+        env.run(until=0.5)
+        assert not finished  # still gated on the outage
+        env.run(until=2.0)
+        assert finished and finished[0] >= 1.0
+        assert gpu.health.down_seconds == pytest.approx(1.0)
+
+    def test_overlapping_faults_extend_outage(self):
+        env = Environment()
+        health = DeviceHealth(env)
+
+        def inject():
+            health.fail(1.0)
+            yield env.timeout(0.5)
+            health.fail(1.0)  # restore pushed to t=1.5
+
+        env.process(inject())
+        env.run()
+        assert health.failures == 2
+        assert health.down_seconds == pytest.approx(1.5)
+
+    def test_slowdown_multiplies_kernel_time(self):
+        env, node, _ = make_node()
+        gpu = node.gpus[0]
+        gpu.health = DeviceHealth(env)
+        gpu.health.slowdown = 4.0
+
+        def work():
+            yield from gpu.execute(0.01)
+
+        env.run(until=env.process(work()))
+        assert env.now == pytest.approx(0.04)
+
+    def test_bandwidth_factor_slows_transfer(self):
+        env, node, _ = make_node()
+        link = node.gpus[0].link
+
+        def xfer():
+            yield from link.transfer(8 << 20, H2D, pinned=False)
+
+        env.run(until=env.process(xfer()))
+        healthy = env.now
+
+        env2, node2, _ = make_node()
+        link2 = node2.gpus[0].link
+        link2.health = DeviceHealth(env2)
+        link2.health.bandwidth_factor = 0.25
+
+        def xfer2():
+            yield from link2.transfer(8 << 20, H2D, pinned=False)
+
+        env2.run(until=env2.process(xfer2()))
+        assert env2.now > healthy  # the bandwidth term is 4x slower
+        assert env2.now == pytest.approx(
+            link2.latency + (healthy - link2.latency) * 4.0
+        )
+
+
+class TestInjectorSchedule:
+    def heavy_plan(self):
+        return FaultPlan(
+            profiles=(GpuCrash(mtbf_seconds=0.3, restart_seconds=0.2),)
+        )
+
+    def run_timeline(self, seed):
+        env, node, streams = make_node(seed)
+        injector = FaultInjector(env, streams, self.heavy_plan())
+        injector.attach_node(node)
+        injector.start()
+        env.run(until=5.0)
+        return injector
+
+    def test_faults_fire_and_are_logged(self):
+        injector = self.run_timeline(seed=0)
+        assert injector.fault_count > 0
+        assert all(event.kind == "gpu_crash" for event in injector.events)
+        assert all(0.0 < event.at_time < 5.0 for event in injector.events)
+
+    def test_same_seed_same_timeline(self):
+        a = self.run_timeline(seed=3)
+        b = self.run_timeline(seed=3)
+        assert [e.at_time for e in a.events] == [e.at_time for e in b.events]
+
+    def test_different_seed_different_timeline(self):
+        a = self.run_timeline(seed=3)
+        b = self.run_timeline(seed=4)
+        assert [e.at_time for e in a.events] != [e.at_time for e in b.events]
+
+    def test_start_after_delays_first_fault(self):
+        env, node, streams = make_node()
+        plan = self.heavy_plan().with_overrides(start_after_seconds=2.0)
+        injector = FaultInjector(env, streams, plan)
+        injector.attach_node(node)
+        injector.start()
+        env.run(until=5.0)
+        assert injector.fault_count > 0
+        assert min(e.at_time for e in injector.events) >= 2.0
+
+    def test_start_is_idempotent(self):
+        env, node, streams = make_node()
+        injector = FaultInjector(env, streams, self.heavy_plan())
+        injector.attach_node(node)
+        injector.start()
+        injector.start()
+        env.run(until=2.0)
+        # One hazard process, not two: events strictly ordered in time.
+        times = [e.at_time for e in injector.events]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_slow_node_and_throttle_restore(self):
+        env, node, streams = make_node()
+        plan = FaultPlan(
+            profiles=(
+                SlowNode(mtbf_seconds=0.5, duration_seconds=0.2, slowdown=4.0),
+                PcieThrottle(mtbf_seconds=0.5, duration_seconds=0.2, bandwidth_factor=0.25),
+            )
+        )
+        injector = FaultInjector(env, streams, plan)
+        injector.attach_node(node)
+        injector.start()
+        env.run(until=10.0)
+        kinds = {e.kind for e in injector.events}
+        assert kinds == {"slow_node", "pcie_throttle"}
+        # All faults have played out by now: multipliers restored.
+        gpu = node.gpus[0]
+        assert gpu.health.slowdown == 1.0
+        assert gpu.link.health.bandwidth_factor == 1.0
+
+    def test_gpu_crash_plan_duty_cycle(self):
+        plan = gpu_crash_plan(0.01, restart_seconds=0.5)
+        crash = plan.profiles[0]
+        assert crash.downtime_fraction == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            gpu_crash_plan(0.0)
+
+
+class TestBrokerDelivery:
+    def attach(self, broker_cls, loss):
+        env, node, streams = make_node()
+        broker = broker_cls(env, node)
+        plan = FaultPlan(
+            profiles=(
+                BrokerFault(mtbf_seconds=1e9, loss_probability=loss,
+                            redelivery_seconds=1e-3),
+            )
+        )
+        injector = FaultInjector(env, streams, plan)
+        injector.attach_broker(broker)
+        return env, broker
+
+    def _pump(self, env, broker, count):
+        received = []
+
+        def producer():
+            for i in range(count):
+                yield from broker.produce(i, 1000)
+
+        # Produce everything first: loss is decided at publish time, so
+        # afterwards ``broker.lost`` tells us how many to consume.
+        env.run(until=env.process(producer()))
+
+        def consumer(expected):
+            for _ in range(expected):
+                message = yield from broker.consume()
+                received.append(message.payload)
+
+        env.run(until=env.process(consumer(count - broker.lost)))
+        return received
+
+    def test_at_least_once_redelivers_instead_of_losing(self):
+        env, broker = self.attach(KafkaBroker, loss=0.5)
+        received = self._pump(env, broker, 40)
+        assert broker.delivery == "at_least_once"
+        assert broker.lost == 0
+        assert broker.redelivered > 0
+        assert received == list(range(40))  # nothing dropped, order kept
+
+    def test_at_most_once_drops(self):
+        env, broker = self.attach(FusedBroker, loss=0.5)
+        received = self._pump(env, broker, 40)
+        assert broker.delivery == "at_most_once"
+        assert broker.redelivered == 0
+        assert broker.lost > 0
+        assert len(received) == 40 - broker.lost
+
+    def test_no_loss_without_fault(self):
+        env, broker = self.attach(FusedBroker, loss=0.0)
+        received = self._pump(env, broker, 10)
+        assert broker.lost == 0
+        assert len(received) == 10

@@ -1,0 +1,148 @@
+"""Unit tests for retry backoff and the circuit-breaker state machine."""
+
+import pytest
+
+from repro.serving.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.sim import RandomStreams
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=4,
+            backoff_base_seconds=2e-3,
+            backoff_multiplier=2.0,
+            backoff_max_seconds=1.0,
+            jitter_seconds=0.0,
+        )
+        assert policy.schedule() == pytest.approx([2e-3, 4e-3, 8e-3])
+
+    def test_backoff_cap_respected(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_base_seconds=10e-3,
+            backoff_multiplier=4.0,
+            backoff_max_seconds=50e-3,
+            jitter_seconds=0.0,
+        )
+        assert max(policy.schedule()) == pytest.approx(50e-3)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, jitter_seconds=1e-3)
+        a = policy.schedule(RandomStreams(7).stream("balancer:retry"))
+        b = policy.schedule(RandomStreams(7).stream("balancer:retry"))
+        assert a == b  # same seed, same named stream -> same timeline
+        bare = policy.schedule()
+        for jittered, base in zip(a, bare):
+            assert base <= jittered < base + policy.jitter_seconds
+
+    def test_different_seeds_differ(self):
+        policy = RetryPolicy(max_attempts=6, jitter_seconds=1e-3)
+        a = policy.schedule(RandomStreams(1).stream("balancer:retry"))
+        b = policy.schedule(RandomStreams(2).stream("balancer:retry"))
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_seconds=-1e-3)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_seconds(0)
+
+
+class TestBreakerTransitions:
+    def make(self, threshold=3, recovery=0.5, probes=1):
+        return CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=threshold,
+                recovery_seconds=recovery,
+                half_open_probes=probes,
+            )
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = self.make(threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure(0.2)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.open_transitions == 1
+        assert not breaker.allows(0.3)
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make(threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_after_recovery_window(self):
+        breaker = self.make(threshold=1, recovery=0.5)
+        breaker.record_failure(0.0)
+        assert not breaker.allows(0.4)
+        assert breaker.allows(0.5)  # transitions to half-open
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        breaker = self.make(threshold=1, recovery=0.5, probes=1)
+        breaker.record_failure(0.0)
+        assert breaker.allows(1.0)
+        breaker.note_dispatch()  # the one probe is now in flight
+        assert not breaker.allows(1.0)
+
+    def test_half_open_success_closes(self):
+        breaker = self.make(threshold=1, recovery=0.5)
+        breaker.record_failure(0.0)
+        assert breaker.allows(1.0)
+        breaker.note_dispatch()
+        breaker.record_success(1.1)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allows(1.2)
+
+    def test_half_open_failure_reopens(self):
+        breaker = self.make(threshold=1, recovery=0.5)
+        breaker.record_failure(0.0)
+        assert breaker.allows(1.0)
+        breaker.note_dispatch()
+        breaker.record_failure(1.1)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.open_transitions == 2
+        assert not breaker.allows(1.2)
+        assert breaker.allows(1.1 + 0.5)
+
+
+class TestResiliencePolicy:
+    def test_defaults_valid(self):
+        policy = ResiliencePolicy()
+        assert policy.deadline_seconds == 0.25
+        assert policy.retry.max_attempts == 3
+        assert policy.breaker is not None
+
+    def test_with_overrides(self):
+        policy = ResiliencePolicy().with_overrides(deadline_seconds=0.1, max_backlog=64)
+        assert policy.deadline_seconds == 0.1
+        assert policy.max_backlog == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(deadline_seconds=0.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_backlog=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(recovery_seconds=0.0)

@@ -108,5 +108,5 @@ class TestRunner:
 
     def test_config_with(self):
         config = ExperimentConfig()
-        assert config.with_(concurrency=99).concurrency == 99
+        assert config.with_overrides(concurrency=99).concurrency == 99
         assert config.concurrency == 64

@@ -19,7 +19,22 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.model == "resnet-50"
-        assert args.preprocess == "gpu"
+        assert args.preprocess_device == "gpu"
+
+    def test_preprocess_device_flag(self):
+        args = build_parser().parse_args(["serve", "--preprocess-device", "cpu"])
+        assert args.preprocess_device == "cpu"
+
+    def test_deprecated_preprocess_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="--preprocess-device"):
+            args = build_parser().parse_args(["serve", "--preprocess", "cpu"])
+        assert args.preprocess_device == "cpu"
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.nodes == 2
+        assert args.downtimes == "0.01,0.02,0.05"
+        assert args.deadline_ms == 250.0
 
 
 class TestCommands:

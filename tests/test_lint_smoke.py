@@ -1,0 +1,58 @@
+"""Tooling gates: ruff lint (when available) and CLI smoke tests."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_faults_help_exits_cleanly(capsys):
+    with pytest.raises(SystemExit) as exit_info:
+        main(["faults", "--help"])
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    assert "--downtimes" in out
+    assert "--deadline-ms" in out
+
+
+def test_faults_smoke_run(capsys):
+    assert main([
+        "faults",
+        "--downtimes", "0.05",
+        "--restart-ms", "400",
+        "--rate", "120",
+        "--requests", "200",
+        "--warmup", "50",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "downtime" in out
+
+
+def test_module_entrypoint_help():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    assert "faults" in result.stdout
