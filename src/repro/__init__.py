@@ -26,7 +26,8 @@ under ``benchmarks/``; see ``DESIGN.md`` for the experiment index and
 ``EXPERIMENTS.md`` for paper-vs-measured results.
 """
 
-from .analysis import ClaimSet, LatencyBreakdown, breakdown_from_metrics, format_table
+from .analysis import ClaimSet, LatencyBreakdown, breakdown_from_metrics, cache_summary, format_table
+from .cache import CacheConfig, CacheHierarchy, CacheStats, CacheTier
 from .apps import (
     FacePipeline,
     FacePipelineConfig,
@@ -75,6 +76,7 @@ from .vision import (
     SMALL_IMAGE,
     Image,
     ImageNetLikeDataset,
+    ZipfDataset,
     reference_dataset,
 )
 
@@ -83,6 +85,10 @@ __version__ = "1.0.0"
 __all__ = [
     "BreakerPolicy",
     "BrokerFault",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "CacheTier",
     "Calibration",
     "ClaimSet",
     "FaultInjector",
@@ -120,7 +126,9 @@ __all__ = [
     "ServerConfig",
     "ServerNode",
     "TuningResult",
+    "ZipfDataset",
     "breakdown_from_metrics",
+    "cache_summary",
     "format_table",
     "get_model",
     "inference_latency",

@@ -1,6 +1,11 @@
 """Result analysis: breakdowns, figure tables, paper comparison."""
 
-from .breakdown import LatencyBreakdown, breakdown_from_metrics, resilience_summary
+from .breakdown import (
+    LatencyBreakdown,
+    breakdown_from_metrics,
+    cache_summary,
+    resilience_summary,
+)
 from .charts import bar_chart, sparkline, stacked_bar_chart
 from .compare import ClaimSet, PaperClaim
 from .export import (
@@ -31,6 +36,7 @@ __all__ = [
     "LatencyBreakdown",
     "PaperClaim",
     "breakdown_from_metrics",
+    "cache_summary",
     "format_ms",
     "format_pct",
     "format_rate",

@@ -22,7 +22,7 @@ from ..core.request import (
     SPAN_TRANSFER,
 )
 
-__all__ = ["LatencyBreakdown", "breakdown_from_metrics", "resilience_summary"]
+__all__ = ["LatencyBreakdown", "breakdown_from_metrics", "cache_summary", "resilience_summary"]
 
 #: Spans grouped the way the paper's figures group them.
 PREPROCESS_SPANS = (SPAN_PREPROCESS_WAIT, SPAN_PREPROCESS)
@@ -78,6 +78,27 @@ def breakdown_from_metrics(metrics: RunMetrics) -> LatencyBreakdown:
         transfer=transfer,
         other=other,
     )
+
+
+def cache_summary(metrics: RunMetrics) -> Dict[str, float]:
+    """Cache outcome counters for a run (:mod:`repro.cache`).
+
+    Combines the window-gated per-tier hit counts with the run-global
+    tier counters the runner folds into ``extras``.  All values are zero
+    for an uncached run, so the summary is safe to report
+    unconditionally.
+    """
+    out: Dict[str, float] = {
+        "completed": float(metrics.completed),
+        "cache_hit_count": float(metrics.cache_hit_count),
+        "cache_hit_fraction": metrics.cache_hit_fraction,
+    }
+    for tier in ("result", "tensor", "image"):
+        out[f"cache_hits_{tier}"] = float(metrics.cache_hits.get(tier, 0))
+    for key, value in sorted(metrics.extras.items()):
+        if key.startswith("cache_"):
+            out[key] = value
+    return out
 
 
 def resilience_summary(metrics: RunMetrics) -> Dict[str, float]:

@@ -48,6 +48,12 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
     }
     for span, value in sorted(metrics.span_means.items()):
         out[f"span_{span}"] = value
+    # Cache columns only appear on cached runs: window-gated hit counts
+    # plus the run-global tier counters carried in extras.
+    for tier, count in sorted(metrics.cache_hits.items()):
+        out[f"cache_hits_{tier}"] = count
+    for key, value in sorted(metrics.extras.items()):
+        out[key] = value
     return out
 
 

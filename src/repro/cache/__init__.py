@@ -1,0 +1,43 @@
+"""Multi-tier content-aware caching (decoded images, tensors, results).
+
+The paper shows non-inference work — JPEG decode, resize/normalize, and
+host<->device transfer — dominating end-to-end latency for small models.
+Under production traffic request popularity is heavily skewed
+(Zipf-like), so repeated preprocessing of popular images is wasted work.
+This package short-circuits pipeline stages for content the server has
+seen before:
+
+- **image tier** (host RAM) — skips JPEG decode;
+- **tensor tier** (GPU memory pool) — skips preprocessing *and* the
+  H2D transfer, competing with request working sets for device memory;
+- **result tier** — skips the DNN for exact-duplicate requests.
+
+Enable via ``ServerConfig(cache=CacheConfig(...))``; with ``cache=None``
+(the default) the server takes the exact pre-cache code path.  Drive it
+with a skewed workload via
+:class:`~repro.vision.datasets.ZipfDataset`, or sweep from the shell::
+
+    python -m repro cache --skews 0.6,1.0,1.3 --cache-mb 64,256
+"""
+
+from .config import POLICIES, POLICY_LFU, POLICY_LRU, POLICY_S3FIFO, CacheConfig
+from .policies import EvictionPolicy, LfuPolicy, LruPolicy, S3FifoPolicy, make_policy
+from .tiers import CacheEntry, CacheHierarchy, CacheStats, CacheTier, GpuTensorCache
+
+__all__ = [
+    "CacheConfig",
+    "CacheEntry",
+    "CacheHierarchy",
+    "CacheStats",
+    "CacheTier",
+    "EvictionPolicy",
+    "GpuTensorCache",
+    "LfuPolicy",
+    "LruPolicy",
+    "POLICIES",
+    "POLICY_LFU",
+    "POLICY_LRU",
+    "POLICY_S3FIFO",
+    "S3FifoPolicy",
+    "make_policy",
+]

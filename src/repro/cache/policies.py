@@ -1,0 +1,255 @@
+"""Pluggable eviction policies for the cache tiers.
+
+A policy only orders *keys*; byte accounting lives in the tier.  The
+tier calls :meth:`EvictionPolicy.victim` repeatedly until the incoming
+entry fits its byte budget.
+
+Three policies are provided:
+
+- **LRU** — classic recency order (an ``OrderedDict`` move-to-end).
+- **LFU** — O(1) frequency buckets; ties broken by recency within a
+  bucket.  Resists one-shot scans better than LRU on Zipf traffic.
+- **S3-FIFO** — the small/main/ghost design of Yang et al. (SOSP'23):
+  new keys enter a small probationary FIFO; keys re-referenced while
+  probationary (or remembered by the ghost) are promoted to the main
+  FIFO, which evicts with one-bit second chance.  Cheap and scan-
+  resistant, which is why production CDN caches adopted it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .config import POLICIES, POLICY_LFU, POLICY_LRU, POLICY_S3FIFO
+
+__all__ = [
+    "EvictionPolicy",
+    "LruPolicy",
+    "LfuPolicy",
+    "S3FifoPolicy",
+    "make_policy",
+]
+
+
+class EvictionPolicy:
+    """Order cache keys for eviction."""
+
+    name = "policy"
+
+    def admit(self, key: str) -> None:
+        """Register a newly inserted key."""
+        raise NotImplementedError
+
+    def touch(self, key: str) -> None:
+        """Record a hit on ``key``."""
+        raise NotImplementedError
+
+    def victim(self) -> Optional[str]:
+        """Pick and remove the next key to evict (None when empty)."""
+        raise NotImplementedError
+
+    def discard(self, key: str) -> None:
+        """Forget ``key`` (evicted externally, expired, or invalidated)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used ordering."""
+
+    name = POLICY_LRU
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def admit(self, key: str) -> None:
+        if key in self._order:
+            raise KeyError(f"key {key!r} already admitted")
+        self._order[key] = None
+
+    def touch(self, key: str) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def victim(self) -> Optional[str]:
+        if not self._order:
+            return None
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def discard(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._order
+
+
+class LfuPolicy(EvictionPolicy):
+    """Least-frequently-used with O(1) frequency buckets.
+
+    Within the minimum-frequency bucket the least recently touched key
+    is evicted first (LRU tie-break), matching the usual LFU-with-aging
+    implementations.
+    """
+
+    name = POLICY_LFU
+
+    def __init__(self) -> None:
+        self._freq: Dict[str, int] = {}
+        self._buckets: Dict[int, "OrderedDict[str, None]"] = {}
+        self._min_freq = 0
+
+    def admit(self, key: str) -> None:
+        if key in self._freq:
+            raise KeyError(f"key {key!r} already admitted")
+        self._freq[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_freq = 1
+
+    def touch(self, key: str) -> None:
+        freq = self._freq.get(key)
+        if freq is None:
+            return
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets.setdefault(freq + 1, OrderedDict())[key] = None
+
+    def victim(self) -> Optional[str]:
+        if not self._freq:
+            return None
+        while self._min_freq not in self._buckets:
+            self._min_freq += 1
+        bucket = self._buckets[self._min_freq]
+        key, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._buckets[self._min_freq]
+        del self._freq[key]
+        return key
+
+    def discard(self, key: str) -> None:
+        freq = self._freq.pop(key, None)
+        if freq is None:
+            return
+        bucket = self._buckets.get(freq)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._buckets[freq]
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._freq
+
+
+class S3FifoPolicy(EvictionPolicy):
+    """S3-FIFO-style small/main/ghost queues (entry-count quotas).
+
+    ``small_fraction`` of the tracked entries sit in the probationary
+    FIFO.  The ghost remembers up to ``ghost_multiple`` times the live
+    entry count of recently evicted keys so a quick re-reference is
+    admitted straight to main.
+    """
+
+    name = POLICY_S3FIFO
+
+    def __init__(self, small_fraction: float = 0.1, ghost_multiple: float = 1.0) -> None:
+        if not 0 < small_fraction < 1:
+            raise ValueError(f"small_fraction must be in (0, 1), got {small_fraction}")
+        if ghost_multiple < 0:
+            raise ValueError(f"ghost_multiple must be >= 0, got {ghost_multiple}")
+        self.small_fraction = small_fraction
+        self.ghost_multiple = ghost_multiple
+        self._small: "OrderedDict[str, None]" = OrderedDict()
+        self._main: "OrderedDict[str, None]" = OrderedDict()
+        self._ghost: "OrderedDict[str, None]" = OrderedDict()
+        #: One-bit reference flags (the "accessed since insertion" bit).
+        self._referenced: Dict[str, bool] = {}
+
+    def admit(self, key: str) -> None:
+        if key in self._referenced:
+            raise KeyError(f"key {key!r} already admitted")
+        if key in self._ghost:
+            del self._ghost[key]
+            self._main[key] = None
+        else:
+            self._small[key] = None
+        self._referenced[key] = False
+
+    def touch(self, key: str) -> None:
+        if key in self._referenced:
+            self._referenced[key] = True
+
+    def victim(self) -> Optional[str]:
+        total = len(self._small) + len(self._main)
+        if total == 0:
+            return None
+        # Evict from small once it exceeds its quota (or main is empty).
+        small_quota = max(1, int(total * self.small_fraction))
+        while True:
+            from_small = len(self._small) >= small_quota or not self._main
+            if from_small and self._small:
+                key, _ = self._small.popitem(last=False)
+                if self._referenced.pop(key):
+                    # Survived probation: promote instead of evicting.
+                    self._main[key] = None
+                    self._referenced[key] = False
+                    continue
+                self._remember_ghost(key)
+                return key
+            if self._main:
+                key, _ = self._main.popitem(last=False)
+                if self._referenced.pop(key):
+                    # Second chance: reinsert at the tail, clear the bit.
+                    self._main[key] = None
+                    self._referenced[key] = False
+                    continue
+                self._remember_ghost(key)
+                return key
+            return None
+
+    def _remember_ghost(self, key: str) -> None:
+        limit = int(self.ghost_multiple * max(1, len(self._referenced)))
+        if limit <= 0:
+            return
+        self._ghost[key] = None
+        while len(self._ghost) > limit:
+            self._ghost.popitem(last=False)
+
+    def discard(self, key: str) -> None:
+        if self._referenced.pop(key, None) is None:
+            return
+        self._small.pop(key, None)
+        self._main.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._referenced)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._referenced
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by config name."""
+    if name == POLICY_LRU:
+        return LruPolicy()
+    if name == POLICY_LFU:
+        return LfuPolicy()
+    if name == POLICY_S3FIFO:
+        return S3FifoPolicy()
+    raise ValueError(f"unknown eviction policy {name!r}; expected one of {POLICIES}")

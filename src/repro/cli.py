@@ -3,6 +3,7 @@
     python -m repro serve --model resnet-50 --preprocess-device gpu
     python -m repro breakdown --model vit-base-16 --size large
     python -m repro sweep --model resnet-50 --concurrencies 1,64,512,4096
+    python -m repro cache --skews 0.0,1.0 --cache-mb 0,64,256 --tiers image,tensor
     python -m repro faces --brokers fused,redis,kafka --faces 1,9,25
     python -m repro faults --downtimes 0.01,0.05 --rate 150
     python -m repro models
@@ -199,6 +200,77 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from .cache.config import MIB, POLICIES, CacheConfig
+    from .vision.datasets import ImageNetLikeDataset, ZipfDataset
+
+    tiers = _str_list(args.tiers)
+    unknown = [tier for tier in tiers if tier not in ("image", "tensor", "result")]
+    if unknown:
+        print(f"error: unknown cache tier(s) {','.join(unknown)} "
+              "(choose from image,tensor,result)", file=sys.stderr)
+        return 2
+    if args.policy not in POLICIES:
+        print(f"error: unknown policy {args.policy!r} (choose from {','.join(POLICIES)})",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    for skew in _float_list(args.skews):
+        dataset = ZipfDataset(
+            ImageNetLikeDataset(),
+            catalog_size=args.catalog,
+            skew=skew,
+            seed=args.seed,
+        )
+        chart: Dict[str, float] = {}
+        for cache_mb in _float_list(args.cache_mb):
+            if cache_mb > 0:
+                budget = cache_mb * MIB
+                cache = CacheConfig(
+                    policy=args.policy,
+                    image_cache_bytes=budget if "image" in tiers else 0.0,
+                    tensor_cache_bytes=budget if "tensor" in tiers else 0.0,
+                    result_cache_bytes=budget if "result" in tiers else 0.0,
+                )
+                label = f"{cache_mb:g} MiB"
+            else:
+                cache = None  # zero budget = the exact uncached code path
+                label = "off"
+            result = run_experiment(
+                ExperimentConfig(
+                    server=ServerConfig(
+                        model=args.model,
+                        preprocess_device=args.preprocess_device,
+                        preprocess_batch_size=64,
+                        cache=cache,
+                    ),
+                    dataset=dataset,
+                    concurrency=args.concurrency,
+                    warmup_requests=args.warmup,
+                    measure_requests=args.requests,
+                    seed=args.seed,
+                )
+            )
+            rows.append(
+                {
+                    "skew": skew,
+                    "catalog_size": args.catalog,
+                    "cache_mb": cache_mb,
+                    "policy": args.policy if cache is not None else "off",
+                    "tiers": ",".join(tiers) if cache is not None else "",
+                    **result.to_dict(),
+                }
+            )
+            chart[label] = result.throughput
+        print(bar_chart(chart, unit=" img/s",
+                        title=f"Throughput vs cache size — Zipf s={skew:g}, "
+                              f"catalog {args.catalog}, tiers {'+'.join(tiers)}"))
+        print()
+    _export(args, rows)
+    return 0
+
+
 def cmd_faces(args) -> int:
     rows = []
     for faces in _int_list(args.faces):
@@ -379,6 +451,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     _add_export_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser("cache", help="content-cache sweep (skew x size x tiers)")
+    cache.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    _add_preprocess_device_flag(cache, default="gpu", choices=["cpu", "gpu"])
+    cache.add_argument("--skews", default="0.0,0.8,1.2",
+                       help="comma-separated Zipf skew exponents")
+    cache.add_argument("--cache-mb", default="0,64,256", dest="cache_mb",
+                       help="comma-separated per-tier budgets in MiB (0 = caching off)")
+    cache.add_argument("--tiers", default="image,tensor",
+                       help="comma-separated tiers to enable: image,tensor,result")
+    cache.add_argument("--policy", default="lru", help="eviction policy (lru|lfu|s3fifo)")
+    cache.add_argument("--catalog", type=int, default=200,
+                       help="distinct images in the Zipf catalog")
+    cache.add_argument("--concurrency", type=int, default=64)
+    cache.add_argument("--warmup", type=int, default=300)
+    cache.add_argument("--requests", type=int, default=1500)
+    cache.add_argument("--seed", type=int, default=0)
+    _add_export_flags(cache)
+    cache.set_defaults(func=cmd_cache)
 
     faces = sub.add_parser("faces", help="multi-DNN broker comparison")
     faces.add_argument("--brokers", default="fused,redis,kafka")

@@ -13,6 +13,8 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..cache.config import CacheConfig
+
 __all__ = ["ServerConfig", "CPU_PREPROCESS", "GPU_PREPROCESS", "MODE_END_TO_END",
            "MODE_PREPROCESS_ONLY", "MODE_INFERENCE_ONLY"]
 
@@ -54,6 +56,10 @@ class ServerConfig:
     mode: str = MODE_END_TO_END
     #: Evict queued tensors to host when GPU memory fills (Fig. 5).
     allow_eviction: bool = True
+    #: Content-aware caching (:mod:`repro.cache`).  ``None`` (default)
+    #: disables the subsystem entirely — the server takes the exact
+    #: pre-cache code path, bit-identical to uncached builds.
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.preprocess_device not in (CPU_PREPROCESS, GPU_PREPROCESS):
@@ -76,6 +82,8 @@ class ServerConfig:
             raise ValueError("max_queue_delay_seconds must be >= 0 or None")
         if self.preprocess_queue_delay_seconds < 0:
             raise ValueError("preprocess_queue_delay_seconds must be >= 0")
+        if self.cache is not None:
+            self.cache.validate()
 
     @property
     def dynamic_batching(self) -> bool:

@@ -90,6 +90,10 @@ class RunMetrics:
     retry_count: int = 0
     #: Requests rejected by admission control inside the window.
     shed_count: int = 0
+    #: Window-gated cache-hit counts per tier ("result", "tensor",
+    #: "image"); empty when caching is disabled.  Run-global tier
+    #: counters (evictions, bytes, rates) live in ``extras``.
+    cache_hits: Dict[str, int] = field(default_factory=dict)
 
     def latency_histogram(self, buckets: int = 10) -> List[Tuple[float, float, int]]:
         """Equal-width histogram of request latencies.
@@ -123,6 +127,23 @@ class RunMetrics:
         import bisect
 
         return bisect.bisect_right(self.latencies, slo_seconds) / len(self.latencies)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict of the window's measurements (see
+        :func:`repro.analysis.export.metrics_to_dict`)."""
+        from ..analysis.export import metrics_to_dict
+
+        return metrics_to_dict(self)
+
+    @property
+    def cache_hit_count(self) -> int:
+        """Requests served by any cache tier inside the window."""
+        return sum(self.cache_hits.values())
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Share of completed requests served by any cache tier."""
+        return self.cache_hit_count / self.completed if self.completed else 0.0
 
     def span_mean(self, span: str) -> float:
         return self.span_means.get(span, 0.0)
@@ -259,6 +280,12 @@ class MetricsCollector:
         batch_sizes = [r.batch_size for r in self._requests if r.batch_size]
         mean_batch = sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
 
+        cache_hits: Dict[str, int] = {}
+        for request in self._requests:
+            tier = getattr(request, "served_from", None)
+            if tier is not None:
+                cache_hits[tier] = cache_hits.get(tier, 0) + 1
+
         return RunMetrics(
             window_seconds=window,
             completed=len(self._requests),
@@ -272,4 +299,5 @@ class MetricsCollector:
             timeout_count=self._timeouts,
             retry_count=self._retries,
             shed_count=self._shed,
+            cache_hits=cache_hits,
         )

@@ -74,6 +74,7 @@ class InferenceRequest:
         "deadline",
         "attempt",
         "outcome",
+        "served_from",
         "_open_spans",
     )
 
@@ -101,6 +102,9 @@ class InferenceRequest:
         self.attempt = attempt
         #: Lifecycle outcome; stamped at completion (see ``OUTCOMES``).
         self.outcome = OUTCOME_OK
+        #: Highest cache tier that served this request ("result",
+        #: "tensor", "image"), or ``None`` for a fully computed request.
+        self.served_from: Optional[str] = None
         self._open_spans: Dict[str, float] = {}
 
     def __repr__(self) -> str:

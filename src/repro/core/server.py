@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, List, Optional
 
+from ..cache.tiers import CacheEntry, CacheHierarchy
 from ..hardware.gpu import Gpu, PRIORITY_INFERENCE, PRIORITY_PREPROCESS
 from ..hardware.pcie import D2H, H2D
 from ..hardware.platform import ServerNode
@@ -76,13 +77,16 @@ def _output_bytes(model: ModelSpec) -> float:
 class BatchEntry:
     """One request flowing through the batcher with its tensor state."""
 
-    __slots__ = ("request", "allocation", "evicted", "gpu")
+    __slots__ = ("request", "allocation", "evicted", "gpu", "cache_entry")
 
     def __init__(self, request: InferenceRequest, gpu: Optional[Gpu]) -> None:
         self.request = request
         self.allocation = None  # GPU Allocation once the tensor is device-resident
         self.evicted = False
         self.gpu = gpu
+        #: Tensor-cache entry backing this request (tensor-tier hit); the
+        #: cached allocation belongs to the cache, not the request.
+        self.cache_entry: Optional[CacheEntry] = None
 
 
 class InferenceServer:
@@ -149,6 +153,19 @@ class InferenceServer:
                 for _ in range(config.inference_instances):
                     env.process(self._inference_instance(gpu, self._batchers[i]))
 
+        #: Content-aware cache hierarchy (``None`` = caching disabled;
+        #: the request path is then bit-identical to pre-cache builds).
+        #: Caching only applies to the full pipeline: the stage-isolation
+        #: modes exist to measure raw stage costs, not to be optimized.
+        self.cache: Optional[CacheHierarchy] = None
+        if (
+            config.cache is not None
+            and config.cache.enabled
+            and config.cache.any_tier_enabled
+            and config.mode == MODE_END_TO_END
+        ):
+            self.cache = CacheHierarchy(env, config.cache, node.gpus)
+
         # Diagnostics
         self.eviction_reloads = 0
 
@@ -193,6 +210,20 @@ class InferenceServer:
         self.env.process(self._handle(request, done))
         return done
 
+    # -- cache keys ------------------------------------------------------------
+
+    def _tensor_key(self, image: Image) -> str:
+        """Tensor-tier key: content resized for *this* model's input."""
+        if not image.content_id:
+            return ""
+        return f"{image.content_id}@{self.model.input_size}"
+
+    def _result_key(self, image: Image) -> str:
+        """Result-tier key: content inferred by *this* model+runtime."""
+        if not image.content_id:
+            return ""
+        return f"{image.content_id}@{self.model.name}/{self.runtime.name}"
+
     # -- request driver --------------------------------------------------------
 
     def _handle(self, request: InferenceRequest, done: Event):
@@ -215,6 +246,14 @@ class InferenceServer:
             yield self.env.timeout(parse_seconds)
         request.end(SPAN_FRONTEND, self.env.now)
 
+        # Exact-duplicate short-circuit: a cached inference result skips
+        # preprocessing, transfer, and the DNN entirely.
+        if self.cache is not None:
+            if self.cache.lookup_result(self._result_key(request.image)) is not None:
+                request.served_from = "result"
+                yield from self._finalize(request, done)
+                return
+
         gpu_index = next(self._rr)
         request.gpu_index = gpu_index
         gpu = self.node.gpus[gpu_index]
@@ -223,6 +262,18 @@ class InferenceServer:
         if mode == MODE_INFERENCE_ONLY:
             yield from self._ingest_raw_tensor(request, gpu, done)
             return
+
+        # Preprocessed tensor already resident in this GPU's pool: skip
+        # decode/resize/normalize *and* the H2D copy; straight to batching.
+        if self.cache is not None:
+            tensor_entry = self.cache.lookup_tensor(gpu_index, self._tensor_key(request.image))
+            if tensor_entry is not None:
+                request.served_from = "tensor"
+                entry = BatchEntry(request, gpu)
+                entry.cache_entry = tensor_entry
+                request.begin(SPAN_QUEUE, self.env.now)
+                yield self._batchers[gpu_index].submit((entry, done))
+                return
 
         if self.config.preprocess_device == CPU_PREPROCESS:
             yield from self._cpu_preprocess(request, gpu, done)
@@ -235,13 +286,24 @@ class InferenceServer:
     def _cpu_preprocess(self, request: InferenceRequest, gpu: Gpu, done: Event):
         """Python-backend preprocessing on host cores."""
         cost = cpu_preprocess_cost(request.image, self.model.input_size, self.calibration)
+        core_seconds = cost.core_seconds
+        image_hit = False
+        if self.cache is not None:
+            if self.cache.lookup_image(request.image.content_id) is not None:
+                # Decoded pixels cached in host RAM: skip the JPEG decode,
+                # pay only request overhead + resize + normalize.
+                image_hit = True
+                request.served_from = "image"
+                core_seconds -= cost.decode_seconds
         request.begin(SPAN_PREPROCESS_WAIT, self.env.now)
         with self._cpu_workers.request() as worker:
             yield worker
             request.end(SPAN_PREPROCESS_WAIT, self.env.now)
             request.begin(SPAN_PREPROCESS, self.env.now)
-            yield from self.node.cpu.run(cost.core_seconds)
+            yield from self.node.cpu.run(core_seconds)
             request.end(SPAN_PREPROCESS, self.env.now)
+        if self.cache is not None and not image_hit:
+            self.cache.admit_image(request.image.content_id, request.image.decoded_bytes)
 
         if self.config.mode == MODE_PREPROCESS_ONLY:
             yield from self._finalize(request, done)
@@ -294,18 +356,36 @@ class InferenceServer:
                 entry.request.end(SPAN_PREPROCESS_WAIT, now)
                 entry.request.begin(SPAN_PREPROCESS, now)
 
+            # Decoded-image cache hits skip host staging and the decode
+            # kernel, but ship *decoded* pixels over PCIe instead of the
+            # (smaller) JPEG bitstream.
+            cached_entries = set()
+            if self.cache is not None:
+                for entry in entries:
+                    if self.cache.lookup_image(entry.request.image.content_id) is not None:
+                        cached_entries.add(entry)
+                        entry.request.served_from = "image"
+
             # 1. Host staging: each sample needs a staging thread for its
             #    pinned copy + bitstream parse (pool shared across GPUs).
             stage_jobs = [
-                self.env.process(self._stage_sample(staging, entry)) for entry in entries
+                self.env.process(self._stage_sample(staging, entry))
+                for entry in entries
+                if entry not in cached_entries
             ]
-            yield self.env.all_of(stage_jobs)
+            if stage_jobs:
+                yield self.env.all_of(stage_jobs)
             now = self.env.now
             for entry in entries:
                 entry.request.end(SPAN_PREPROCESS, now)
 
-            # 2. Compressed bytes to the GPU in one pinned batched copy.
-            compressed = sum(entry.request.image.compressed_bytes for entry in entries)
+            # 2. Batch payload to the GPU in one pinned batched copy.
+            compressed = sum(
+                entry.request.image.decoded_bytes
+                if entry in cached_entries
+                else entry.request.image.compressed_bytes
+                for entry in entries
+            )
             transfer_start = self.env.now
             yield from gpu.link.transfer(compressed, H2D, pinned=True)
             transfer_time = self.env.now - transfer_start
@@ -333,7 +413,8 @@ class InferenceServer:
                 cost = gpu_preprocess_cost(
                     entry.request.image, self.model.input_size, self.calibration
                 )
-                decode_time += cost.decode_kernel_seconds
+                if entry not in cached_entries:
+                    decode_time += cost.decode_kernel_seconds
                 kernel_time += cost.postprocess_kernel_seconds
             if gpu.decoder is not None:
                 yield from gpu.decode(decode_time)
@@ -344,6 +425,15 @@ class InferenceServer:
             now = self.env.now
             for entry in entries:
                 entry.request.end(SPAN_PREPROCESS, now)
+            if self.cache is not None:
+                # Freshly decoded pixels become image-tier candidates (the
+                # host write-back is assumed off the critical path).
+                for entry in entries:
+                    if entry not in cached_entries:
+                        self.cache.admit_image(
+                            entry.request.image.content_id,
+                            entry.request.image.decoded_bytes,
+                        )
 
             if self.config.mode == MODE_PREPROCESS_ONLY:
                 for entry, done in batch:
@@ -409,13 +499,26 @@ class InferenceServer:
                 if entry.allocation is not None:
                     gpu.memory.free(entry.allocation)
                     entry.allocation = None
+            if self.cache is not None:
+                # The input tensor is the natural tensor-tier candidate:
+                # the working set was just freed, so the (smaller) fp16
+                # tensor is admitted if the pool has bytes to spare.
+                for entry in entries:
+                    if entry.cache_entry is None:
+                        self.cache.admit_tensor(
+                            gpu.index,
+                            self._tensor_key(entry.request.image),
+                            self.tensor_bytes,
+                        )
 
             for entry, done in batch:
                 self.env.process(self._finalize_proc(entry.request, done))
 
     def _materialize_inputs(self, gpu: Gpu, entries: List[BatchEntry]):
         """Ensure every entry's tensor is resident on ``gpu``."""
-        host_entries = [e for e in entries if e.gpu is None and e.allocation is None]
+        host_entries = [
+            e for e in entries if e.gpu is None and e.allocation is None and e.cache_entry is None
+        ]
         if host_entries:
             # CPU-preprocessed batch: one gathered copy from the python
             # backend's pageable output buffers.  cudaMemcpyAsync from
@@ -431,20 +534,25 @@ class InferenceServer:
             for entry in host_entries:
                 entry.request.add(SPAN_TRANSFER, elapsed)
                 entry.allocation = yield from gpu.memory.alloc(self.tensor_bytes)
-            return
 
         # GPU-preprocessed / inference-only path: pin survivors, reload
-        # evicted tensors from host memory.
+        # evicted tensors from host memory.  Tensor-cache hits whose
+        # entry was pushed out of the pool between lookup and dispatch
+        # fall back to the same host reload (paying tensor_bytes).
         evicted = [e for e in entries if e.evicted]
+        stale = [
+            e for e in entries if e.cache_entry is not None and not e.cache_entry.resident
+        ]
         for entry in entries:
             if entry.allocation is not None:
                 gpu.memory.pin(entry.allocation)
-        if evicted:
+        if evicted or stale:
             # Spilled working sets live in the pageable host heap, so the
             # reload is a synchronous copy that blocks the stream — the
             # paper's "subsequent reload ... incurs additional latency".
-            self.eviction_reloads += len(evicted)
+            self.eviction_reloads += len(evicted) + len(stale)
             nbytes = sum(self._resident_bytes(e.request.image) for e in evicted)
+            nbytes += len(stale) * self.tensor_bytes
             start = self.env.now
             with gpu.compute.request(priority=PRIORITY_INFERENCE) as grant:
                 yield grant
@@ -456,6 +564,10 @@ class InferenceServer:
                     self._resident_bytes(entry.request.image)
                 )
                 entry.evicted = False
+            for entry in stale:
+                entry.request.add(SPAN_TRANSFER, elapsed)
+                entry.allocation = yield from gpu.memory.alloc(self.tensor_bytes)
+                entry.cache_entry = None
 
     # -- completion -------------------------------------------------------------
 
@@ -467,6 +579,8 @@ class InferenceServer:
         yield from self.node.cpu.run(self.calibration.cpu.response_overhead_seconds)
         request.end(SPAN_POSTPROCESS, self.env.now)
         request.complete(self.env.now)
+        if self.cache is not None and request.served_from != "result":
+            self.cache.admit_result(self._result_key(request.image), self.output_bytes)
         self.metrics.record(request)
         if self.on_complete is not None:
             self.on_complete(request)

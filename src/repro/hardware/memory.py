@@ -17,7 +17,7 @@ handle) until the new allocation fits.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..sim import Container, Environment
 
@@ -31,7 +31,9 @@ class OutOfMemoryError(Exception):
 class Allocation:
     """A live allocation in the pool."""
 
-    __slots__ = ("pool", "nbytes", "evictable", "evicted", "released", "on_evict", "created_at")
+    __slots__ = (
+        "pool", "nbytes", "evictable", "evicted", "released", "on_evict", "created_at", "tag",
+    )
 
     def __init__(
         self,
@@ -39,6 +41,7 @@ class Allocation:
         nbytes: float,
         evictable: bool,
         on_evict: Optional[Callable[["Allocation"], None]],
+        tag: str = "request",
     ) -> None:
         self.pool = pool
         self.nbytes = nbytes
@@ -47,6 +50,10 @@ class Allocation:
         self.released = False
         self.on_evict = on_evict
         self.created_at = pool.env.now
+        #: Who owns the bytes ("request" working sets vs "cache" tensors);
+        #: eviction sweeps account per tag so cache-vs-request memory
+        #: contention is observable.
+        self.tag = tag
 
     def __repr__(self) -> str:
         state = "evicted" if self.evicted else ("released" if self.released else "resident")
@@ -77,6 +84,9 @@ class GpuMemoryPool:
         self.eviction_count = 0
         self.evicted_bytes = 0.0
         self.peak_used = 0.0
+        #: Per-tag eviction accounting (e.g. "request" vs "cache").
+        self.evictions_by_tag: Dict[str, int] = {}
+        self.evicted_bytes_by_tag: Dict[str, float] = {}
 
     def __repr__(self) -> str:
         return f"<GpuMemoryPool {self.name} used={self.used_bytes:.2e}/{self.capacity_bytes:.2e}>"
@@ -94,6 +104,7 @@ class GpuMemoryPool:
         nbytes: float,
         evictable: bool = False,
         on_evict: Optional[Callable[[Allocation], None]] = None,
+        tag: str = "request",
     ) -> Generator:
         """Process generator: allocate ``nbytes``; returns an Allocation.
 
@@ -117,7 +128,7 @@ class GpuMemoryPool:
             self._evict_for(nbytes)
 
         yield self._free.get(nbytes)
-        allocation = Allocation(self, nbytes, evictable, on_evict)
+        allocation = Allocation(self, nbytes, evictable, on_evict, tag=tag)
         if evictable:
             self._evictable.append(allocation)
         self.peak_used = max(self.peak_used, self.used_bytes)
@@ -128,6 +139,7 @@ class GpuMemoryPool:
         nbytes: float,
         evictable: bool = False,
         on_evict: Optional[Callable[[Allocation], None]] = None,
+        tag: str = "request",
     ) -> Optional[Allocation]:
         """Non-blocking allocate: returns None if it does not fit right now."""
         if nbytes < 0:
@@ -135,7 +147,7 @@ class GpuMemoryPool:
         if self.free_bytes < nbytes:
             return None
         self._free.get(nbytes)  # succeeds immediately
-        allocation = Allocation(self, nbytes, evictable, on_evict)
+        allocation = Allocation(self, nbytes, evictable, on_evict, tag=tag)
         if evictable:
             self._evictable.append(allocation)
         self.peak_used = max(self.peak_used, self.used_bytes)
@@ -172,6 +184,10 @@ class GpuMemoryPool:
             victim.evicted = True
             self.eviction_count += 1
             self.evicted_bytes += victim.nbytes
+            self.evictions_by_tag[victim.tag] = self.evictions_by_tag.get(victim.tag, 0) + 1
+            self.evicted_bytes_by_tag[victim.tag] = (
+                self.evicted_bytes_by_tag.get(victim.tag, 0.0) + victim.nbytes
+            )
             reclaimed += victim.nbytes
             callback = victim.on_evict
             if callback is not None:

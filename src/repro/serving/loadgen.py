@@ -27,7 +27,20 @@ __all__ = [
 
 
 class ArrivalProcess:
-    """Generates inter-arrival times; may depend on simulated time."""
+    """Generates inter-arrival times; may depend on simulated time.
+
+    ``idle_repoll_seconds`` is how long the process sleeps before
+    re-examining the rate when :meth:`rate_at` reports zero (or a
+    negative value): smaller values react faster to a rate resuming,
+    at the cost of more wake-ups during idle stretches.
+    """
+
+    def __init__(self, idle_repoll_seconds: float = 0.1) -> None:
+        if idle_repoll_seconds <= 0:
+            raise ValueError(
+                f"idle_repoll_seconds must be positive, got {idle_repoll_seconds}"
+            )
+        self.idle_repoll_seconds = idle_repoll_seconds
 
     def rate_at(self, now: float) -> float:
         """Instantaneous offered rate (requests/second) at ``now``."""
@@ -37,14 +50,15 @@ class ArrivalProcess:
         """Time until the next arrival, sampled at ``now``."""
         rate = self.rate_at(now)
         if rate <= 0:
-            return 0.1  # idle period: re-examine the rate shortly
+            return self.idle_repoll_seconds  # idle: re-examine the rate later
         return rng.expovariate(rate)
 
 
 class PoissonArrivals(ArrivalProcess):
     """Constant-rate Poisson arrivals."""
 
-    def __init__(self, rate: float) -> None:
+    def __init__(self, rate: float, idle_repoll_seconds: float = 0.1) -> None:
+        super().__init__(idle_repoll_seconds)
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = rate
@@ -67,7 +81,9 @@ class BurstyArrivals(ArrivalProcess):
         burst_rate: float,
         base_seconds: float = 1.0,
         burst_seconds: float = 0.2,
+        idle_repoll_seconds: float = 0.1,
     ) -> None:
+        super().__init__(idle_repoll_seconds)
         if base_rate <= 0 or burst_rate <= 0:
             raise ValueError("rates must be positive")
         if burst_rate <= base_rate:
@@ -95,7 +111,9 @@ class BurstyArrivals(ArrivalProcess):
 class DiurnalArrivals(ArrivalProcess):
     """Sinusoidal rate swing (a day compressed to ``period_seconds``)."""
 
-    def __init__(self, mean_rate: float, swing: float = 0.5, period_seconds: float = 60.0) -> None:
+    def __init__(self, mean_rate: float, swing: float = 0.5, period_seconds: float = 60.0,
+                 idle_repoll_seconds: float = 0.1) -> None:
+        super().__init__(idle_repoll_seconds)
         if mean_rate <= 0:
             raise ValueError("mean_rate must be positive")
         if not 0 <= swing < 1:

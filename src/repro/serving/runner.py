@@ -201,6 +201,10 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     env.run(until=done)
 
     metrics = collector.finalize()
+    if server.cache is not None:
+        # Run-global cache counters ride along in extras (window-gated
+        # per-tier hit counts live in metrics.cache_hits).
+        metrics = replace(metrics, extras={**metrics.extras, **server.cache.stats_dict()})
     energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
     window = metrics.window_seconds
     cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
@@ -367,6 +371,8 @@ def run_open_loop(
     env.run(until=done)
 
     metrics = collector.finalize()
+    if server.cache is not None:
+        metrics = replace(metrics, extras={**metrics.extras, **server.cache.stats_dict()})
     energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
     window = metrics.window_seconds
     cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]

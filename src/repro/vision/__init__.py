@@ -6,6 +6,7 @@ from .datasets import (
     ImageNetLikeDataset,
     MixtureDataset,
     VideoFrameDataset,
+    ZipfDataset,
     reference_dataset,
 )
 from .image import LARGE_IMAGE, MEDIUM_IMAGE, REFERENCE_IMAGES, SMALL_IMAGE, Image, Tensor
@@ -52,6 +53,7 @@ __all__ = [
     "VideoClipDataset",
     "VideoDecodeCost",
     "VideoFrameDataset",
+    "ZipfDataset",
     "FrameSample",
     "keyframe_sample_indices",
     "uniform_sample_indices",

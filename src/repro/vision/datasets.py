@@ -9,6 +9,8 @@ with a heavy tail of large photos).
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from typing import Iterator, List, Optional, Sequence
 
@@ -22,6 +24,7 @@ __all__ = [
     "MixtureDataset",
     "ImageNetLikeDataset",
     "VideoFrameDataset",
+    "ZipfDataset",
     "reference_dataset",
 ]
 
@@ -124,6 +127,69 @@ class VideoFrameDataset(Dataset):
 
     def sample(self, rng: random.Random) -> Image:
         return self._frame
+
+
+class ZipfDataset(Dataset):
+    """Zipf-popularity wrapper: a finite catalog with skewed request mix.
+
+    Production request streams are not unique-image streams: a small set
+    of popular images accounts for most requests (Zipf-like popularity).
+    This wrapper materializes a ``catalog_size`` catalog by drawing from
+    ``base`` once (deterministically, from ``seed`` — independent of the
+    per-run request RNG, so the catalog is identical across runs and
+    reusable between experiments), stamps every member with a content
+    identity, and samples rank ``k`` with probability proportional to
+    ``1 / k**skew``.
+
+    ``skew=0`` is uniform popularity; ``skew=1`` is the classic web-
+    traffic fit; larger values concentrate traffic further.  This is the
+    workload that makes the content-addressed caches in
+    :mod:`repro.cache` earn their keep.
+    """
+
+    def __init__(
+        self,
+        base: Dataset,
+        catalog_size: int,
+        skew: float = 1.0,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if catalog_size < 1:
+            raise ValueError(f"catalog_size must be >= 1, got {catalog_size}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.base = base
+        self.catalog_size = catalog_size
+        self.skew = skew
+        self.name = name or f"zipf:{base.name}:n{catalog_size}:s{skew:g}"
+        catalog_rng = random.Random(f"{self.name}:{seed}")
+        self.catalog: List[Image] = [
+            base.sample(catalog_rng).with_content_id(f"{self.name}:{seed}#{k}")
+            for k in range(catalog_size)
+        ]
+        weights = [1.0 / (k + 1) ** skew for k in range(catalog_size)]
+        self._cumulative = list(itertools.accumulate(weights))
+
+    def weight(self, rank: int) -> float:
+        """Request probability of the rank-``rank`` item (1-indexed)."""
+        if not 1 <= rank <= self.catalog_size:
+            raise ValueError(f"rank must be in [1, {self.catalog_size}], got {rank}")
+        total = self._cumulative[-1]
+        return (1.0 / rank**self.skew) / total
+
+    def top_fraction(self, top_n: int) -> float:
+        """Traffic share of the ``top_n`` most popular items — the
+        asymptotic hit rate of a cache holding exactly those items."""
+        if top_n < 1:
+            return 0.0
+        top_n = min(top_n, self.catalog_size)
+        return self._cumulative[top_n - 1] / self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> Image:
+        u = rng.random() * self._cumulative[-1]
+        index = bisect.bisect_right(self._cumulative, u)
+        return self.catalog[min(index, self.catalog_size - 1)]
 
 
 def reference_dataset(size: str) -> FixedImageDataset:

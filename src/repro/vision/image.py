@@ -8,7 +8,7 @@ lightweight descriptor of those properties.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["Image", "Tensor", "SMALL_IMAGE", "MEDIUM_IMAGE", "LARGE_IMAGE", "REFERENCE_IMAGES"]
 
@@ -21,12 +21,20 @@ class Image:
     height: int
     compressed_bytes: int
     name: str = ""
+    #: Content identity (e.g. a digest of the bytes in a real system).
+    #: Empty means "unique content": the caching subsystem never caches
+    #: or matches such images.  Datasets with a finite catalog stamp it.
+    content_id: str = ""
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
             raise ValueError(f"invalid dimensions {self.width}x{self.height}")
         if self.compressed_bytes <= 0:
             raise ValueError(f"invalid compressed size {self.compressed_bytes}")
+
+    def with_content_id(self, content_id: str) -> "Image":
+        """Copy of this image stamped with a content identity."""
+        return replace(self, content_id=content_id)
 
     @property
     def pixels(self) -> int:
@@ -83,9 +91,12 @@ class Tensor:
 #   Small:  4 kB,    60x70
 #   Medium: 121 kB,  500x375
 #   Large:  9528 kB, 3564x2880
-SMALL_IMAGE = Image(width=60, height=70, compressed_bytes=4 * 1024, name="small")
-MEDIUM_IMAGE = Image(width=500, height=375, compressed_bytes=121 * 1024, name="medium")
-LARGE_IMAGE = Image(width=3564, height=2880, compressed_bytes=9528 * 1024, name="large")
+SMALL_IMAGE = Image(width=60, height=70, compressed_bytes=4 * 1024, name="small",
+                    content_id="ref:small")
+MEDIUM_IMAGE = Image(width=500, height=375, compressed_bytes=121 * 1024, name="medium",
+                     content_id="ref:medium")
+LARGE_IMAGE = Image(width=3564, height=2880, compressed_bytes=9528 * 1024, name="large",
+                    content_id="ref:large")
 
 REFERENCE_IMAGES = {
     "small": SMALL_IMAGE,

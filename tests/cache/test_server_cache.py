@@ -1,0 +1,160 @@
+"""Server-integration tests for the caching subsystem.
+
+The benchmark (``benchmarks/test_ext_caching.py``) runs the expensive
+figure-grade sweeps; these tests pin down the wiring with small runs:
+construction/gating rules, ``served_from`` accounting, per-tier hits,
+and the zero-cost-off guarantee at a cheap scale.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import ServerConfig
+from repro.core.config import (
+    CPU_PREPROCESS,
+    MODE_INFERENCE_ONLY,
+    MODE_PREPROCESS_ONLY,
+)
+from repro.core.server import InferenceServer
+from repro.hardware import ServerNode
+from repro.serving import ExperimentConfig, run_experiment
+from repro.sim import Environment
+from repro.vision import ImageNetLikeDataset, ZipfDataset
+
+MIB = float(1024 * 1024)
+LOAD = dict(concurrency=16, warmup_requests=50, measure_requests=200, seed=0)
+
+
+def _zipf(skew=1.2, catalog_size=50):
+    return ZipfDataset(ImageNetLikeDataset(), catalog_size=catalog_size, skew=skew)
+
+
+def _make_server(config):
+    env = Environment()
+    return InferenceServer(env, ServerNode(env), config)
+
+
+class TestConstructionGating:
+    def test_no_cache_config_means_no_hierarchy(self):
+        server = _make_server(ServerConfig(model="resnet-50"))
+        assert server.cache is None
+
+    def test_enabled_config_builds_hierarchy(self):
+        config = ServerConfig(
+            model="resnet-50", cache=CacheConfig(image_cache_bytes=64 * MIB)
+        )
+        server = _make_server(config)
+        assert server.cache is not None
+        assert server.cache.image is not None
+
+    def test_disabled_or_empty_config_builds_nothing(self):
+        for cache in (
+            CacheConfig(enabled=False, image_cache_bytes=64 * MIB),
+            CacheConfig(),  # all budgets zero
+        ):
+            server = _make_server(ServerConfig(model="resnet-50", cache=cache))
+            assert server.cache is None
+
+    def test_stage_isolation_modes_never_cache(self):
+        cache = CacheConfig(image_cache_bytes=64 * MIB, result_cache_bytes=1 * MIB)
+        for mode in (MODE_PREPROCESS_ONLY, MODE_INFERENCE_ONLY):
+            server = _make_server(
+                ServerConfig(model="resnet-50", mode=mode, cache=cache)
+            )
+            assert server.cache is None
+
+    def test_server_config_validates_cache(self):
+        with pytest.raises(ValueError, match="policy"):
+            CacheConfig(policy="clock")
+        with pytest.raises(ValueError, match="image_cache_bytes"):
+            CacheConfig(image_cache_bytes=-1)
+
+
+class TestEndToEndAccounting:
+    def test_result_tier_hits_are_counted(self):
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model="resnet-50",
+                    cache=CacheConfig(result_cache_bytes=4 * MIB),
+                ),
+                dataset=_zipf(),
+                **LOAD,
+            )
+        )
+        assert result.metrics.cache_hits.get("result", 0) > 0
+        assert 0.0 < result.metrics.cache_hit_fraction <= 1.0
+        exported = result.metrics.to_dict()
+        assert exported["cache_hits_result"] == result.metrics.cache_hits["result"]
+        assert exported["cache_result_hit_rate"] > 0.0
+
+    def test_image_tier_serves_cpu_preprocess_path(self):
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model="resnet-50",
+                    preprocess_device=CPU_PREPROCESS,
+                    cache=CacheConfig(image_cache_bytes=256 * MIB),
+                ),
+                dataset=_zipf(),
+                **LOAD,
+            )
+        )
+        assert result.metrics.cache_hits.get("image", 0) > 0
+        assert result.metrics.to_dict()["cache_image_hits"] > 0.0
+
+    def test_tensor_tier_serves_hits_without_result_tier(self):
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model="resnet-50",
+                    cache=CacheConfig(
+                        image_cache_bytes=128 * MIB, tensor_cache_bytes=64 * MIB
+                    ),
+                ),
+                dataset=_zipf(),
+                **LOAD,
+            )
+        )
+        assert result.metrics.cache_hits.get("tensor", 0) > 0
+        assert "result" not in result.metrics.cache_hits
+        exported = result.metrics.to_dict()
+        assert exported["cache_tensor_hit_rate"] > 0.0
+        assert "cache_tensor_resident_bytes" in exported
+
+    def test_unique_stream_never_hits(self):
+        # Without content identity (plain ImageNet-like stream) every
+        # lookup key is empty: the cache must stay silent.
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model="resnet-50",
+                    cache=CacheConfig(
+                        image_cache_bytes=64 * MIB, result_cache_bytes=1 * MIB
+                    ),
+                ),
+                dataset=ImageNetLikeDataset(),
+                **LOAD,
+            )
+        )
+        assert result.metrics.cache_hits == {}
+        assert result.metrics.cache_hit_fraction == 0.0
+
+    def test_off_path_is_bit_identical_small(self):
+        dataset = _zipf()
+        base = run_experiment(
+            ExperimentConfig(server=ServerConfig(model="resnet-50"),
+                             dataset=dataset, **LOAD)
+        )
+        off = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model="resnet-50",
+                    cache=CacheConfig(enabled=False, tensor_cache_bytes=64 * MIB),
+                ),
+                dataset=dataset,
+                **LOAD,
+            )
+        )
+        assert off.metrics == base.metrics
+        assert not any(key.startswith("cache_") for key in base.metrics.to_dict())

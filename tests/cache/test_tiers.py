@@ -1,0 +1,262 @@
+"""Tests for cache tiers, the GPU tensor tier, and the hierarchy."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.tiers import CacheHierarchy, CacheStats, CacheTier, GpuTensorCache
+from repro.hardware.memory import GpuMemoryPool
+from repro.sim import Environment
+
+
+def advance(env, seconds):
+    """Advance simulated time by running a timeout process."""
+
+    def _tick():
+        yield env.timeout(seconds)
+
+    env.run(until=env.process(_tick()))
+
+
+def make_gpu(env, capacity_bytes=1000.0, name="gpu0"):
+    """A stand-in GPU exposing just what GpuTensorCache needs."""
+    return SimpleNamespace(
+        memory=GpuMemoryPool(env, capacity_bytes, name=f"{name}.mem"), name=name
+    )
+
+
+class TestCacheStats:
+    def test_hit_rate_with_no_lookups(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_merge_sums_every_counter(self):
+        a = CacheStats(hits=1, misses=2, expirations=1, admissions=3,
+                       rejections=1, evictions=2, evicted_bytes=10.0,
+                       pressure_evictions=1, pressure_evicted_bytes=5.0,
+                       hit_bytes=7.0)
+        merged = a.merge(a)
+        assert merged.hits == 2
+        assert merged.misses == 4
+        assert merged.evicted_bytes == 20.0
+        assert merged.pressure_evictions == 2
+        assert merged.hit_bytes == 14.0
+
+    def test_as_dict_is_prefixed(self):
+        out = CacheStats(hits=2, misses=2).as_dict("cache_image_")
+        assert out["cache_image_hits"] == 2.0
+        assert out["cache_image_hit_rate"] == pytest.approx(0.5)
+        assert all(key.startswith("cache_image_") for key in out)
+
+
+class TestCacheTier:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            CacheTier(env, "t", capacity_bytes=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            CacheTier(env, "t", capacity_bytes=100, ttl_seconds=0)
+        with pytest.raises(ValueError, match="negative entry size"):
+            CacheTier(env, "t", capacity_bytes=100).admit("k", -1)
+
+    def test_miss_then_hit(self):
+        tier = CacheTier(Environment(), "t", capacity_bytes=100)
+        assert tier.lookup("k") is None
+        tier.admit("k", 40)
+        entry = tier.lookup("k")
+        assert entry is not None and entry.nbytes == 40
+        assert tier.stats.misses == 1
+        assert tier.stats.hits == 1
+        assert tier.stats.hit_bytes == 40.0
+        assert tier.used_bytes == 40.0
+        assert "k" in tier and len(tier) == 1
+
+    def test_readmit_returns_existing(self):
+        tier = CacheTier(Environment(), "t", capacity_bytes=100)
+        first = tier.admit("k", 40)
+        again = tier.admit("k", 40)
+        assert again is first
+        assert tier.stats.admissions == 1
+        assert tier.used_bytes == 40.0
+
+    def test_oversized_entry_rejected(self):
+        tier = CacheTier(Environment(), "t", capacity_bytes=100)
+        assert tier.admit("big", 101) is None
+        assert tier.stats.rejections == 1
+        assert tier.used_bytes == 0.0
+
+    def test_evicts_lru_until_fit(self):
+        tier = CacheTier(Environment(), "t", capacity_bytes=100)
+        tier.admit("a", 60)
+        tier.admit("b", 30)
+        tier.admit("c", 50)  # must push out "a" (least recently used)
+        assert "a" not in tier
+        assert "b" in tier and "c" in tier
+        assert tier.used_bytes == 80.0
+        assert tier.stats.evictions == 1
+        assert tier.stats.evicted_bytes == 60.0
+        assert tier.peak_bytes == 90.0
+
+    def test_ttl_expiry_counts_as_miss(self):
+        env = Environment()
+        tier = CacheTier(env, "t", capacity_bytes=100, ttl_seconds=5.0)
+        entry = tier.admit("k", 10)
+        advance(env, 6.0)
+        assert tier.lookup("k") is None
+        assert tier.stats.expirations == 1
+        assert tier.stats.misses == 1
+        assert entry.resident is False
+        assert tier.used_bytes == 0.0
+
+    def test_entry_survives_within_ttl(self):
+        env = Environment()
+        tier = CacheTier(env, "t", capacity_bytes=100, ttl_seconds=5.0)
+        tier.admit("k", 10)
+        advance(env, 4.0)
+        assert tier.lookup("k") is not None
+        assert tier.stats.expirations == 0
+
+    def test_invalidate_pressure_attribution(self):
+        tier = CacheTier(Environment(), "t", capacity_bytes=100)
+        tier.admit("k", 25)
+        tier.invalidate("k", pressure=True)
+        assert "k" not in tier
+        assert tier.stats.pressure_evictions == 1
+        assert tier.stats.pressure_evicted_bytes == 25.0
+        assert tier.stats.evictions == 0  # not the tier's own policy
+        tier.invalidate("missing")  # no-op
+
+    def test_on_evict_entry_callback(self):
+        evicted = []
+        tier = CacheTier(
+            Environment(), "t", capacity_bytes=100,
+            on_evict_entry=lambda entry: evicted.append(entry.key),
+        )
+        tier.admit("a", 80)
+        tier.admit("b", 80)  # evicts "a" via policy
+        tier.invalidate("b")
+        assert evicted == ["a", "b"]
+
+    def test_peek_does_not_touch_counters(self):
+        tier = CacheTier(Environment(), "t", capacity_bytes=100)
+        tier.admit("k", 10)
+        assert tier.peek("k") is not None
+        assert tier.peek("missing") is None
+        assert tier.stats.lookups == 0
+
+
+class TestGpuTensorCache:
+    def test_admit_allocates_from_pool(self):
+        env = Environment()
+        gpu = make_gpu(env, capacity_bytes=1000)
+        cache = GpuTensorCache(env, gpu, capacity_bytes=500)
+        entry = cache.admit("k", 200)
+        assert entry is not None and entry.resident
+        assert gpu.memory.used_bytes == 200.0
+        assert entry.payload is not None and entry.payload.tag == "cache"
+
+    def test_duplicate_admit_allocates_once(self):
+        env = Environment()
+        gpu = make_gpu(env)
+        cache = GpuTensorCache(env, gpu, capacity_bytes=500)
+        first = cache.admit("k", 200)
+        assert cache.admit("k", 200) is first
+        assert gpu.memory.used_bytes == 200.0
+
+    def test_full_pool_rejects_without_blocking(self):
+        env = Environment()
+        gpu = make_gpu(env, capacity_bytes=100)
+        gpu.memory.try_alloc(80)  # request working set occupies the pool
+        cache = GpuTensorCache(env, gpu, capacity_bytes=100)
+        assert cache.admit("k", 50) is None
+        assert cache.stats.rejections == 1
+        assert len(cache) == 0
+
+    def test_tier_policy_eviction_frees_pool_bytes(self):
+        env = Environment()
+        gpu = make_gpu(env, capacity_bytes=1000)
+        cache = GpuTensorCache(env, gpu, capacity_bytes=100)
+        cache.admit("a", 60)
+        cache.admit("b", 60)  # tier budget forces "a" out
+        assert len(cache) == 1
+        assert gpu.memory.used_bytes == 60.0  # "a"'s allocation was freed
+        assert cache.stats.evictions == 1
+
+    def test_pool_pressure_evicts_cache_entry(self):
+        env = Environment()
+        gpu = make_gpu(env, capacity_bytes=100)
+        cache = GpuTensorCache(env, gpu, capacity_bytes=100)
+        entry = cache.admit("k", 60)
+
+        def request_alloc():
+            # A request working set that does not fit alongside the
+            # cached tensor: the pool's eviction sweep reclaims it.
+            allocation = yield from gpu.memory.alloc(80)
+            return allocation
+
+        env.run(until=env.process(request_alloc()))
+        assert entry.resident is False
+        assert len(cache) == 0
+        assert cache.stats.pressure_evictions == 1
+        assert cache.stats.pressure_evicted_bytes == 60.0
+        assert gpu.memory.evictions_by_tag == {"cache": 1}
+        assert gpu.memory.used_bytes == 80.0
+        assert cache.lookup("k") is None  # plain miss afterwards
+
+
+class TestCacheHierarchy:
+    def test_zero_budgets_build_no_tiers(self):
+        env = Environment()
+        hierarchy = CacheHierarchy(env, CacheConfig(), [make_gpu(env)])
+        assert hierarchy.image is None
+        assert hierarchy.result is None
+        assert hierarchy.tensor == []
+        assert hierarchy.lookup_image("cid") is None
+        assert hierarchy.lookup_tensor(0, "key") is None
+        assert hierarchy.lookup_result("key") is None
+        assert hierarchy.stats_dict() == {}
+
+    def test_empty_key_is_a_silent_noop(self):
+        env = Environment()
+        config = CacheConfig(image_cache_bytes=100, tensor_cache_bytes=100,
+                             result_cache_bytes=100)
+        hierarchy = CacheHierarchy(env, config, [make_gpu(env)])
+        assert hierarchy.lookup_image("") is None
+        assert hierarchy.admit_image("", 10) is None
+        assert hierarchy.lookup_tensor(0, "") is None
+        assert hierarchy.lookup_result("") is None
+        assert hierarchy.image.stats.lookups == 0
+        assert hierarchy.tensor[0].stats.lookups == 0
+        assert hierarchy.result.stats.lookups == 0
+
+    def test_tensor_tiers_are_per_gpu(self):
+        env = Environment()
+        gpus = [make_gpu(env, name="gpu0"), make_gpu(env, name="gpu1")]
+        config = CacheConfig(tensor_cache_bytes=500)
+        hierarchy = CacheHierarchy(env, config, gpus)
+        assert len(hierarchy.tensor) == 2
+        hierarchy.admit_tensor(0, "k", 100)
+        assert hierarchy.lookup_tensor(0, "k") is not None
+        assert hierarchy.lookup_tensor(1, "k") is None
+        assert gpus[0].memory.used_bytes == 100.0
+        assert gpus[1].memory.used_bytes == 0.0
+
+    def test_stats_dict_keys(self):
+        env = Environment()
+        config = CacheConfig(image_cache_bytes=100, tensor_cache_bytes=100,
+                             result_cache_bytes=100)
+        hierarchy = CacheHierarchy(env, config, [make_gpu(env)])
+        hierarchy.admit_image("cid", 10)
+        hierarchy.lookup_image("cid")
+        hierarchy.admit_tensor(0, "k", 10)
+        out = hierarchy.stats_dict()
+        assert out["cache_image_hits"] == 1.0
+        assert out["cache_image_hit_rate"] == 1.0
+        assert out["cache_tensor_admissions"] == 1.0
+        assert out["cache_tensor_resident_bytes"] == 10.0
+        assert "cache_result_hit_rate" in out

@@ -65,6 +65,41 @@ class TestArrivalProcesses:
         slow_mean = sum(slow.next_interval(0, rng) for _ in range(500)) / 500
         assert fast_mean < slow_mean / 10
 
+    def test_idle_repoll_is_configurable(self):
+        import random
+
+        class Silent(PoissonArrivals):
+            def rate_at(self, now):
+                return 0.0
+
+        rng = random.Random(0)
+        assert Silent(100).next_interval(0, rng) == 0.1  # documented default
+        assert Silent(100, idle_repoll_seconds=2.5).next_interval(0, rng) == 2.5
+
+    def test_idle_repoll_validation(self):
+        with pytest.raises(ValueError, match="idle_repoll_seconds"):
+            PoissonArrivals(100, idle_repoll_seconds=0)
+        with pytest.raises(ValueError, match="idle_repoll_seconds"):
+            BurstyArrivals(base_rate=10, burst_rate=20, idle_repoll_seconds=-1)
+        with pytest.raises(ValueError, match="idle_repoll_seconds"):
+            DiurnalArrivals(100, idle_repoll_seconds=0)
+
+    def test_rate_envelopes(self):
+        bursty = BurstyArrivals(base_rate=100, burst_rate=1000,
+                                base_seconds=0.7, burst_seconds=0.3)
+        diurnal = DiurnalArrivals(200, swing=0.4, period_seconds=30)
+        for t in [0.01 + 0.13 * i for i in range(300)]:
+            assert bursty.rate_at(t) in (100, 1000)
+            assert 200 * 0.6 <= diurnal.rate_at(t) <= 200 * 1.4
+
+    def test_intervals_deterministic_under_fixed_seed(self):
+        import random
+
+        arrivals = DiurnalArrivals(500, swing=0.5, period_seconds=10)
+        a = [arrivals.next_interval(t * 0.01, random.Random(42)) for t in range(50)]
+        b = [arrivals.next_interval(t * 0.01, random.Random(42)) for t in range(50)]
+        assert a == b
+
 
 class TestPatternedClient:
     def _run(self, arrivals, seconds=2.0):
@@ -107,6 +142,13 @@ class TestPatternedClient:
         issued = client.issued
         env.run(until=1.5)
         assert client.issued <= issued + 1
+
+    def test_client_deterministic_under_fixed_seed(self):
+        counts = []
+        for _ in range(2):
+            client, collector = self._run(PoissonArrivals(300), seconds=1.0)
+            counts.append((client.issued, collector.total_completed))
+        assert counts[0] == counts[1]
 
     def test_completion_callback(self):
         env = Environment()

@@ -78,6 +78,55 @@ class TestMonitor:
             _ = monitor.series("x").mean
 
 
+class TestSeriesEdgeCases:
+    def test_empty_series_all_statistics_raise(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("x", lambda: 1.0)
+        series = monitor.series("x")
+        assert len(series) == 0
+        for stat in ("mean", "maximum", "minimum"):
+            with pytest.raises(ValueError, match="empty"):
+                getattr(series, stat)
+
+    def test_window_can_be_empty(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("t", lambda: env.now)
+        monitor.start()
+        env.run(until=3.5)
+        window = monitor.series("t").window(10.0, 20.0)
+        assert len(window) == 0
+        assert window.name == "t"
+
+    def test_time_average_single_sample_falls_back_to_mean(self):
+        env = Environment()
+        monitor = Monitor(env, interval=5.0)
+        monitor.probe("x", lambda: 7.0)
+        monitor.start()
+        env.run(until=1.0)  # only the t=0 sample fires
+        series = monitor.series("x")
+        assert len(series) == 1
+        assert series.time_average() == pytest.approx(7.0)
+
+    def test_time_average_weights_by_spacing(self):
+        from repro.sim.monitor import Series
+
+        # 1.0 held for 3s, then 5.0 (right endpoint unweighted in a
+        # step average): (1*3) / 3 = 1.0.
+        series = Series(name="s", times=[0.0, 3.0], values=[1.0, 5.0])
+        assert series.time_average() == pytest.approx(1.0)
+
+    def test_sampling_cadence_with_fractional_interval(self):
+        env = Environment()
+        monitor = Monitor(env, interval=0.25)
+        monitor.probe("x", lambda: 1.0)
+        monitor.start()
+        env.run(until=1.05)
+        times = monitor.series("x").times
+        assert times == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
 class TestCounter:
     def test_count_and_rate(self):
         env = Environment()
@@ -113,6 +162,13 @@ class TestCounter:
         env = Environment()
         assert Counter(env).rate() == 0.0
 
+    def test_zero_span_rate_is_zero(self):
+        # All marks at t=0: no elapsed time, rate must not divide by zero.
+        env = Environment()
+        counter = Counter(env)
+        counter.increment(3)
+        assert counter.rate() == 0.0
+
 
 class TestGauge:
     def test_time_average(self):
@@ -134,3 +190,9 @@ class TestGauge:
         gauge = Gauge(env, initial=2.0)
         gauge.add(3.0)
         assert gauge.value == 5.0
+
+    def test_time_average_with_zero_span(self):
+        # Before any simulated time passes the average is the level itself.
+        env = Environment()
+        gauge = Gauge(env, initial=4.0)
+        assert gauge.time_average() == pytest.approx(4.0)

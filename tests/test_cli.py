@@ -36,6 +36,14 @@ class TestParser:
         assert args.downtimes == "0.01,0.02,0.05"
         assert args.deadline_ms == 250.0
 
+    def test_cache_defaults(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.skews == "0.0,0.8,1.2"
+        assert args.cache_mb == "0,64,256"
+        assert args.tiers == "image,tensor"
+        assert args.policy == "lru"
+        assert args.catalog == 200
+
 
 class TestCommands:
     def test_models_lists_zoo(self, capsys):
@@ -85,6 +93,31 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "redis" in out and "fused" in out
+
+    def test_cache_rejects_unknown_tier_and_policy(self, capsys):
+        assert main(["cache", "--tiers", "image,l2"]) == 2
+        assert "unknown cache tier" in capsys.readouterr().err
+        assert main(["cache", "--policy", "clock"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_cache_sweep_with_export(self, tmp_path, capsys):
+        path = tmp_path / "cache.json"
+        assert main([
+            "cache", "--skews", "1.2", "--cache-mb", "0,64",
+            "--tiers", "image,tensor", "--catalog", "50",
+            "--concurrency", "16", "--warmup", "50", "--requests", "200",
+            "--json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Throughput vs cache size" in out
+        assert "off" in out and "64 MiB" in out
+        rows = json.loads(path.read_text())
+        assert len(rows) == 2
+        off, warm = rows
+        assert off["policy"] == "off" and "cache_image_hits" not in off
+        assert warm["cache_mb"] == 64.0
+        assert warm["cache_image_hits"] >= 0.0
+        assert warm["cache_tensor_hit_rate"] >= 0.0
 
     def test_plan(self, capsys):
         assert main([

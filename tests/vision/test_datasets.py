@@ -10,6 +10,7 @@ from repro.vision import (
     MixtureDataset,
     SMALL_IMAGE,
     VideoFrameDataset,
+    ZipfDataset,
     reference_dataset,
 )
 
@@ -76,6 +77,69 @@ class TestImageNetLikeDataset:
     def test_has_a_large_tail(self):
         images = list(ImageNetLikeDataset().iterate(2000, RandomStreams(4)))
         assert any(img.width >= 2000 for img in images)
+
+
+class TestZipfDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="catalog_size"):
+            ZipfDataset(ImageNetLikeDataset(), catalog_size=0)
+        with pytest.raises(ValueError, match="skew"):
+            ZipfDataset(ImageNetLikeDataset(), catalog_size=10, skew=-0.5)
+
+    def test_catalog_is_content_addressed_and_deterministic(self):
+        a = ZipfDataset(ImageNetLikeDataset(), catalog_size=20, skew=1.0, seed=3)
+        b = ZipfDataset(ImageNetLikeDataset(), catalog_size=20, skew=1.0, seed=3)
+        assert all(img.content_id for img in a.catalog)
+        assert len({img.content_id for img in a.catalog}) == 20
+        assert [img.content_id for img in a.catalog] == [
+            img.content_id for img in b.catalog
+        ]
+        assert [(i.width, i.height) for i in a.catalog] == [
+            (i.width, i.height) for i in b.catalog
+        ]
+
+    def test_different_seed_changes_catalog(self):
+        a = ZipfDataset(ImageNetLikeDataset(), catalog_size=20, seed=0)
+        b = ZipfDataset(ImageNetLikeDataset(), catalog_size=20, seed=1)
+        assert {img.content_id for img in a.catalog}.isdisjoint(
+            {img.content_id for img in b.catalog}
+        )
+
+    def test_weights_are_zipf(self):
+        ds = ZipfDataset(ImageNetLikeDataset(), catalog_size=100, skew=1.0)
+        assert ds.weight(1) == pytest.approx(2 * ds.weight(2))
+        assert ds.weight(1) == pytest.approx(10 * ds.weight(10))
+        assert sum(ds.weight(k) for k in range(1, 101)) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="rank"):
+            ds.weight(0)
+        with pytest.raises(ValueError, match="rank"):
+            ds.weight(101)
+
+    def test_top_fraction(self):
+        ds = ZipfDataset(ImageNetLikeDataset(), catalog_size=100, skew=1.2)
+        assert ds.top_fraction(0) == 0.0
+        assert ds.top_fraction(100) == pytest.approx(1.0)
+        assert ds.top_fraction(500) == pytest.approx(1.0)  # clamped
+        assert ds.top_fraction(10) > 10 / 100  # skew concentrates mass
+        uniform = ZipfDataset(ImageNetLikeDataset(), catalog_size=100, skew=0.0)
+        assert uniform.top_fraction(10) == pytest.approx(0.1)
+
+    def test_sampling_matches_popularity(self):
+        ds = ZipfDataset(ImageNetLikeDataset(), catalog_size=50, skew=1.2)
+        images = list(ds.iterate(3000, RandomStreams(5)))
+        top_id = ds.catalog[0].content_id
+        observed_top = sum(1 for img in images if img.content_id == top_id) / 3000
+        assert observed_top == pytest.approx(ds.weight(1), rel=0.2)
+        assert all(img.content_id for img in images)
+
+    def test_zero_skew_is_roughly_uniform(self):
+        ds = ZipfDataset(ImageNetLikeDataset(), catalog_size=10, skew=0.0)
+        images = list(ds.iterate(5000, RandomStreams(6)))
+        counts = {}
+        for img in images:
+            counts[img.content_id] = counts.get(img.content_id, 0) + 1
+        assert len(counts) == 10
+        assert max(counts.values()) < 2 * min(counts.values())
 
 
 class TestVideoFrameDataset:
