@@ -70,6 +70,14 @@ from .serving import (
     run_face_pipeline,
 )
 from .sim import Environment, RandomStreams
+from .telemetry import (
+    MetricsRegistry,
+    SloConfig,
+    SloTracker,
+    TelemetryConfig,
+    TelemetrySession,
+    Tracer,
+)
 from .vision import (
     LARGE_IMAGE,
     MEDIUM_IMAGE,
@@ -117,6 +125,7 @@ __all__ = [
     "MEDIUM_IMAGE",
     "MODEL_ZOO",
     "MetricsCollector",
+    "MetricsRegistry",
     "ModelSpec",
     "NaiveLoopConfig",
     "RandomStreams",
@@ -125,6 +134,11 @@ __all__ = [
     "SMALL_IMAGE",
     "ServerConfig",
     "ServerNode",
+    "SloConfig",
+    "SloTracker",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "Tracer",
     "TuningResult",
     "ZipfDataset",
     "breakdown_from_metrics",

@@ -17,7 +17,13 @@ from .export import (
     write_json,
 )
 from .tables import format_ms, format_pct, format_rate, format_table
-from .tracing import TraceCollector, requests_to_trace_events, write_chrome_trace
+from .tracing import (
+    TraceCollector,
+    requests_to_trace_events,
+    timeline_trace_events,
+    write_chrome_trace,
+    write_perfetto_trace,
+)
 
 __all__ = [
     "ClaimSet",
@@ -32,7 +38,9 @@ __all__ = [
     "write_json",
     "TraceCollector",
     "requests_to_trace_events",
+    "timeline_trace_events",
     "write_chrome_trace",
+    "write_perfetto_trace",
     "LatencyBreakdown",
     "PaperClaim",
     "breakdown_from_metrics",

@@ -1,34 +1,63 @@
-"""Chrome-trace export of request timelines.
+"""Chrome/Perfetto trace export of request timelines.
 
-Converts completed requests' span ledgers into the Trace Event Format
-consumed by ``chrome://tracing`` / Perfetto, so a simulated serving run
-can be inspected on a real timeline UI: one row per request, one slice
-per span, microsecond timestamps.
+Two exporters share the Trace Event Format (the JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev):
 
-Spans are recorded as durations without absolute start times, so slices
-are laid out back-to-back from each request's arrival in the canonical
-stage order — faithful for the sequential stages of this pipeline.
+- :func:`requests_to_trace_events` — the legacy duration-ledger view:
+  one row per request, slices laid back-to-back from arrival.  Faithful
+  only for strictly sequential stages; kept for requests recorded
+  without a tracer.
+- :func:`timeline_trace_events` — the timestamped view built from
+  request *timelines* (``(name, start, end)`` intervals recorded by an
+  armed :class:`~repro.telemetry.tracer.Tracer`).  Slices sit at their
+  true simulation times, so queue/compute overlap is visible; device
+  spans are grouped onto one track per (GPU, span) with identical batch
+  intervals deduplicated into a single shared slice; flow arrows link
+  each member request to that shared slice; and an optional
+  :class:`~repro.sim.monitor.Monitor` contributes counter tracks (queue
+  depth, GPU memory, ...).
+
+The per-request span order and grouping conventions match how Triton
+reports queue/compute durations, so traces read like a real serving
+deployment's.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.request import ALL_SPANS, InferenceRequest
+from ..telemetry.spans import KIND_COMPUTE, KIND_TRANSFER, span_kind
 
-__all__ = ["TraceCollector", "requests_to_trace_events", "write_chrome_trace"]
+__all__ = [
+    "TraceCollector",
+    "requests_to_trace_events",
+    "write_chrome_trace",
+    "timeline_trace_events",
+    "write_perfetto_trace",
+]
 
-#: Spans not in ALL_SPANS (e.g. "broker", "identify") are appended after
-#: the canonical ones in alphabetical order.
 _CATEGORY = "serving"
+_FLOW_CATEGORY = "batch"
+
+#: Process ids of the three track groups in a timeline trace.
+PID_DEVICES = 0
+PID_REQUESTS = 1
+PID_COUNTERS = 2
 
 
 def requests_to_trace_events(
     requests: Sequence[InferenceRequest],
     process_name: str = "repro-server",
 ) -> List[dict]:
-    """Build Trace Event Format dicts (phase 'X' complete events)."""
+    """Build Trace Event Format dicts (phase 'X' complete events).
+
+    Requests with a recorded timeline get slices at their true
+    timestamps; requests with only the duration ledger fall back to the
+    historical back-to-back layout from arrival.
+    """
     events: List[dict] = [
         {
             "name": "process_name",
@@ -50,6 +79,22 @@ def requests_to_trace_events(
                 "args": {"name": f"request {tid} ({request.image})"},
             }
         )
+        args = {"batch_size": request.batch_size, "gpu": request.gpu_index}
+        if request.timeline:
+            for span, start, end in sorted(request.timeline, key=lambda e: e[1]):
+                events.append(
+                    {
+                        "name": span,
+                        "cat": _CATEGORY,
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": tid,
+                        "ts": start * 1e6,
+                        "dur": (end - start) * 1e6,
+                        "args": args,
+                    }
+                )
+            continue
         cursor = request.arrival_time
         ordered = [span for span in ALL_SPANS if span in request.spans]
         ordered += sorted(set(request.spans) - set(ALL_SPANS))
@@ -64,10 +109,7 @@ def requests_to_trace_events(
                     "tid": tid,
                     "ts": cursor * 1e6,  # microseconds
                     "dur": duration * 1e6,
-                    "args": {
-                        "batch_size": request.batch_size,
-                        "gpu": request.gpu_index,
-                    },
+                    "args": args,
                 }
             )
             cursor += duration
@@ -86,6 +128,184 @@ def write_chrome_trace(
     return len(events)
 
 
+# -- timestamped (device-centric) export ------------------------------------
+
+
+def _device_track(span: str, gpu_index: Optional[int]) -> Optional[str]:
+    """Device track of a span, or ``None`` for request-side spans.
+
+    Compute and transfer spans occupy a device and get a shared track;
+    queue-kind spans (and host-side frontend/postprocess/broker
+    book-keeping) stay on the request's own row, where their overlap
+    with *other* requests' compute is the interesting signal.
+    """
+    kind = span_kind(span)
+    gpu = 0 if gpu_index is None else gpu_index
+    if kind == KIND_TRANSFER:
+        return f"gpu{gpu} pcie"
+    if kind == KIND_COMPUTE and span in ("inference", "identify"):
+        return f"gpu{gpu} {span}"
+    if span == "preprocess":
+        return "preprocess"
+    return None
+
+
+def timeline_trace_events(
+    requests: Sequence[InferenceRequest],
+    monitor=None,
+    process_name: str = "repro-server",
+) -> List[dict]:
+    """Device-centric trace events from timestamped request timelines.
+
+    Identical device intervals shared by several requests (a dynamic
+    batch) collapse into one slice carrying the member request ids, and
+    each member's own track is linked to it with a flow arrow — the
+    batch-grouping view of the paper's Sec. 2.1 analysis.  Requests
+    without a timeline (never armed by a tracer) are skipped.
+    """
+    events: List[dict] = []
+    track_tids: Dict[str, int] = {}
+
+    def process_meta(pid: int, name: str) -> None:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+        events.append(
+            {"name": "process_sort_index", "ph": "M", "pid": pid,
+             "args": {"sort_index": pid}}
+        )
+
+    def device_tid(track: str) -> int:
+        tid = track_tids.get(track)
+        if tid is None:
+            tid = len(track_tids)
+            track_tids[track] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PID_DEVICES,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    process_meta(PID_DEVICES, f"{process_name} devices")
+    process_meta(PID_REQUESTS, f"{process_name} requests")
+
+    traced = [r for r in requests if r.timeline]
+    # (track, span, start, end) -> member request ids; identical device
+    # intervals are one physical occupancy shared by a batch.
+    device_slices: Dict[Tuple[str, str, float, float], List[int]] = {}
+
+    for request in traced:
+        rid = request.request_id
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID_REQUESTS,
+                "tid": rid,
+                "args": {"name": f"request {rid} ({request.image})"},
+            }
+        )
+        for span, start, end in sorted(request.timeline, key=lambda e: e[1]):
+            events.append(
+                {
+                    "name": span,
+                    "cat": _CATEGORY,
+                    "ph": "X",
+                    "pid": PID_REQUESTS,
+                    "tid": rid,
+                    "ts": start * 1e6,
+                    "dur": (end - start) * 1e6,
+                    "args": {
+                        "kind": span_kind(span),
+                        "batch_size": request.batch_size,
+                        "gpu": request.gpu_index,
+                    },
+                }
+            )
+            track = _device_track(span, request.gpu_index)
+            if track is not None:
+                device_slices.setdefault((track, span, start, end), []).append(rid)
+
+    flow_id = 0
+    for (track, span, start, end), members in sorted(device_slices.items()):
+        tid = device_tid(track)
+        events.append(
+            {
+                "name": span,
+                "cat": _CATEGORY,
+                "ph": "X",
+                "pid": PID_DEVICES,
+                "tid": tid,
+                "ts": start * 1e6,
+                "dur": (end - start) * 1e6,
+                "args": {"batch_size": len(members), "requests": members},
+            }
+        )
+        for rid in members:
+            flow_id += 1
+            events.append(
+                {
+                    "name": span,
+                    "cat": _FLOW_CATEGORY,
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": PID_REQUESTS,
+                    "tid": rid,
+                    "ts": start * 1e6,
+                }
+            )
+            events.append(
+                {
+                    "name": span,
+                    "cat": _FLOW_CATEGORY,
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": PID_DEVICES,
+                    "tid": tid,
+                    "ts": start * 1e6,
+                }
+            )
+
+    if monitor is not None:
+        process_meta(PID_COUNTERS, f"{process_name} counters")
+        for name in monitor.series_names:
+            series = monitor.series(name)
+            for time, value in zip(series.times, series.values):
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "counter",
+                        "ph": "C",
+                        "pid": PID_COUNTERS,
+                        "ts": time * 1e6,
+                        "args": {"value": value},
+                    }
+                )
+
+    # Stable timestamp order (metadata events carry no ts and sort first).
+    events.sort(key=lambda e: (e.get("ts", -1.0), e.get("ph") != "X"))
+    return events
+
+
+def write_perfetto_trace(
+    path: str,
+    requests: Sequence[InferenceRequest],
+    monitor=None,
+    process_name: str = "repro-server",
+) -> int:
+    """Write a Perfetto-loadable timeline trace; returns the event count."""
+    events = timeline_trace_events(requests, monitor=monitor, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return len(events)
+
+
 class TraceCollector:
     """Optional hook collecting completed requests for trace export.
 
@@ -95,20 +315,45 @@ class TraceCollector:
         server = InferenceServer(..., on_complete=trace)
         ...
         trace.write("run.trace.json")
+
+    ``sample_every=N`` keeps every Nth completion (for long runs where a
+    representative sample suffices); requests beyond ``limit`` are
+    counted in :attr:`dropped` and reported with a warning at write time
+    rather than silently truncating the trace.
     """
 
-    def __init__(self, limit: Optional[int] = 1000) -> None:
+    def __init__(self, limit: Optional[int] = 1000, sample_every: int = 1) -> None:
         if limit is not None and limit < 1:
             raise ValueError("limit must be >= 1 or None")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.limit = limit
+        self.sample_every = sample_every
         self.requests: List[InferenceRequest] = []
         self.dropped = 0
+        self.sampled_out = 0
+        self._offered = 0
 
     def __call__(self, request: InferenceRequest) -> None:
+        index = self._offered
+        self._offered += 1
+        if index % self.sample_every != 0:
+            self.sampled_out += 1
+            return
         if self.limit is None or len(self.requests) < self.limit:
             self.requests.append(request)
         else:
             self.dropped += 1
 
+    def warn_if_dropped(self) -> None:
+        """Emit a UserWarning when the limit truncated the trace."""
+        if self.dropped:
+            warnings.warn(
+                f"trace limit {self.limit} reached: {self.dropped} request(s) "
+                "dropped from the trace; raise limit or use sample_every",
+                stacklevel=2,
+            )
+
     def write(self, path: str, process_name: str = "repro-server") -> int:
+        self.warn_if_dropped()
         return write_chrome_trace(path, self.requests, process_name)

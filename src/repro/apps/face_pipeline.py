@@ -168,6 +168,10 @@ class FacePipeline:
         for _ in range(config.detection_instances):
             env.process(self._detection_instance())
 
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`; when set,
+        #: submitted frames are armed for timestamped span recording.
+        self.tracer = None
+
         if not self.fused:
             self._id_batcher = DynamicBatcher(
                 env,
@@ -184,11 +188,44 @@ class FacePipeline:
     def __repr__(self) -> str:
         return f"<FacePipeline broker={self.config.broker} faces={self.config.faces_per_frame}>"
 
+    def register_metrics(self, registry) -> None:
+        """Publish pipeline state as registry views (observation only)."""
+        self.metrics.register_metrics(registry)
+        registry.gauge_fn(
+            "repro_stage_queue_depth",
+            "Requests waiting in the stage batcher",
+            lambda: self._det_batcher.queue.size,
+            stage="detect",
+        )
+        registry.counter_fn(
+            "repro_stage_batches_total",
+            "Batches handed to stage instances",
+            lambda: self._det_batcher.dispatched_batches,
+            stage="detect",
+        )
+        if not self.fused:
+            registry.gauge_fn(
+                "repro_stage_queue_depth",
+                "Requests waiting in the stage batcher",
+                lambda: self._id_batcher.queue.size,
+                stage="identify",
+            )
+            registry.counter_fn(
+                "repro_stage_batches_total",
+                "Batches handed to stage instances",
+                lambda: self._id_batcher.dispatched_batches,
+                stage="identify",
+            )
+        if self.broker is not None:
+            self.broker.register_metrics(registry)
+
     # -- public API ------------------------------------------------------------
 
     def submit(self, frame_image: Image) -> Event:
         """Submit one frame; the event succeeds when every face is identified."""
         request = InferenceRequest(frame_image, arrival_time=self.env.now)
+        if self.tracer is not None:
+            self.tracer.register(request)
         done = self.env.event()
         faces = self.faces_distribution.sample(self._faces_rng)
         frame = _Frame(request, done, faces)
@@ -317,7 +354,7 @@ class FacePipeline:
         while True:
             message = yield from broker.consume()
             frame, _face_index = message.payload
-            frame.request.add(SPAN_BROKER, message.consume_seconds)
+            frame.request.add(SPAN_BROKER, message.consume_seconds, now=self.env.now)
             yield self._id_batcher.submit(message)
 
     def _identification_instance(self):

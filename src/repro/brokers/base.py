@@ -79,6 +79,46 @@ class Broker:
         """Messages currently queued in the topic."""
         return self.topic.size
 
+    def register_metrics(self, registry) -> None:
+        """Publish broker counters as registry views."""
+        broker = self.name
+        registry.counter_fn(
+            "repro_broker_produced_total",
+            "Messages published to the topic",
+            lambda: self.produced,
+            broker=broker,
+        )
+        registry.counter_fn(
+            "repro_broker_consumed_total",
+            "Messages taken from the topic",
+            lambda: self.consumed,
+            broker=broker,
+        )
+        registry.counter_fn(
+            "repro_broker_bytes_total",
+            "Payload bytes through the broker",
+            lambda: self.bytes_through,
+            broker=broker,
+        )
+        registry.counter_fn(
+            "repro_broker_lost_total",
+            "Messages dropped by at-most-once delivery under faults",
+            lambda: self.lost,
+            broker=broker,
+        )
+        registry.counter_fn(
+            "repro_broker_redelivered_total",
+            "Redelivery attempts by at-least-once delivery under faults",
+            lambda: self.redelivered,
+            broker=broker,
+        )
+        registry.gauge_fn(
+            "repro_broker_depth",
+            "Messages currently queued in the topic",
+            lambda: self.depth,
+            broker=broker,
+        )
+
     def produce(self, payload: Any, nbytes: float) -> Generator:
         """Process generator: publish one message (blocking semantics of
         the modelled client library).  Returns the :class:`Message`."""

@@ -400,3 +400,51 @@ class CacheHierarchy:
         if self.result is not None:
             out.update(self.result.stats.as_dict("cache_result_"))
         return out
+
+    def register_metrics(self, registry) -> None:
+        """Publish per-tier counters as registry views."""
+
+        def tier_stats(tier_name: str):
+            if tier_name == "image":
+                return self.image.stats
+            if tier_name == "result":
+                return self.result.stats
+            merged = CacheStats()
+            for cache in self.tensor:
+                merged = merged.merge(cache.stats)
+            return merged
+
+        tiers = []
+        if self.image is not None:
+            tiers.append(("image", lambda: self.image.used_bytes))
+        if self.tensor:
+            tiers.append(
+                ("tensor", lambda: sum(c.tier.used_bytes for c in self.tensor))
+            )
+        if self.result is not None:
+            tiers.append(("result", lambda: self.result.used_bytes))
+        for tier_name, used_fn in tiers:
+            registry.counter_fn(
+                "repro_cache_hits_total",
+                "Cache lookups served by the tier",
+                lambda t=tier_name: tier_stats(t).hits,
+                tier=tier_name,
+            )
+            registry.counter_fn(
+                "repro_cache_misses_total",
+                "Cache lookups the tier could not serve",
+                lambda t=tier_name: tier_stats(t).misses,
+                tier=tier_name,
+            )
+            registry.counter_fn(
+                "repro_cache_evictions_total",
+                "Entries evicted from the tier",
+                lambda t=tier_name: tier_stats(t).evictions,
+                tier=tier_name,
+            )
+            registry.gauge_fn(
+                "repro_cache_used_bytes",
+                "Bytes currently resident in the tier",
+                used_fn,
+                tier=tier_name,
+            )

@@ -386,6 +386,88 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    from .telemetry import SloConfig, TelemetryConfig
+
+    telemetry = TelemetryConfig(
+        enabled=True,
+        trace=True,
+        trace_limit=args.trace_limit,
+        trace_sample_every=args.sample_every,
+        slo=SloConfig(latency_objective_seconds=args.slo_ms / 1e3, target=args.target),
+        monitor_interval_seconds=args.monitor_interval_ms / 1e3,
+    )
+    if args.scenario == "faces":
+        result = run_face_pipeline(
+            FacePipelineConfig(),
+            concurrency=args.concurrency,
+            warmup_requests=args.warmup,
+            measure_requests=args.requests,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+        title = "face pipeline"
+    else:
+        result = run_experiment(
+            ExperimentConfig(
+                server=ServerConfig(
+                    model=args.model,
+                    preprocess_device=args.preprocess_device,
+                    preprocess_batch_size=64,
+                ),
+                dataset=reference_dataset(args.size),
+                concurrency=args.concurrency,
+                warmup_requests=args.warmup,
+                measure_requests=args.requests,
+                seed=args.seed,
+                telemetry=telemetry,
+            )
+        )
+        title = f"{args.model} ({args.preprocess_device} preprocessing)"
+    session = result.telemetry
+    report = session.slo_report()
+    tracer = session.tracer
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["throughput", f"{result.throughput:,.0f} img/s"],
+                ["p99 latency", f"{result.p99_latency * 1e3:.2f} ms"],
+                ["traced requests", str(len(tracer.requests))],
+                ["trace drops", str(tracer.dropped)],
+                ["metric series", str(len(session.registry))],
+                ["SLO objective", f"{report.config.latency_objective_seconds * 1e3:.0f} ms @ "
+                                  f"{report.config.target * 100:g}%"],
+                ["SLO compliance", f"{report.compliance * 100:.2f}% "
+                                   f"({'met' if report.met else 'MISSED'})"],
+                ["error budget used", f"{report.error_budget_consumed * 100:.1f}%"],
+            ],
+            title=f"telemetry — {title}",
+        )
+    )
+    for window in report.windows:
+        print(f"burn rate over last {window.window_seconds:g}s: "
+              f"{window.burn_rate:.2f}x budget ({window.bad}/{window.total} bad)")
+    if args.trace:
+        count = session.write_trace(args.trace)
+        print(f"wrote {count} trace events to {args.trace} "
+              "(open in https://ui.perfetto.dev)")
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            handle.write(session.prometheus_text())
+        print(f"wrote Prometheus metrics to {args.metrics}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            handle.write(session.json_metrics())
+        print(f"wrote JSON metrics to {args.metrics_json}")
+    _export(args, [{"scenario": args.scenario, "slo_met": report.met,
+                    "slo_compliance": report.compliance,
+                    "error_budget_consumed": report.error_budget_consumed,
+                    "traced_requests": len(tracer.requests),
+                    **result.to_dict()}])
+    return 0 if report.met else 1
+
+
 def cmd_plan(args) -> int:
     plan = plan_capacity(
         ServerConfig(model=args.model, preprocess_device=args.preprocess_device,
@@ -501,6 +583,35 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=0)
     _add_export_flags(faults)
     faults.set_defaults(func=cmd_faults)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="run one scenario with full observability (trace + metrics + SLO)",
+    )
+    telemetry.add_argument("--scenario", default="serve", choices=["serve", "faces"])
+    telemetry.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    _add_preprocess_device_flag(telemetry, default="gpu", choices=["cpu", "gpu"])
+    telemetry.add_argument("--size", default="medium",
+                           choices=["small", "medium", "large"])
+    telemetry.add_argument("--concurrency", type=int, default=64)
+    telemetry.add_argument("--warmup", type=int, default=200)
+    telemetry.add_argument("--requests", type=int, default=1000)
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument("--slo-ms", type=float, default=200.0,
+                           help="latency objective (ms)")
+    telemetry.add_argument("--target", type=float, default=0.99,
+                           help="required good fraction, e.g. 0.99")
+    telemetry.add_argument("--trace", help="write a Perfetto timeline trace JSON")
+    telemetry.add_argument("--trace-limit", type=int, default=2000,
+                           help="max requests kept in the trace")
+    telemetry.add_argument("--sample-every", type=int, default=1,
+                           help="trace every Nth request")
+    telemetry.add_argument("--monitor-interval-ms", type=float, default=5.0,
+                           help="queue-depth/memory sampling period (ms)")
+    telemetry.add_argument("--metrics", help="write Prometheus text metrics to FILE")
+    telemetry.add_argument("--metrics-json", help="write JSON metrics to FILE")
+    _add_export_flags(telemetry)
+    telemetry.set_defaults(func=cmd_telemetry)
 
     models = sub.add_parser("models", help="list the model zoo")
     _add_export_flags(models)

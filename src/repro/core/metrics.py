@@ -240,6 +240,29 @@ class MetricsCollector:
         if self._armed:
             self._shed += 1
 
+    def register_metrics(self, registry) -> None:
+        """Publish run-global counters as registry views."""
+        registry.counter_fn(
+            "repro_requests_completed_total",
+            "Requests completed, including warm-up",
+            lambda: self.total_completed,
+        )
+        registry.counter_fn(
+            "repro_requests_timeout_total",
+            "Requests that missed their deadline",
+            lambda: self.total_timeouts,
+        )
+        registry.counter_fn(
+            "repro_requests_retry_total",
+            "Retry attempts issued by clients or balancers",
+            lambda: self.total_retries,
+        )
+        registry.counter_fn(
+            "repro_requests_shed_total",
+            "Requests rejected by admission control",
+            lambda: self.total_shed,
+        )
+
     def finalize(self) -> RunMetrics:
         """Compute window metrics; requires an opened and closed window."""
         if self._window_start is None or self._window_end is None:

@@ -4,12 +4,18 @@ Every request carries a span ledger recording where its wall-clock time
 went — the raw material for the paper's latency breakdowns (Fig. 6), the
 queue-time analysis (Fig. 5), and the inference-time-percentage plot
 (Fig. 4 bottom).
+
+When a :class:`~repro.telemetry.tracer.Tracer` arms a request (setting
+``timeline`` to a list), the ledger additionally records every span as a
+timestamped ``(name, start, end)`` interval — the raw material for
+Perfetto traces that show true queue/compute overlap and batch grouping
+rather than back-to-back duration sums.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..vision.image import Image
 
@@ -75,6 +81,7 @@ class InferenceRequest:
         "attempt",
         "outcome",
         "served_from",
+        "timeline",
         "_open_spans",
     )
 
@@ -105,6 +112,9 @@ class InferenceRequest:
         #: Highest cache tier that served this request ("result",
         #: "tensor", "image"), or ``None`` for a fully computed request.
         self.served_from: Optional[str] = None
+        #: Timestamped ``(name, start, end)`` intervals, recorded only
+        #: when a tracer armed the request (``None`` = recording off).
+        self.timeline: Optional[List[Tuple[str, float, float]]] = None
         self._open_spans: Dict[str, float] = {}
 
     def __repr__(self) -> str:
@@ -122,17 +132,25 @@ class InferenceRequest:
         started = self._open_spans.pop(span, None)
         if started is None:
             raise RuntimeError(f"span {span!r} was never opened on {self!r}")
-        self.add(span, now - started)
+        self.add(span, now - started, now=now)
 
     def span_open(self, span: str) -> bool:
         """True if ``span`` is currently open."""
         return span in self._open_spans
 
-    def add(self, span: str, seconds: float) -> None:
-        """Accumulate ``seconds`` into ``span`` directly."""
+    def add(self, span: str, seconds: float, now: Optional[float] = None) -> None:
+        """Accumulate ``seconds`` into ``span`` directly.
+
+        ``now`` is the interval's *end* timestamp; when given and the
+        request is armed for tracing, the interval also lands on the
+        timeline (callers without a timestamp keep the duration-only
+        ledger exactly as before).
+        """
         if seconds < 0:
             raise ValueError(f"negative span duration {seconds} for {span!r}")
         self.spans[span] = self.spans.get(span, 0.0) + seconds
+        if self.timeline is not None and now is not None:
+            self.timeline.append((span, now - seconds, now))
 
     def complete(self, now: float) -> None:
         """Mark the request finished; stamps a ``timeout`` outcome when a

@@ -169,6 +169,12 @@ class InferenceServer:
         # Diagnostics
         self.eviction_reloads = 0
 
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`; when set,
+        #: submitted requests are armed for timestamped span recording.
+        #: Attachment is purely observational — the request path draws
+        #: no randomness and schedules no events on its behalf.
+        self.tracer = None
+
     def __repr__(self) -> str:
         return (
             f"<InferenceServer {self.model.name}/{self.runtime.name} "
@@ -181,6 +187,53 @@ class InferenceServer:
             self.config.preprocess_device == GPU_PREPROCESS
             and self.config.mode in (MODE_END_TO_END, MODE_PREPROCESS_ONLY)
         )
+
+    def register_metrics(self, registry) -> None:
+        """Publish server state as registry views (observation only).
+
+        Every instrument is callback-backed over counters the server
+        maintains anyway, so registration cannot perturb the run.
+        """
+        self.metrics.register_metrics(registry)
+        registry.counter_fn(
+            "repro_eviction_reloads_total",
+            "Evicted/stale tensors reloaded from host memory",
+            lambda: self.eviction_reloads,
+        )
+        for index, batcher in enumerate(self._batchers):
+            registry.gauge_fn(
+                "repro_batch_queue_depth",
+                "Requests waiting in the inference batcher",
+                lambda b=batcher: b.queue.size,
+                gpu=str(index),
+            )
+            registry.counter_fn(
+                "repro_batches_dispatched_total",
+                "Batches handed to inference instances",
+                lambda b=batcher: b.dispatched_batches,
+                gpu=str(index),
+            )
+            registry.counter_fn(
+                "repro_batch_items_total",
+                "Requests dispatched inside batches",
+                lambda b=batcher: b.dispatched_items,
+                gpu=str(index),
+            )
+        for gpu in self.node.gpus:
+            registry.gauge_fn(
+                "repro_gpu_memory_used_bytes",
+                "GPU memory pool bytes in use",
+                lambda g=gpu: g.memory.used_bytes,
+                gpu=str(gpu.index),
+            )
+            registry.gauge_fn(
+                "repro_gpu_memory_peak_bytes",
+                "High-water mark of the GPU memory pool",
+                lambda g=gpu: g.memory.peak_used,
+                gpu=str(gpu.index),
+            )
+        if self.cache is not None:
+            self.cache.register_metrics(registry)
 
     # -- public API ----------------------------------------------------------
 
@@ -206,6 +259,8 @@ class InferenceServer:
             deadline=deadline,
             attempt=attempt,
         )
+        if self.tracer is not None:
+            self.tracer.register(request)
         done = self.env.event()
         self.env.process(self._handle(request, done))
         return done
@@ -391,7 +446,7 @@ class InferenceServer:
             transfer_time = self.env.now - transfer_start
             now = self.env.now
             for entry in entries:
-                entry.request.add(SPAN_TRANSFER, transfer_time)
+                entry.request.add(SPAN_TRANSFER, transfer_time, now=now)
                 entry.request.begin(SPAN_PREPROCESS, now)
 
             # 3. Device memory for every sample's working set (evictable
@@ -495,7 +550,7 @@ class InferenceServer:
             yield from gpu.link.transfer(len(entries) * self.output_bytes, D2H, pinned=False)
             out_time = self.env.now - out_start
             for entry in entries:
-                entry.request.add(SPAN_TRANSFER, out_time)
+                entry.request.add(SPAN_TRANSFER, out_time, now=self.env.now)
                 if entry.allocation is not None:
                     gpu.memory.free(entry.allocation)
                     entry.allocation = None
@@ -530,9 +585,10 @@ class InferenceServer:
             with gpu.compute.request(priority=PRIORITY_INFERENCE) as grant:
                 yield grant
                 yield from gpu.link.transfer(nbytes, H2D, pinned=False)
-            elapsed = self.env.now - start
+            end = self.env.now
+            elapsed = end - start
             for entry in host_entries:
-                entry.request.add(SPAN_TRANSFER, elapsed)
+                entry.request.add(SPAN_TRANSFER, elapsed, now=end)
                 entry.allocation = yield from gpu.memory.alloc(self.tensor_bytes)
 
         # GPU-preprocessed / inference-only path: pin survivors, reload
@@ -557,15 +613,16 @@ class InferenceServer:
             with gpu.compute.request(priority=PRIORITY_INFERENCE) as grant:
                 yield grant
                 yield from gpu.link.transfer(nbytes, H2D, pinned=False)
-            elapsed = self.env.now - start
+            end = self.env.now
+            elapsed = end - start
             for entry in evicted:
-                entry.request.add(SPAN_TRANSFER, elapsed)
+                entry.request.add(SPAN_TRANSFER, elapsed, now=end)
                 entry.allocation = yield from gpu.memory.alloc(
                     self._resident_bytes(entry.request.image)
                 )
                 entry.evicted = False
             for entry in stale:
-                entry.request.add(SPAN_TRANSFER, elapsed)
+                entry.request.add(SPAN_TRANSFER, elapsed, now=end)
                 entry.allocation = yield from gpu.memory.alloc(self.tensor_bytes)
                 entry.cache_entry = None
 

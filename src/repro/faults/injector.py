@@ -57,6 +57,14 @@ class FaultInjector:
     def fault_count(self) -> int:
         return len(self.events)
 
+    def register_metrics(self, registry) -> None:
+        """Publish the fault log size as a registry view."""
+        registry.counter_fn(
+            "repro_faults_injected_total",
+            "Faults injected from the experiment's fault plan",
+            lambda: self.fault_count,
+        )
+
     # -- target registration -------------------------------------------------
 
     def attach_node(self, node, index: int = 0, balancer=None) -> None:

@@ -123,6 +123,34 @@ class AutoscaledFleet:
     def total_outstanding(self) -> int:
         return sum(self.outstanding[: self.active_count])
 
+    def register_metrics(self, registry) -> None:
+        """Publish autoscaler state as registry views (observation only)."""
+        registry.gauge_fn(
+            "repro_autoscaler_active_nodes",
+            "Nodes currently taking traffic",
+            lambda: self.active_count,
+        )
+        registry.gauge_fn(
+            "repro_autoscaler_provisioning_nodes",
+            "Nodes booting toward the active set",
+            lambda: self._provisioning,
+        )
+        registry.gauge_fn(
+            "repro_autoscaler_backlog_depth",
+            "Requests waiting in the autoscaler balancer queue",
+            lambda: self._backlog.size,
+        )
+        registry.gauge_fn(
+            "repro_autoscaler_outstanding",
+            "In-flight requests across the active set",
+            lambda: self.total_outstanding,
+        )
+        registry.counter_fn(
+            "repro_autoscaler_actions_total",
+            "Scale-out/in actions taken by the controller",
+            lambda: len(self.events),
+        )
+
     @property
     def load_factor(self) -> float:
         """Observed load per active node, relative to target.

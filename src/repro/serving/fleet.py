@@ -16,7 +16,7 @@ loop the paper's single-node throughput numbers exist to inform.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.config import ServerConfig
@@ -131,6 +131,54 @@ class LoadBalancer:
     def set_node_up(self, index: int, up: bool) -> None:
         """Mark a node (un)healthy; used by node-outage fault injection."""
         self.node_up[index] = up
+
+    def register_metrics(self, registry) -> None:
+        """Publish balancer state as registry views (observation only)."""
+        registry.gauge_fn(
+            "repro_balancer_backlog_depth",
+            "Requests waiting in the balancer queue",
+            lambda: self.backlog_depth,
+        )
+        registry.counter_fn(
+            "repro_balancer_timeouts_total",
+            "Dispatch attempts that exceeded their deadline",
+            lambda: self.timeouts,
+        )
+        registry.counter_fn(
+            "repro_balancer_retries_total",
+            "Attempts re-queued after a timeout",
+            lambda: self.retries,
+        )
+        registry.counter_fn(
+            "repro_balancer_shed_total",
+            "Requests rejected by backlog admission control",
+            lambda: self.shed,
+        )
+        for index in range(len(self.servers)):
+            registry.gauge_fn(
+                "repro_node_outstanding",
+                "In-flight requests on the node",
+                lambda i=index: self.outstanding[i],
+                node=str(index),
+            )
+            registry.counter_fn(
+                "repro_node_dispatched_total",
+                "Requests routed to the node",
+                lambda i=index: self.dispatched[i],
+                node=str(index),
+            )
+            registry.gauge_fn(
+                "repro_node_up",
+                "1 when the node is healthy, 0 during an outage",
+                lambda i=index: 1.0 if self.node_up[i] else 0.0,
+                node=str(index),
+            )
+        if self.breakers is not None:
+            registry.counter_fn(
+                "repro_breaker_opens_total",
+                "Circuit-breaker open transitions across all nodes",
+                lambda: sum(b.open_transitions for b in self.breakers),
+            )
 
     def submit(self, image) -> Event:
         """Route one request; the returned event completes with the
@@ -322,6 +370,8 @@ class FleetResult:
     fault_count: int = 0
     #: Circuit-breaker open transitions across all nodes.
     breaker_opens: int = 0
+    #: The run's telemetry session, or ``None`` when disabled.
+    telemetry: Optional[object] = field(default=None, compare=False)
 
     def to_dict(self) -> Dict[str, object]:
         """Flat dict of the fleet measurements (see
@@ -373,6 +423,7 @@ def run_fleet_experiment(
     max_sim_seconds: float = 60.0,
     resilience: Optional[ResiliencePolicy] = None,
     faults: Optional["FaultPlan"] = None,
+    telemetry=None,
 ) -> FleetResult:
     """Open-loop Poisson load against an N-node fleet.
 
@@ -386,18 +437,23 @@ def run_fleet_experiment(
     env = Environment()
     streams = RandomStreams(seed)
     collector = MetricsCollector()
+    from .runner import _open_session
+
+    session = _open_session(telemetry, env)
 
     warmup_done = env.event()
     measure_done = env.event()
     completed = {"n": 0}
     target_total = warmup_requests + measure_requests
 
-    def on_complete(_request):
+    def on_complete(request):
         completed["n"] += 1
         if completed["n"] == warmup_requests:
             warmup_done.succeed()
         elif completed["n"] == target_total:
             measure_done.succeed()
+        if session is not None:
+            session.observe_completion(request, env.now)
 
     fleet = Fleet(
         env,
@@ -412,6 +468,15 @@ def run_fleet_experiment(
         resilience=resilience,
         streams=streams,
     )
+    if session is not None:
+        # One registration of the shared collector (the servers share
+        # it, so per-server registration would duplicate); per-node
+        # series come from the balancer's views.
+        collector.register_metrics(session.registry)
+        fleet.balancer.register_metrics(session.registry)
+        for server in fleet.servers:
+            server.tracer = session.tracer
+        session.start()
 
     injector = None
     if faults is not None and faults.enabled:
@@ -420,6 +485,8 @@ def run_fleet_experiment(
         injector = FaultInjector(env, streams, faults)
         injector.attach_fleet(fleet)
         injector.start()
+        if session is not None:
+            injector.register_metrics(session.registry)
     images = dataset if dataset is not None else reference_dataset("medium")
     rng = streams.stream("fleet:images")
     arrival_rng = streams.stream("fleet:arrivals")
@@ -445,7 +512,11 @@ def run_fleet_experiment(
 
     env.run(until=env.process(controller()))
 
+    if session is not None:
+        session.finalize(env.now)
+
     return FleetResult(
+        telemetry=session,
         node_count=node_count,
         offered_rate=offered_rate,
         metrics=collector.finalize(),

@@ -23,6 +23,7 @@ from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..hardware.platform import ServerNode
 from ..hardware.power import DeviceEnergy
 from ..sim import Environment, RandomStreams
+from ..telemetry import TelemetryConfig, TelemetrySession
 from ..vision.datasets import Dataset, reference_dataset
 from .client import ClosedLoopClient
 from .resilience import ResiliencePolicy
@@ -58,6 +59,10 @@ class ExperimentConfig:
     resilience: Optional[ResiliencePolicy] = None
     #: Fault plan injected into the node; ``None`` injects nothing.
     faults: Optional["FaultPlan"] = None
+    #: Observability: span tracing, metrics registry, SLO tracking.
+    #: ``None`` (or ``enabled=False``) records nothing; either way the
+    #: simulated results are identical.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -101,6 +106,11 @@ class RunResult:
     gpu_utilization: float  # mean across GPUs
     #: Faults injected during the run (0 for fault-free experiments).
     fault_count: int = 0
+    #: The run's :class:`~repro.telemetry.session.TelemetrySession`
+    #: (registry + tracer + SLO state), or ``None`` when telemetry was
+    #: disabled.  Excluded from equality: two runs are the same run if
+    #: they measured the same things.
+    telemetry: Optional[TelemetrySession] = field(default=None, compare=False)
 
     def to_dict(self) -> Dict[str, object]:
         """Flat dict of the run's measurements (see
@@ -143,12 +153,22 @@ class RunResult:
         return self.cpu_joules_per_image + self.gpu_joules_per_image
 
 
+def _open_session(
+    telemetry: Optional[TelemetryConfig], env: Environment
+) -> Optional[TelemetrySession]:
+    """Create the run's telemetry session, or ``None`` when disabled."""
+    if telemetry is None or not telemetry.enabled:
+        return None
+    return TelemetrySession(telemetry, env=env)
+
+
 def run_experiment(config: ExperimentConfig) -> RunResult:
     """Simulate one experiment and return its measurements."""
     env = Environment()
     streams = RandomStreams(config.seed)
     node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
     collector = MetricsCollector()
+    session = _open_session(config.telemetry, env)
 
     warmup_done = env.event()
     measure_done = env.event()
@@ -162,10 +182,15 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
             warmup_done.succeed()
         elif completed["n"] == target_total:
             measure_done.succeed()
+        if session is not None:
+            session.observe_completion(request, env.now)
         if config.on_complete is not None:
             config.on_complete(request)
 
     server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
+    if session is not None:
+        session.attach_server(server)
+        session.start()
     dataset = config.dataset if config.dataset is not None else reference_dataset("medium")
     client = ClosedLoopClient(
         env,
@@ -185,6 +210,8 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         injector = FaultInjector(env, streams, config.faults)
         injector.attach_node(node)
         injector.start()
+        if session is not None:
+            injector.register_metrics(session.registry)
 
     snapshots = {}
 
@@ -215,6 +242,8 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
     gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
 
+    if session is not None:
+        session.finalize(env.now)
     return RunResult(
         config=config,
         metrics=metrics,
@@ -222,6 +251,7 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         cpu_utilization=cpu_util,
         gpu_utilization=gpu_util,
         fault_count=injector.fault_count if injector is not None else 0,
+        telemetry=session,
     )
 
 
@@ -236,6 +266,7 @@ def run_face_pipeline(
     max_sim_seconds: float = 600.0,
     think_jitter_seconds: float = 2e-3,
     frame_dataset: Optional[Dataset] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """Simulate the multi-DNN face pipeline (paper Sec. 4.7 / Fig. 11).
 
@@ -251,22 +282,28 @@ def run_face_pipeline(
     streams = RandomStreams(seed)
     node = ServerNode(env, calibration, gpu_count=gpu_count)
     collector = MetricsCollector()
+    session = _open_session(telemetry, env)
 
     warmup_done = env.event()
     measure_done = env.event()
     target_total = warmup_requests + measure_requests
     completed = {"n": 0}
 
-    def on_complete(_request):
+    def on_complete(request):
         completed["n"] += 1
         if completed["n"] == warmup_requests:
             warmup_done.succeed()
         elif completed["n"] == target_total:
             measure_done.succeed()
+        if session is not None:
+            session.observe_completion(request, env.now)
 
     pipeline = FacePipeline(
         env, node, pipeline_config, streams, metrics=collector, on_complete=on_complete
     )
+    if session is not None:
+        session.attach_pipeline(pipeline)
+        session.start()
     dataset = frame_dataset if frame_dataset is not None else VideoFrameDataset()
     client = ClosedLoopClient(
         env,
@@ -312,12 +349,15 @@ def run_face_pipeline(
         max_sim_seconds=max_sim_seconds,
         think_jitter_seconds=think_jitter_seconds,
     )
+    if session is not None:
+        session.finalize(env.now)
     return RunResult(
         config=experiment,
         metrics=metrics,
         energy=energy,
         cpu_utilization=cpu_util,
         gpu_utilization=gpu_util,
+        telemetry=session,
     )
 
 
@@ -338,6 +378,7 @@ def run_open_loop(
     streams = RandomStreams(config.seed)
     node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
     collector = MetricsCollector()
+    session = _open_session(config.telemetry, env)
 
     warmup_done = env.event()
     measure_done = env.event()
@@ -345,14 +386,19 @@ def run_open_loop(
     target_total = config.warmup_requests + config.measure_requests
     completed = {"n": 0}
 
-    def on_complete(_request):
+    def on_complete(request):
         completed["n"] += 1
         if completed["n"] == target_warmup:
             warmup_done.succeed()
         elif completed["n"] == target_total:
             measure_done.succeed()
+        if session is not None:
+            session.observe_completion(request, env.now)
 
     server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
+    if session is not None:
+        session.attach_server(server)
+        session.start()
     dataset = config.dataset if config.dataset is not None else reference_dataset("medium")
     client = OpenLoopClient(env, server, dataset, rate=offered_rate, streams=streams)
 
@@ -383,10 +429,13 @@ def run_open_loop(
     cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
     gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
 
+    if session is not None:
+        session.finalize(env.now)
     return RunResult(
         config=config,
         metrics=metrics,
         energy=energy,
         cpu_utilization=cpu_util,
         gpu_utilization=gpu_util,
+        telemetry=session,
     )

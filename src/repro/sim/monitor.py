@@ -58,14 +58,32 @@ class Series:
             values=[v for _, v in pairs],
         )
 
-    def time_average(self) -> float:
-        """Trapezoid-free step average weighted by sample spacing."""
-        if len(self.times) < 2:
+    def time_average(self, end: Optional[float] = None) -> float:
+        """Trapezoid-free step average weighted by sample spacing.
+
+        Each sample's value is held until the next sample time.  By
+        default the last sample carries no weight (the step function is
+        integrated up to the final sample time); pass ``end`` to extend
+        the final sample's extent to a known end-of-window time, making
+        every sample count consistently.  A single-sample series (and an
+        ``end`` at or before the first sample) falls back to the plain
+        mean instead of raising.
+        """
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        if end is not None and end < self.times[-1]:
+            raise ValueError(
+                f"end {end} precedes the last sample at {self.times[-1]}"
+            )
+        last = self.times[-1] if end is None else end
+        if len(self.times) < 2 and end is None:
             return self.mean
         total = 0.0
         for i in range(len(self.times) - 1):
             total += self.values[i] * (self.times[i + 1] - self.times[i])
-        span = self.times[-1] - self.times[0]
+        if end is not None:
+            total += self.values[-1] * (end - self.times[-1])
+        span = last - self.times[0]
         return total / span if span > 0 else self.mean
 
 
@@ -80,6 +98,10 @@ class Monitor:
         self._probes: Dict[str, Callable[[], float]] = {}
         self._series: Dict[str, Series] = {}
         self._running = False
+        # Incremented on every start(); a sampler process exits as soon
+        # as its captured epoch goes stale, so stop() -> start() can
+        # never leave two live samplers double-sampling every series.
+        self._epoch = 0
 
     def probe(self, name: str, fn: Callable[[], float]) -> None:
         """Register a probe; sampled once per interval after start()."""
@@ -89,13 +111,15 @@ class Monitor:
         self._series[name] = Series(name=name, times=[], values=[])
 
     def start(self) -> None:
-        """Begin sampling (idempotent)."""
+        """Begin sampling (idempotent; restart after stop() is safe)."""
         if self._running:
             return
         self._running = True
-        self.env.process(self._sampler())
+        self._epoch += 1
+        self.env.process(self._sampler(self._epoch))
 
     def stop(self) -> None:
+        """Stop sampling; the pending sampler wake-up becomes a no-op."""
         self._running = False
 
     def series(self, name: str) -> Series:
@@ -109,8 +133,8 @@ class Monitor:
     def series_names(self) -> Sequence[str]:
         return sorted(self._series)
 
-    def _sampler(self):
-        while self._running:
+    def _sampler(self, epoch: int):
+        while self._running and epoch == self._epoch:
             now = self.env.now
             for name, fn in self._probes.items():
                 series = self._series[name]

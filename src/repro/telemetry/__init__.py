@@ -1,0 +1,77 @@
+"""First-class observability for the serving simulator.
+
+The paper's contribution is *attribution* — knowing where every
+millisecond of a request goes.  This package turns the simulator's
+ad-hoc counters into a real telemetry layer:
+
+- :mod:`~repro.telemetry.spans` — span kinds and timestamped span trees;
+- :mod:`~repro.telemetry.tracer` — per-run collection of request
+  timelines for Perfetto export;
+- :mod:`~repro.telemetry.registry` — named Counter/Gauge/Histogram
+  instruments with labels and streaming (HDR-style) percentiles;
+- :mod:`~repro.telemetry.exposition` — Prometheus text-format and JSON
+  encoders (plus the parser the round-trip tests use);
+- :mod:`~repro.telemetry.slo` — latency objectives, error budgets and
+  burn rates;
+- :mod:`~repro.telemetry.session` — one run's worth of all of the
+  above, wired in by the experiment runners via
+  :class:`~repro.telemetry.config.TelemetryConfig`.
+
+Telemetry is off by default and strictly observational: enabling it
+never changes simulation results.
+"""
+
+from .config import TelemetryConfig
+from .exposition import (
+    parse_prometheus_text,
+    snapshot_to_json,
+    snapshot_to_prometheus_text,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+from .session import TelemetrySession
+from .slo import SloConfig, SloReport, SloTracker, SloWindowReport
+from .spans import (
+    KIND_BROKER,
+    KIND_COMPUTE,
+    KIND_QUEUE,
+    KIND_TRANSFER,
+    SPAN_KINDS,
+    SpanNode,
+    build_span_tree,
+    span_kind,
+)
+from .tracer import Tracer
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetrySession",
+    "Tracer",
+    "MetricsRegistry",
+    "MetricFamily",
+    "RegistrySnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SloConfig",
+    "SloTracker",
+    "SloReport",
+    "SloWindowReport",
+    "snapshot_to_prometheus_text",
+    "snapshot_to_json",
+    "parse_prometheus_text",
+    "SpanNode",
+    "build_span_tree",
+    "span_kind",
+    "SPAN_KINDS",
+    "KIND_QUEUE",
+    "KIND_COMPUTE",
+    "KIND_TRANSFER",
+    "KIND_BROKER",
+]

@@ -1,0 +1,63 @@
+"""Telemetry configuration.
+
+Telemetry is **off by default** and strictly observational: enabling it
+must never change simulation results (no extra RNG draws, no event-loop
+interaction beyond the optional monitor sampler, no mutation of any
+component state).  The benchmark suite asserts both properties —
+off-path runs are bit-identical to pre-telemetry builds, and enabled
+runs produce bit-identical ``RunMetrics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .slo import SloConfig
+
+__all__ = ["TelemetryConfig", "SloConfig"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class TelemetryConfig:
+    """What a run should record.
+
+    Attributes:
+        enabled: Master switch; when False the stack records nothing.
+        trace: Record per-request timestamped span timelines (enables
+            Perfetto export with real overlap).
+        trace_limit: Maximum number of requests to trace; beyond it the
+            tracer counts drops instead of growing without bound.
+        trace_sample_every: Trace every Nth submitted request (1 = all).
+            Use for long runs where a representative sample suffices.
+        slo: Latency objective to score completions against, or None.
+        monitor_interval_seconds: Sampling interval for counter tracks
+            (queue depth, GPU memory) exported alongside the trace, or
+            None to skip the sampler entirely.
+    """
+
+    enabled: bool = False
+    trace: bool = True
+    trace_limit: int = 2000
+    trace_sample_every: int = 1
+    slo: Optional[SloConfig] = None
+    monitor_interval_seconds: Optional[float] = None
+
+    def validate(self) -> "TelemetryConfig":
+        if self.trace_limit < 1:
+            raise ValueError(f"trace_limit must be >= 1, got {self.trace_limit}")
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1, got {self.trace_sample_every}"
+            )
+        if self.monitor_interval_seconds is not None and self.monitor_interval_seconds <= 0:
+            raise ValueError(
+                "monitor_interval_seconds must be positive, got "
+                f"{self.monitor_interval_seconds}"
+            )
+        if self.slo is not None:
+            self.slo.validate()
+        return self
+
+    def with_overrides(self, **overrides) -> "TelemetryConfig":
+        return replace(self, **overrides).validate()

@@ -1,0 +1,228 @@
+"""Exposition formats for registry snapshots.
+
+Two encoders (Prometheus text format and JSON) plus a small Prometheus
+text *parser* used by the round-trip tests.  The text format follows the
+exposition conventions scrapers expect:
+
+- ``# HELP``/``# TYPE`` header lines per metric family;
+- label values escaped (backslash, double quote, newline);
+- histograms exploded into cumulative ``_bucket{le="..."}`` series with
+  a final ``le="+Inf"``, plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+__all__ = [
+    "escape_label_value",
+    "format_value",
+    "snapshot_to_prometheus_text",
+    "snapshot_to_json",
+    "parse_prometheus_text",
+]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (ints without trailing .0, +Inf/-Inf/NaN)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def snapshot_to_prometheus_text(snapshot) -> str:
+    """Encode a :class:`RegistrySnapshot` as Prometheus text format."""
+    lines: List[str] = []
+    for metric in snapshot.metrics:
+        name = metric["name"]
+        help_text = metric["help"].replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        for sample in metric["samples"]:
+            labels = sample["labels"]
+            if metric["kind"] == "histogram":
+                # Snapshot buckets are already cumulative (le, count) pairs.
+                for le, count in sample["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = format_value(float(le))
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} {count}"
+                    )
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                lines.append(
+                    f"{name}_bucket{_labels_text(inf_labels)} {sample['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {format_value(float(sample['sum']))}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{format_value(float(sample['value']))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_to_json(snapshot, indent: int = 2) -> str:
+    """Encode a :class:`RegistrySnapshot` as JSON."""
+    payload = {
+        "at_time": snapshot.at_time,
+        "metrics": [
+            {
+                **metric,
+                "samples": [
+                    {
+                        **sample,
+                        **(
+                            {"buckets": [[le, count] for le, count in sample["buckets"]]}
+                            if "buckets" in sample
+                            else {}
+                        ),
+                    }
+                    for sample in metric["samples"]
+                ],
+            }
+            for metric in snapshot.metrics
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def _split_labels(text: str) -> Dict[str, str]:
+    """Parse the inside of ``{...}`` respecting escapes inside values."""
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label at {text[i:]!r}"
+        j = eq + 2
+        raw: List[str] = []
+        while j < n:
+            ch = text[j]
+            if ch == "\\":
+                raw.append(text[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+        while i < n and text[i] in ", ":
+            i += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Parse Prometheus text format back into family dicts.
+
+    Returns ``{family_name: {"help", "kind", "samples"}}`` where each
+    sample is ``{"name", "labels", "value"}`` (histogram ``_bucket`` /
+    ``_sum`` / ``_count`` series are attributed to their base family).
+    Built for round-trip tests, not as a general scraper.
+    """
+    families: Dict[str, dict] = {}
+    suffixes = ("_bucket", "_sum", "_count")
+
+    def family_of(sample_name: str) -> str:
+        for suffix in suffixes:
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and base in families and families[base]["kind"] == "histogram":
+                return base
+        return sample_name
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"help": "", "kind": "untyped", "samples": []})
+            families[name]["help"] = help_text.replace("\\n", "\n").replace("\\\\", "\\")
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"help": "", "kind": "untyped", "samples": []})
+            families[name]["kind"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            brace = line.index("{")
+            sample_name = line[:brace]
+            close = line.rindex("}")
+            labels = _split_labels(line[brace + 1 : close])
+            value_text = line[close + 1 :].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+        family = family_of(sample_name)
+        families.setdefault(family, {"help": "", "kind": "untyped", "samples": []})
+        families[family]["samples"].append(
+            {
+                "name": sample_name,
+                "labels": labels,
+                "value": _parse_value(value_text.strip()),
+            }
+        )
+    return families

@@ -1,0 +1,162 @@
+"""One run's telemetry: registry + tracer + SLO tracker + monitor.
+
+A :class:`TelemetrySession` is created by the experiment runners when
+``TelemetryConfig.enabled`` is set, attached to the serving components
+(which publish callback-backed registry views and hand the tracer to
+every submitted request), and returned on the result object for export.
+
+Everything the session does is observational: instruments read live
+counters at collection time, the tracer only appends to request-local
+lists, and the SLO tracker consumes completion events the runner already
+receives — so an enabled session leaves ``RunMetrics`` bit-identical to
+a telemetry-free run (asserted by the benchmark suite).  The one
+deliberate exception is the optional :class:`~repro.sim.monitor.Monitor`
+sampler, which schedules zero-duration wake-ups; sampling draws no
+randomness and mutates no component state, so results are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .config import TelemetryConfig
+from .registry import MetricsRegistry, RegistrySnapshot
+from .slo import SloReport, SloTracker
+from .tracer import Tracer
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Live telemetry state for one experiment run."""
+
+    def __init__(self, config: TelemetryConfig, env=None) -> None:
+        config.validate()
+        self.config = config
+        self.env = env
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[Tracer] = None
+        if config.trace:
+            self.tracer = Tracer(
+                limit=config.trace_limit, sample_every=config.trace_sample_every
+            )
+            self.tracer.register_metrics(self.registry)
+        self.slo: Optional[SloTracker] = None
+        if config.slo is not None:
+            self.slo = SloTracker(config.slo)
+            self.slo.register_metrics(self.registry)
+        self.monitor = None
+        if env is not None and config.monitor_interval_seconds is not None:
+            from ..sim.monitor import Monitor
+
+            self.monitor = Monitor(env, interval=config.monitor_interval_seconds)
+        self.latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency (all completions, incl. warm-up)",
+        )
+        #: Windowed snapshots taken via :meth:`snapshot`, in time order.
+        self.snapshots: List[RegistrySnapshot] = []
+        #: Simulation time :meth:`finalize` ran at (``None`` while live).
+        self.finalized_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        parts = [f"metrics={len(self.registry)}"]
+        if self.tracer is not None:
+            parts.append(f"traced={len(self.tracer.requests)}")
+        if self.slo is not None:
+            parts.append(f"slo_total={self.slo.total}")
+        return f"<TelemetrySession {' '.join(parts)}>"
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_server(self, server) -> None:
+        """Wire an :class:`~repro.core.server.InferenceServer` (or any
+        component with ``tracer``/``register_metrics``)."""
+        server.tracer = self.tracer
+        server.register_metrics(self.registry)
+        if self.monitor is not None:
+            self._probe_server(server)
+
+    def attach_pipeline(self, pipeline) -> None:
+        """Wire a :class:`~repro.apps.face_pipeline.FacePipeline`."""
+        pipeline.tracer = self.tracer
+        pipeline.register_metrics(self.registry)
+        if self.monitor is not None:
+            self.monitor.probe(
+                "detect queue depth", lambda: pipeline._det_batcher.queue.size
+            )
+            if not pipeline.fused:
+                self.monitor.probe(
+                    "identify queue depth", lambda: pipeline._id_batcher.queue.size
+                )
+                self.monitor.probe("broker depth", lambda: pipeline.broker.depth)
+            self.monitor.probe(
+                "gpu0 memory used bytes", lambda: pipeline.gpu.memory.used_bytes
+            )
+
+    def _probe_server(self, server) -> None:
+        for index, batcher in enumerate(server._batchers):
+            self.monitor.probe(
+                f"gpu{index} queue depth", lambda b=batcher: b.queue.size
+            )
+        for gpu in server.node.gpus:
+            self.monitor.probe(
+                f"gpu{gpu.index} memory used bytes",
+                lambda g=gpu: g.memory.used_bytes,
+            )
+
+    def start(self) -> None:
+        """Begin monitor sampling (no-op without a monitor)."""
+        if self.monitor is not None:
+            self.monitor.start()
+
+    # -- completion stream ----------------------------------------------------
+
+    def observe_completion(self, request, now: float) -> None:
+        """Feed one completed request into the latency histogram + SLO."""
+        latency = now - request.arrival_time
+        self.latency.observe(latency)
+        if self.slo is not None:
+            ok = getattr(request, "outcome", "ok") == "ok"
+            self.slo.observe(latency, now, ok=ok)
+
+    # -- collection ------------------------------------------------------------
+
+    def snapshot(self, now: Optional[float] = None) -> RegistrySnapshot:
+        """Take (and retain) a point-in-time registry snapshot."""
+        snap = self.registry.snapshot(at_time=now)
+        self.snapshots.append(snap)
+        return snap
+
+    def finalize(self, now: Optional[float] = None) -> "TelemetrySession":
+        """End-of-run housekeeping: stop sampling, surface trace drops."""
+        if self.monitor is not None:
+            self.monitor.stop()
+        if self.tracer is not None:
+            self.tracer.warn_if_dropped()
+        self.finalized_at = now
+        self.snapshot(now)
+        return self
+
+    def slo_report(self, now: Optional[float] = None) -> Optional[SloReport]:
+        """The SLO summary, or ``None`` when no objective was configured.
+
+        ``now`` defaults to the time :meth:`finalize` ran at.
+        """
+        if self.slo is None:
+            return None
+        if now is None:
+            now = self.finalized_at if self.finalized_at is not None else 0.0
+        return self.slo.report(now)
+
+    def prometheus_text(self) -> str:
+        return self.registry.to_prometheus_text()
+
+    def json_metrics(self, indent: int = 2) -> str:
+        return self.registry.to_json(indent=indent)
+
+    def write_trace(self, path: str) -> int:
+        """Export the Perfetto timeline trace; returns the event count."""
+        if self.tracer is None:
+            raise RuntimeError("tracing is disabled in this TelemetryConfig")
+        return self.tracer.write_chrome_trace(path, monitor=self.monitor)

@@ -1,0 +1,129 @@
+"""Span model: kinds, timestamped intervals, and per-request span trees.
+
+A request's *span ledger* (``InferenceRequest.spans``) records only
+durations — enough for mean breakdowns, useless for attribution.  When a
+:class:`~repro.telemetry.tracer.Tracer` is attached, every request also
+carries a *timeline*: a list of ``(name, start, end)`` tuples stamped
+with simulated wall-clock time as each stage closes.  This module gives
+those intervals meaning:
+
+- every span name maps to a **kind** — ``queue`` (waiting for a
+  resource), ``compute`` (occupying CPU/GPU), ``transfer`` (PCIe/DMA),
+  or ``broker`` (inter-stage messaging) — the taxonomy of the paper's
+  Fig. 1 end-to-end breakdown;
+- :func:`build_span_tree` reconstructs the parent/child structure of a
+  request (a synthetic ``request`` root spanning arrival to completion,
+  stage spans as children, nested by interval containment).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "KIND_QUEUE",
+    "KIND_COMPUTE",
+    "KIND_TRANSFER",
+    "KIND_BROKER",
+    "SPAN_KINDS",
+    "span_kind",
+    "SpanNode",
+    "build_span_tree",
+]
+
+KIND_QUEUE = "queue"
+KIND_COMPUTE = "compute"
+KIND_TRANSFER = "transfer"
+KIND_BROKER = "broker"
+
+#: Kind of every span name the stack emits.  Unknown (user-defined)
+#: spans default to ``compute``.
+SPAN_KINDS = {
+    "frontend": KIND_COMPUTE,
+    "preprocess_wait": KIND_QUEUE,
+    "preprocess": KIND_COMPUTE,
+    "queue": KIND_QUEUE,
+    "transfer": KIND_TRANSFER,
+    "inference": KIND_COMPUTE,
+    "postprocess": KIND_COMPUTE,
+    "broker": KIND_BROKER,
+    "identify": KIND_COMPUTE,
+}
+
+
+def span_kind(name: str) -> str:
+    """The kind (queue/compute/transfer/broker) of a span name."""
+    return SPAN_KINDS.get(name, KIND_COMPUTE)
+
+
+class SpanNode:
+    """One node of a request's span tree."""
+
+    __slots__ = ("name", "kind", "start", "end", "children")
+
+    def __init__(self, name: str, start: float, end: float) -> None:
+        self.name = name
+        self.kind = span_kind(name)
+        self.start = start
+        self.end = end
+        self.children: List["SpanNode"] = []
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpanNode {self.name} [{self.start:.6f}, {self.end:.6f}] "
+            f"children={len(self.children)}>"
+        )
+
+    def walk(self):
+        """Depth-first iteration over the subtree (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def _contains(outer: SpanNode, inner: SpanNode) -> bool:
+    # Half-open containment with a tiny tolerance for same-instant edges.
+    eps = 1e-12
+    return outer.start - eps <= inner.start and inner.end <= outer.end + eps
+
+
+def build_span_tree(
+    timeline: Sequence[Tuple[str, float, float]],
+    arrival_time: float,
+    completion_time: Optional[float],
+    root_name: str = "request",
+) -> SpanNode:
+    """Nest timestamped intervals into a parent/child span tree.
+
+    The root is a synthetic ``request`` span from ``arrival_time`` to
+    ``completion_time`` (or the last interval end for in-flight
+    requests).  Each interval becomes a child of the smallest earlier
+    interval that contains it — the natural nesting for a pipeline where
+    a stage may record sub-spans inside its own window.
+    """
+    intervals = sorted(timeline, key=lambda event: (event[1], -(event[2] - event[1])))
+    end = completion_time
+    if end is None:
+        end = max((event[2] for event in intervals), default=arrival_time)
+    root = SpanNode(root_name, arrival_time, max(arrival_time, end))
+    stack: List[SpanNode] = [root]
+    for name, start, stop in intervals:
+        node = SpanNode(name, start, stop)
+        while len(stack) > 1 and not _contains(stack[-1], node):
+            stack.pop()
+        stack[-1].children.append(node)
+        stack.append(node)
+    return root

@@ -196,3 +196,69 @@ class TestGauge:
         env = Environment()
         gauge = Gauge(env, initial=4.0)
         assert gauge.time_average() == pytest.approx(4.0)
+
+
+class TestMonitorRestart:
+    def test_restart_after_stop_does_not_double_sample(self):
+        # Regression: start() after stop() used to spawn a second
+        # sampler process while the first one's pending wake-up was
+        # still scheduled, double-sampling every series forever.
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("x", lambda: 1.0)
+        monitor.start()
+        env.run(until=2.5)  # samples at 0, 1, 2
+        monitor.stop()
+        env.run(until=4.5)
+        monitor.start()
+        env.run(until=6.5)
+        times = monitor.series("x").times
+        assert times == sorted(times)
+        assert len(times) == len(set(times)), f"duplicate sample times: {times}"
+
+    def test_restart_resumes_cadence(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        monitor.probe("x", lambda: env.now)
+        monitor.start()
+        env.run(until=1.5)  # 0.0, 1.0
+        monitor.stop()
+        env.run(until=3.2)
+        monitor.start()  # resumes at 3.2
+        env.run(until=5.5)
+        times = monitor.series("x").times
+        assert times == pytest.approx([0.0, 1.0, 3.2, 4.2, 5.2])
+
+
+class TestTimeAverageEnd:
+    def test_end_extends_final_sample(self):
+        from repro.sim.monitor import Series
+
+        # 1.0 for 3s then 5.0 for 2s: (3 + 10) / 5.
+        series = Series(name="s", times=[0.0, 3.0], values=[1.0, 5.0])
+        assert series.time_average(end=5.0) == pytest.approx(13.0 / 5.0)
+
+    def test_end_before_last_sample_raises(self):
+        from repro.sim.monitor import Series
+
+        series = Series(name="s", times=[0.0, 3.0], values=[1.0, 5.0])
+        with pytest.raises(ValueError, match="precedes the last sample"):
+            series.time_average(end=2.0)
+
+    def test_single_sample_with_end_weights_fully(self):
+        from repro.sim.monitor import Series
+
+        series = Series(name="s", times=[1.0], values=[4.0])
+        assert series.time_average(end=3.0) == pytest.approx(4.0)
+
+    def test_single_sample_with_end_at_sample_is_mean(self):
+        from repro.sim.monitor import Series
+
+        series = Series(name="s", times=[1.0], values=[4.0])
+        assert series.time_average(end=1.0) == pytest.approx(4.0)
+
+    def test_empty_series_raises(self):
+        from repro.sim.monitor import Series
+
+        with pytest.raises(ValueError, match="empty"):
+            Series(name="s", times=[], values=[]).time_average(end=1.0)

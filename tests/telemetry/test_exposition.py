@@ -1,0 +1,107 @@
+"""Prometheus text / JSON exposition round-trip tests."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, parse_prometheus_text
+from repro.telemetry.exposition import escape_label_value, format_value
+
+
+class TestFormatValue:
+    def test_integers_have_no_decimal_point(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.0) == "0"
+
+    def test_specials(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_fractions_round_trip(self):
+        assert float(format_value(0.125)) == 0.125
+
+
+class TestEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+
+def _registry_with_everything() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("req_total", "Requests seen", labelnames=("node",))
+    counter.labels(node="0").inc(5)
+    counter.labels(node="1").inc(2)
+    gauge = registry.gauge("queue_depth", "Queue depth")
+    gauge.set(7)
+    hist = registry.histogram("lat_seconds", "Latency")
+    for value in (0.001, 0.01, 0.01, 0.25):
+        hist.observe(value)
+    weird = registry.counter("weird_total", "Weird labels", labelnames=("path",))
+    weird.labels(path='a"b\\c\nd').inc()
+    return registry
+
+
+class TestPrometheusRoundTrip:
+    def test_help_and_type_lines(self):
+        text = _registry_with_everything().to_prometheus_text()
+        families = parse_prometheus_text(text)
+        assert families["req_total"]["kind"] == "counter"
+        assert families["req_total"]["help"] == "Requests seen"
+        assert families["queue_depth"]["kind"] == "gauge"
+        assert families["lat_seconds"]["kind"] == "histogram"
+
+    def test_counter_values_round_trip(self):
+        text = _registry_with_everything().to_prometheus_text()
+        samples = parse_prometheus_text(text)["req_total"]["samples"]
+        by_node = {s["labels"]["node"]: s["value"] for s in samples}
+        assert by_node == {"0": 5, "1": 2}
+
+    def test_label_escaping_round_trips(self):
+        text = _registry_with_everything().to_prometheus_text()
+        samples = parse_prometheus_text(text)["weird_total"]["samples"]
+        assert samples[0]["labels"]["path"] == 'a"b\\c\nd'
+
+    def test_histogram_series_round_trip(self):
+        text = _registry_with_everything().to_prometheus_text()
+        samples = parse_prometheus_text(text)["lat_seconds"]["samples"]
+        by_name = {}
+        for sample in samples:
+            by_name.setdefault(sample["name"], []).append(sample)
+        assert {s["value"] for s in by_name["lat_seconds_count"]} == {4}
+        assert by_name["lat_seconds_sum"][0]["value"] == pytest.approx(0.271)
+        buckets = by_name["lat_seconds_bucket"]
+        # Cumulative and capped by an +Inf bucket equal to the count.
+        counts = [s["value"] for s in buckets]
+        assert counts == sorted(counts)
+        inf = [s for s in buckets if s["labels"]["le"] == "+Inf"]
+        assert len(inf) == 1 and inf[0]["value"] == 4
+        finite = [s for s in buckets if s["labels"]["le"] != "+Inf"]
+        for sample in finite:
+            assert math.isfinite(float(sample["labels"]["le"]))
+
+    def test_bucket_suffix_only_folds_into_histogram_families(self):
+        # A *counter* named like a histogram series must stay its own family.
+        registry = MetricsRegistry()
+        registry.counter("water_bucket", "Not a histogram").inc(3)
+        families = parse_prometheus_text(registry.to_prometheus_text())
+        assert families["water_bucket"]["samples"][0]["value"] == 3
+
+    def test_text_ends_with_newline(self):
+        assert _registry_with_everything().to_prometheus_text().endswith("\n")
+
+
+class TestJsonExposition:
+    def test_json_parses_and_carries_structure(self):
+        registry = _registry_with_everything()
+        payload = json.loads(registry.to_json())
+        names = [metric["name"] for metric in payload["metrics"]]
+        assert "lat_seconds" in names and "req_total" in names
+        hist = next(m for m in payload["metrics"] if m["name"] == "lat_seconds")
+        sample = hist["samples"][0]
+        assert sample["count"] == 4
+        assert sample["percentiles"]["p50"] <= sample["percentiles"]["p99"]
+        assert all(len(pair) == 2 for pair in sample["buckets"])

@@ -1,0 +1,199 @@
+"""Tests for the metrics registry: instruments, labels, histograms."""
+
+import random
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_callback_backed_reads_live_value(self):
+        state = {"n": 0}
+        counter = Counter(fn=lambda: state["n"])
+        assert counter.value == 0
+        state["n"] = 7
+        assert counter.value == 7
+
+    def test_callback_backed_cannot_be_incremented(self):
+        with pytest.raises(RuntimeError):
+            Counter(fn=lambda: 0).inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == pytest.approx(4.0)
+
+    def test_callback_backed_cannot_be_set(self):
+        with pytest.raises(RuntimeError):
+            Gauge(fn=lambda: 0).set(1.0)
+
+
+class TestHistogram:
+    def test_count_sum_mean_min_max(self):
+        histogram = Histogram()
+        for value in (0.01, 0.02, 0.03):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.06)
+        assert histogram.mean == pytest.approx(0.02)
+        assert histogram.min == pytest.approx(0.01)
+        assert histogram.max == pytest.approx(0.03)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-1.0)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.5)
+
+    def test_quantile_bounds_are_exact(self):
+        histogram = Histogram()
+        for value in (0.001, 0.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == pytest.approx(0.001)
+        assert histogram.quantile(1.0) == pytest.approx(3.0)
+
+    def test_quantile_out_of_range_rejected(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_p99_within_one_bucket_width_of_exact(self):
+        # The acceptance bound: histogram-derived p99 vs exact-sample
+        # p99 within one geometric bucket width.
+        rng = random.Random(7)
+        histogram = Histogram()
+        samples = [rng.lognormvariate(-3.0, 0.8) for _ in range(5000)]
+        for value in samples:
+            histogram.observe(value)
+        samples.sort()
+        exact_p99 = samples[int(0.99 * len(samples)) - 1]
+        estimate = histogram.quantile(0.99)
+        index = histogram._index(exact_p99)
+        lower = histogram.bound(index - 1) if index > 0 else 0.0
+        width = histogram.bound(index) - lower
+        assert abs(estimate - exact_p99) <= width
+
+    def test_memory_is_bucket_bounded(self):
+        rng = random.Random(0)
+        histogram = Histogram(buckets_per_decade=20)
+        for _ in range(20000):
+            histogram.observe(rng.uniform(1e-4, 1.0))
+        # 4 decades x 20 buckets/decade (+ boundary slop), not 20k samples.
+        assert len(histogram._counts) <= 90
+
+    def test_percentiles_reporting_set(self):
+        histogram = Histogram()
+        for i in range(1, 101):
+            histogram.observe(i / 100.0)
+        result = histogram.percentiles()
+        assert set(result) == {"p50", "p90", "p99", "p99.9"}
+        assert result["p50"] <= result["p90"] <= result["p99"] <= result["p99.9"]
+
+    def test_cumulative_buckets_monotonic(self):
+        histogram = Histogram()
+        for value in (0.001, 0.01, 0.01, 0.1):
+            histogram.observe(value)
+        cumulative = histogram.cumulative_buckets()
+        counts = [count for _, count in cumulative]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+
+class TestMetricsRegistry:
+    def test_unlabelled_returns_bare_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests")
+        counter.inc()
+        assert registry.counter("requests_total").value == 1
+
+    def test_labelled_returns_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", "hits", labelnames=("tier",))
+        family.labels(tier="image").inc(3)
+        family.labels(tier="tensor").inc()
+        assert family.labels(tier="image").value == 3
+        assert family.labels(tier="tensor").value == 1
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", "hits", labelnames=("tier",))
+        with pytest.raises(ValueError):
+            family.labels(gpu="0")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x")
+
+    def test_labelnames_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "x", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name", "x")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "x", labelnames=("bad-label",))
+
+    def test_callback_view(self):
+        registry = MetricsRegistry()
+        state = {"n": 5}
+        registry.counter_fn("live_total", "live", lambda: state["n"])
+        snap = registry.snapshot()
+        assert snap.metric("live_total")["samples"][0]["value"] == 5
+        state["n"] = 9
+        assert registry.snapshot().metric("live_total")["samples"][0]["value"] == 9
+
+    def test_duplicate_callback_child_raises(self):
+        registry = MetricsRegistry()
+        registry.counter_fn("live_total", "live", lambda: 0, node="0")
+        with pytest.raises(ValueError):
+            registry.counter_fn("live_total", "live", lambda: 0, node="0")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            MetricsRegistry().family("nope")
+
+    def test_snapshot_delta_windows_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("done_total", "done")
+        histogram = registry.histogram("lat_seconds", "latency")
+        gauge = registry.gauge("depth", "depth")
+        counter.inc(5)
+        histogram.observe(0.1)
+        gauge.set(3)
+        first = registry.snapshot(at_time=1.0)
+        counter.inc(2)
+        histogram.observe(0.2)
+        histogram.observe(0.2)
+        gauge.set(8)
+        second = registry.snapshot(at_time=2.0)
+        window = second.delta(first)
+        assert window.metric("done_total")["samples"][0]["value"] == 2
+        hist = window.metric("lat_seconds")["samples"][0]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.4)
+        # Gauges are levels: the later value wins.
+        assert window.metric("depth")["samples"][0]["value"] == 8

@@ -1,0 +1,94 @@
+"""Span model tests: kinds, timeline recording, span trees."""
+
+import pytest
+
+from repro.telemetry import (
+    KIND_BROKER,
+    KIND_COMPUTE,
+    KIND_QUEUE,
+    KIND_TRANSFER,
+    build_span_tree,
+    span_kind,
+)
+from repro.core.request import InferenceRequest
+from repro.vision import MEDIUM_IMAGE
+
+
+class TestSpanKinds:
+    def test_known_kinds(self):
+        assert span_kind("queue") == KIND_QUEUE
+        assert span_kind("preprocess_wait") == KIND_QUEUE
+        assert span_kind("inference") == KIND_COMPUTE
+        assert span_kind("transfer") == KIND_TRANSFER
+        assert span_kind("broker") == KIND_BROKER
+
+    def test_unknown_spans_default_to_compute(self):
+        assert span_kind("my_custom_stage") == KIND_COMPUTE
+
+
+class TestTimelineRecording:
+    def test_unarmed_request_records_no_timeline(self):
+        request = InferenceRequest(MEDIUM_IMAGE, arrival_time=0.0)
+        request.begin("frontend", 0.0)
+        request.end("frontend", 0.5)
+        assert request.timeline is None
+        assert request.spans["frontend"] == pytest.approx(0.5)
+
+    def test_armed_request_records_intervals(self):
+        request = InferenceRequest(MEDIUM_IMAGE, arrival_time=0.0)
+        request.timeline = []
+        request.begin("frontend", 1.0)
+        request.end("frontend", 1.5)
+        request.add("transfer", 0.25, now=2.0)
+        assert request.timeline == [
+            ("frontend", 1.0, 1.5),
+            ("transfer", 1.75, 2.0),
+        ]
+        # The duration ledger is unchanged by recording.
+        assert request.spans["frontend"] == pytest.approx(0.5)
+        assert request.spans["transfer"] == pytest.approx(0.25)
+
+    def test_add_without_timestamp_keeps_ledger_only(self):
+        request = InferenceRequest(MEDIUM_IMAGE, arrival_time=0.0)
+        request.timeline = []
+        request.add("transfer", 0.25)
+        assert request.timeline == []
+        assert request.spans["transfer"] == pytest.approx(0.25)
+
+
+class TestSpanTree:
+    def test_containment_nesting(self):
+        timeline = [
+            ("queue", 1.0, 4.0),
+            ("inference", 2.0, 3.0),   # nested inside queue
+            ("postprocess", 4.0, 4.5),
+        ]
+        root = build_span_tree(timeline, arrival_time=0.0, completion_time=5.0)
+        assert root.name == "request"
+        assert root.start == 0.0 and root.end == 5.0
+        names = [child.name for child in root.children]
+        assert names == ["queue", "postprocess"]
+        queue = root.children[0]
+        assert [child.name for child in queue.children] == ["inference"]
+
+    def test_walk_is_depth_first(self):
+        timeline = [("queue", 0.0, 2.0), ("inference", 0.5, 1.5)]
+        root = build_span_tree(timeline, arrival_time=0.0, completion_time=2.0)
+        assert [node.name for node in root.walk()] == [
+            "request",
+            "queue",
+            "inference",
+        ]
+
+    def test_to_dict_round_trips_structure(self):
+        timeline = [("frontend", 0.0, 1.0)]
+        root = build_span_tree(timeline, arrival_time=0.0, completion_time=1.0)
+        payload = root.to_dict()
+        assert payload["name"] == "request"
+        assert payload["children"][0]["name"] == "frontend"
+        assert payload["children"][0]["kind"] == KIND_COMPUTE
+
+    def test_empty_timeline_gives_bare_root(self):
+        root = build_span_tree([], arrival_time=1.0, completion_time=2.0)
+        assert root.children == []
+        assert root.duration == pytest.approx(1.0)

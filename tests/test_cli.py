@@ -127,3 +127,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "nodes needed : 1" in out
         assert "p99 by fleet size" in out
+
+
+class TestTelemetryCommand:
+    def test_telemetry_defaults(self):
+        args = build_parser().parse_args(["telemetry"])
+        assert args.scenario == "serve"
+        assert args.slo_ms == 200.0
+        assert args.target == 0.99
+        assert args.trace_limit == 2000
+        assert args.sample_every == 1
+
+    def test_telemetry_run_with_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        prom = tmp_path / "run.prom"
+        metrics_json = tmp_path / "run.metrics.json"
+        code = main([
+            "telemetry",
+            "--requests", "200",
+            "--warmup", "30",
+            "--concurrency", "16",
+            "--trace", str(trace),
+            "--metrics", str(prom),
+            "--metrics-json", str(metrics_json),
+        ])
+        assert code == 0  # generous default SLO is met
+        out = capsys.readouterr().out
+        assert "SLO compliance" in out
+        assert "burn rate" in out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        text = prom.read_text()
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        assert json.loads(metrics_json.read_text())["metrics"]
+
+    def test_telemetry_exit_code_reflects_missed_slo(self, capsys):
+        code = main([
+            "telemetry",
+            "--requests", "150",
+            "--warmup", "20",
+            "--concurrency", "16",
+            "--slo-ms", "0.001",  # impossible objective
+        ])
+        assert code == 1
+        assert "MISSED" in capsys.readouterr().out
