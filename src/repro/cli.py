@@ -6,8 +6,12 @@
     python -m repro cache --skews 0.0,1.0 --cache-mb 0,64,256 --tiers image,tensor
     python -m repro faces --brokers fused,redis,kafka --faces 1,9,25
     python -m repro faults --downtimes 0.01,0.05 --rate 150
+    python -m repro bench --out BENCH_parallel.json
     python -m repro models
     python -m repro plan --rate 8000 --slo-ms 150
+
+Sweep commands accept ``--workers N`` to fan points across CPU cores
+(bit-identical to serial execution).
 
 Every command accepts ``--json FILE`` / ``--csv FILE`` to export the
 rows it prints.
@@ -16,6 +20,7 @@ rows it prints.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import warnings
 from typing import Dict, List, Optional
@@ -47,6 +52,37 @@ def _export(args, rows: List[Dict]) -> None:
 def _add_export_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", help="export rows to a JSON file")
     parser.add_argument("--csv", help="export rows to a CSV file")
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (1 = serial, 0 = one per "
+             "CPU core); parallel results are bit-identical to serial")
+
+
+def _run_points(task, points, workers: int) -> List[Dict]:
+    """Run sweep points serially or across cores; return ordered rows."""
+    from .parallel import ParallelConfig, run_sweep
+
+    config = ParallelConfig(
+        workers=None if workers == 0 else workers,
+        serial=workers == 1,
+    )
+    completed = 0
+
+    def progress(result, total):
+        nonlocal completed
+        completed += 1
+        print(f"  [{completed}/{total}] point {result.index} finished in "
+              f"{result.seconds:.2f}s (pid {result.pid})", file=sys.stderr)
+
+    parallel = not config.serial and config.resolved_workers(len(points)) > 1
+    report = run_sweep(task, points, config,
+                       on_progress=progress if parallel else None)
+    if report.mode == "parallel":
+        print(report.summary(), file=sys.stderr)
+    return report.values
 
 
 class _DeprecatedAlias(argparse.Action):
@@ -170,11 +206,11 @@ def cmd_breakdown(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    rows = []
-    chart: Dict[str, float] = {}
-    for concurrency in _int_list(args.concurrencies):
-        result = run_experiment(
-            ExperimentConfig(
+    from .parallel import ExperimentPoint, run_experiment_point
+
+    points = [
+        ExperimentPoint(
+            config=ExperimentConfig(
                 server=ServerConfig(
                     model=args.model,
                     preprocess_device=args.preprocess_device,
@@ -185,15 +221,13 @@ def cmd_sweep(args) -> int:
                 warmup_requests=max(300, concurrency),
                 measure_requests=max(1500, 2 * concurrency),
                 seed=args.seed,
-            )
+            ),
+            tags=(("concurrency", concurrency),),
         )
-        rows.append(
-            {
-                "concurrency": concurrency,
-                **result.to_dict(),
-            }
-        )
-        chart[f"c={concurrency}"] = result.throughput
+        for concurrency in _int_list(args.concurrencies)
+    ]
+    rows = _run_points(run_experiment_point, points, args.workers)
+    chart = {f"c={row['concurrency']}": row["throughput"] for row in rows}
     print(bar_chart(chart, unit=" img/s",
                     title=f"Throughput vs concurrency — {args.model} ({args.preprocess_device})"))
     _export(args, rows)
@@ -215,16 +249,19 @@ def cmd_cache(args) -> int:
               file=sys.stderr)
         return 2
 
-    rows = []
-    for skew in _float_list(args.skews):
+    from .parallel import ExperimentPoint, run_experiment_point
+
+    skews = _float_list(args.skews)
+    budgets = _float_list(args.cache_mb)
+    points = []
+    for skew in skews:
         dataset = ZipfDataset(
             ImageNetLikeDataset(),
             catalog_size=args.catalog,
             skew=skew,
             seed=args.seed,
         )
-        chart: Dict[str, float] = {}
-        for cache_mb in _float_list(args.cache_mb):
+        for cache_mb in budgets:
             if cache_mb > 0:
                 budget = cache_mb * MIB
                 cache = CacheConfig(
@@ -233,36 +270,40 @@ def cmd_cache(args) -> int:
                     tensor_cache_bytes=budget if "tensor" in tiers else 0.0,
                     result_cache_bytes=budget if "result" in tiers else 0.0,
                 )
-                label = f"{cache_mb:g} MiB"
             else:
                 cache = None  # zero budget = the exact uncached code path
-                label = "off"
-            result = run_experiment(
-                ExperimentConfig(
-                    server=ServerConfig(
-                        model=args.model,
-                        preprocess_device=args.preprocess_device,
-                        preprocess_batch_size=64,
-                        cache=cache,
+            points.append(
+                ExperimentPoint(
+                    config=ExperimentConfig(
+                        server=ServerConfig(
+                            model=args.model,
+                            preprocess_device=args.preprocess_device,
+                            preprocess_batch_size=64,
+                            cache=cache,
+                        ),
+                        dataset=dataset,
+                        concurrency=args.concurrency,
+                        warmup_requests=args.warmup,
+                        measure_requests=args.requests,
+                        seed=args.seed,
                     ),
-                    dataset=dataset,
-                    concurrency=args.concurrency,
-                    warmup_requests=args.warmup,
-                    measure_requests=args.requests,
-                    seed=args.seed,
+                    tags=(
+                        ("skew", skew),
+                        ("catalog_size", args.catalog),
+                        ("cache_mb", cache_mb),
+                        ("policy", args.policy if cache is not None else "off"),
+                        ("tiers", ",".join(tiers) if cache is not None else ""),
+                    ),
                 )
             )
-            rows.append(
-                {
-                    "skew": skew,
-                    "catalog_size": args.catalog,
-                    "cache_mb": cache_mb,
-                    "policy": args.policy if cache is not None else "off",
-                    "tiers": ",".join(tiers) if cache is not None else "",
-                    **result.to_dict(),
-                }
-            )
-            chart[label] = result.throughput
+    rows = _run_points(run_experiment_point, points, args.workers)
+    for skew in skews:
+        chart = {
+            f"{row['cache_mb']:g} MiB" if row["cache_mb"] > 0 else "off":
+                row["throughput"]
+            for row in rows
+            if row["skew"] == skew
+        }
         print(bar_chart(chart, unit=" img/s",
                         title=f"Throughput vs cache size — Zipf s={skew:g}, "
                               f"catalog {args.catalog}, tiers {'+'.join(tiers)}"))
@@ -272,19 +313,26 @@ def cmd_cache(args) -> int:
 
 
 def cmd_faces(args) -> int:
-    rows = []
-    for faces in _int_list(args.faces):
-        chart: Dict[str, float] = {}
-        for broker in _str_list(args.brokers):
-            result = run_face_pipeline(
-                FacePipelineConfig(broker=broker, faces_per_frame=faces),
-                concurrency=args.concurrency,
-                warmup_requests=120,
-                measure_requests=args.frames,
-                seed=args.seed,
-            )
-            rows.append({"broker": broker, "faces": faces, **result.to_dict()})
-            chart[broker] = result.throughput
+    from .parallel import FacePipelinePoint, run_face_pipeline_point
+
+    face_counts = _int_list(args.faces)
+    brokers = _str_list(args.brokers)
+    points = [
+        FacePipelinePoint(
+            pipeline=FacePipelineConfig(broker=broker, faces_per_frame=faces),
+            concurrency=args.concurrency,
+            warmup_requests=120,
+            measure_requests=args.frames,
+            seed=args.seed,
+            tags=(("broker", broker), ("faces", faces)),
+        )
+        for faces in face_counts
+        for broker in brokers
+    ]
+    rows = _run_points(run_face_pipeline_point, points, args.workers)
+    for faces in face_counts:
+        chart = {row["broker"]: row["throughput"]
+                 for row in rows if row["faces"] == faces}
         print(bar_chart(chart, unit=" frames/s", title=f"{faces} faces/frame"))
         print()
     _export(args, rows)
@@ -346,6 +394,7 @@ def cmd_faults(args) -> int:
         downtime_fractions=fractions,
         restart_seconds=args.restart_ms / 1e3,
         resilience=resilience,
+        workers=args.workers if args.workers != 0 else os.cpu_count(),
         node_count=args.nodes,
         offered_rate=args.rate,
         dataset=reference_dataset(args.size),
@@ -468,6 +517,36 @@ def cmd_telemetry(args) -> int:
     return 0 if report.met else 1
 
 
+def cmd_bench(args) -> int:
+    from .parallel.bench import run_bench, write_bench
+
+    data = run_bench(smoke=args.smoke, workers=args.workers or None)
+    engine = data["engine"]
+    sweep = data["sweep"]
+    print(
+        format_table(
+            ["probe", "value"],
+            [
+                ["timeout events/s", f"{engine['timeout_events_per_sec']:,.0f}"],
+                ["store ops/s", f"{engine['store_ops_per_sec']:,.0f}"],
+                ["store drain/s", f"{engine['store_drain_per_sec']:,.0f}"],
+                ["sweep points", str(sweep["points"])],
+                ["serial wall", f"{sweep['serial_wall_seconds']:.2f} s"],
+                ["parallel wall", f"{sweep['parallel_wall_seconds']:.2f} s "
+                                  f"({sweep['parallel_workers']} worker(s))"],
+                ["speedup", f"{sweep['speedup']:.2f}x"],
+                ["bit-identical", str(sweep["bit_identical"])],
+            ],
+            title=f"simulator bench — {'smoke' if args.smoke else 'full'} mode, "
+                  f"{data['host']['cpu_count']} CPU(s)",
+        )
+    )
+    if args.out:
+        write_bench(args.out, data)
+        print(f"wrote {args.out}")
+    return 0 if sweep["bit_identical"] else 1
+
+
 def cmd_plan(args) -> int:
     plan = plan_capacity(
         ServerConfig(model=args.model, preprocess_device=args.preprocess_device,
@@ -531,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--size", default="medium", choices=["small", "medium", "large"])
     sweep.add_argument("--concurrencies", default="1,16,64,256,1024")
     sweep.add_argument("--seed", type=int, default=0)
+    _add_workers_flag(sweep)
     _add_export_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
@@ -550,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--warmup", type=int, default=300)
     cache.add_argument("--requests", type=int, default=1500)
     cache.add_argument("--seed", type=int, default=0)
+    _add_workers_flag(cache)
     _add_export_flags(cache)
     cache.set_defaults(func=cmd_cache)
 
@@ -559,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     faces.add_argument("--concurrency", type=int, default=96)
     faces.add_argument("--frames", type=int, default=800)
     faces.add_argument("--seed", type=int, default=0)
+    _add_workers_flag(faces)
     _add_export_flags(faces)
     faces.set_defaults(func=cmd_faces)
 
@@ -581,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--requests", type=int, default=1000)
     faults.add_argument("--max-seconds", type=float, default=60.0)
     faults.add_argument("--seed", type=int, default=0)
+    _add_workers_flag(faults)
     _add_export_flags(faults)
     faults.set_defaults(func=cmd_faults)
 
@@ -612,6 +695,17 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--metrics-json", help="write JSON metrics to FILE")
     _add_export_flags(telemetry)
     telemetry.set_defaults(func=cmd_telemetry)
+
+    bench = sub.add_parser(
+        "bench",
+        help="simulator performance harness (events/sec + parallel sweep)",
+    )
+    bench.add_argument("--out", help="write results JSON (e.g. BENCH_parallel.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="shrunk probes for CI (~10x smaller)")
+    bench.add_argument("--workers", type=int, default=0,
+                       help="pool size for the sweep probe (0 = one per CPU core)")
+    bench.set_defaults(func=cmd_bench)
 
     models = sub.add_parser("models", help="list the model zoo")
     _add_export_flags(models)

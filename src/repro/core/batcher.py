@@ -18,7 +18,8 @@ duration.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from collections import deque
+from typing import Any, Deque, List, Optional
 
 from ..sim import Environment, Store
 
@@ -65,6 +66,11 @@ class DynamicBatcher:
         self.batches: Store = Store(env, capacity=output_capacity)
         self.dispatched_batches = 0
         self.dispatched_items = 0
+        #: Enqueue timestamp of every item still in ``queue``, in FIFO
+        #: order.  The dynamic policy anchors its deadline to the oldest
+        #: item's arrival (Triton max_queue_delay semantics), which must
+        #: survive the batcher being blocked on a full output store.
+        self._arrivals: Deque[float] = deque()
         self._process = env.process(self._run())
 
     def __repr__(self) -> str:
@@ -81,6 +87,7 @@ class DynamicBatcher:
 
     def submit(self, item: Any):
         """Event: enqueue one item for batching."""
+        self._arrivals.append(self.env.now)
         return self.queue.put(item)
 
     def next_batch(self):
@@ -100,6 +107,7 @@ class DynamicBatcher:
     def _run(self):
         while True:
             first = yield self.queue.get()
+            first_arrival = self._pop_arrival()
             batch: List[Any] = [first]
             self._drain_into(batch)
 
@@ -110,35 +118,57 @@ class DynamicBatcher:
                     # Triton semantics: an idle instance receives the batch
                     # immediately once it reaches the preferred size; the
                     # queue delay accumulates it otherwise.
-                    yield from self._fill_until_deadline(batch)
+                    yield from self._fill_until_deadline(batch, first_arrival)
 
             yield self.batches.put(batch)
             self.dispatched_batches += 1
             self.dispatched_items += len(batch)
 
+    def _pop_arrival(self) -> float:
+        """Consume the enqueue timestamp of the item just removed."""
+        if self._arrivals:
+            return self._arrivals.popleft()
+        return self.env.now
+
     def _drain_into(self, batch: List[Any]) -> None:
         """Move already-queued items into ``batch`` without waiting."""
-        while len(batch) < self.max_batch and self.queue.items:
-            batch.append(self.queue.items.pop(0))
+        items = self.queue.items
+        arrivals = self._arrivals
+        while len(batch) < self.max_batch and items:
+            batch.append(items.popleft())
+            if arrivals:
+                arrivals.popleft()
 
     def _fill_to_capacity(self, batch: List[Any]):
         """Fixed-batch policy: block until the batch is completely full."""
         while len(batch) < self.max_batch:
             item = yield self.queue.get()
+            self._pop_arrival()
             batch.append(item)
 
-    def _fill_until_deadline(self, batch: List[Any]):
+    def _fill_until_deadline(self, batch: List[Any], first_arrival: float):
         """Dynamic policy: top up until the oldest item's delay expires
-        or a consumer goes idle."""
-        deadline = self.env.now + self.max_queue_delay
+        or a consumer goes idle.
+
+        The deadline is anchored to the *oldest item's enqueue time*, not
+        to when this fill pass starts: when the batcher was stalled on a
+        full output store, the time its queue head already waited counts
+        against ``max_queue_delay`` (Triton's definition of queue delay).
+        """
+        deadline = first_arrival + self.max_queue_delay
+        timeout = None
         while len(batch) < self.max_batch and not self._dispatchable(batch):
             remaining = deadline - self.env.now
             if remaining <= 0:
                 return
+            if timeout is None:
+                # One timer for the whole fill pass: the deadline is fixed,
+                # so re-arming a fresh Timeout per item is pure allocation.
+                timeout = self.env.timeout(remaining)
             get_event = self.queue.get()
-            timeout = self.env.timeout(remaining)
             yield get_event | timeout
             if get_event.triggered:
+                self._pop_arrival()
                 batch.append(get_event.value)
                 self._drain_into(batch)
             else:

@@ -100,28 +100,47 @@ def sweep_fault_rates(
     downtime_fractions: Sequence[float] = (0.005, 0.01, 0.02, 0.05),
     restart_seconds: float = 0.5,
     resilience: Optional[ResiliencePolicy] = None,
+    workers: Optional[int] = None,
     **run_kwargs,
 ) -> List[FaultSweepPoint]:
     """GPU-crash sweep: goodput/p99 degradation vs per-GPU downtime.
 
     Runs one fault-free baseline plus one experiment per downtime
     fraction; all runs share the same seed and load, so differences are
-    attributable to the injected faults alone.
+    attributable to the injected faults alone.  The baseline and every
+    fault point are independent simulations, so ``workers > 1`` fans
+    them across CPU cores via :func:`repro.parallel.run_sweep` with
+    bit-identical results.
     """
     if resilience is None:
         resilience = ResiliencePolicy()
-    baseline = run_fault_experiment(
-        server_config, faults=None, resilience=resilience, **run_kwargs
-    )
-    points: List[FaultSweepPoint] = []
-    for fraction in downtime_fractions:
-        plan = gpu_crash_plan(fraction, restart_seconds=restart_seconds)
-        result = run_fault_experiment(
-            server_config, faults=plan, resilience=resilience, **run_kwargs
+    plans = [
+        gpu_crash_plan(fraction, restart_seconds=restart_seconds)
+        for fraction in downtime_fractions
+    ]
+    if workers is not None and workers > 1:
+        from ..parallel import FleetPoint, ParallelConfig, run_fleet_result_point, run_sweep
+
+        sweep = [
+            FleetPoint(server=server_config, faults=faults,
+                       resilience=resilience, **run_kwargs)
+            for faults in [None, *plans]
+        ]
+        report = run_sweep(
+            run_fleet_result_point, sweep, ParallelConfig(workers=workers)
         )
-        points.append(
-            FaultSweepPoint(
-                downtime_fraction=fraction, result=result, baseline=baseline
+        baseline, *results = report.values
+    else:
+        baseline = run_fault_experiment(
+            server_config, faults=None, resilience=resilience, **run_kwargs
+        )
+        results = [
+            run_fault_experiment(
+                server_config, faults=plan, resilience=resilience, **run_kwargs
             )
-        )
-    return points
+            for plan in plans
+        ]
+    return [
+        FaultSweepPoint(downtime_fraction=fraction, result=result, baseline=baseline)
+        for fraction, result in zip(downtime_fractions, results)
+    ]

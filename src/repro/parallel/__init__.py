@@ -1,0 +1,58 @@
+"""Parallel sweep execution: fan independent experiment points across cores.
+
+Public surface::
+
+    from repro.parallel import (
+        ParallelConfig, run_sweep, derive_seed,
+        ExperimentPoint, FacePipelinePoint, FleetPoint,
+        run_experiment_point, run_face_pipeline_point, run_fleet_point,
+    )
+
+    points = [ExperimentPoint(config=replace(cfg, concurrency=c),
+                              tags=(("concurrency", c),))
+              for c in (1, 16, 64, 256)]
+    report = run_sweep(run_experiment_point, points,
+                       ParallelConfig(workers=4))
+    rows = report.values        # ordered, bit-identical to serial
+
+Every point is an independent simulation (own Environment, own RNG
+family), so serial and parallel execution produce bit-identical
+results; :mod:`repro.parallel.bench` measures events/sec and sweep
+wall-clock for the performance trajectory in ``BENCH_parallel.json``.
+"""
+
+from .executor import (
+    HEAVY_MODULES,
+    ParallelConfig,
+    PointResult,
+    SweepError,
+    SweepReport,
+    derive_seed,
+    run_sweep,
+)
+from .tasks import (
+    ExperimentPoint,
+    FacePipelinePoint,
+    FleetPoint,
+    run_experiment_point,
+    run_face_pipeline_point,
+    run_fleet_point,
+    run_fleet_result_point,
+)
+
+__all__ = [
+    "HEAVY_MODULES",
+    "ParallelConfig",
+    "PointResult",
+    "SweepError",
+    "SweepReport",
+    "derive_seed",
+    "run_sweep",
+    "ExperimentPoint",
+    "FacePipelinePoint",
+    "FleetPoint",
+    "run_experiment_point",
+    "run_face_pipeline_point",
+    "run_fleet_point",
+    "run_fleet_result_point",
+]

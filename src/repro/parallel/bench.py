@@ -1,0 +1,204 @@
+"""Simulator performance harness: events/sec and sweep wall-clock.
+
+Seeds the repository's performance trajectory (``BENCH_parallel.json``):
+every future optimization PR reruns this harness and compares.  Three
+probes:
+
+- **engine**: a timeout-chain microbenchmark — pure event-loop
+  throughput (schedule/pop/resume), no model logic.
+- **store**: producer/consumer pairs through a :class:`~repro.sim.Store`
+  plus a deep pre-filled drain (the path that used to be quadratic via
+  ``list.pop(0)``).
+- **sweep**: a >=12-point closed-loop experiment sweep executed serially
+  and through :func:`repro.parallel.run_sweep`, reporting wall-clock,
+  speedup, and whether the two row sets were bit-identical.
+
+Nothing here prints; the CLI (``python -m repro bench``) renders the
+returned dict and writes the JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..core.config import ServerConfig
+from ..serving.runner import ExperimentConfig
+from ..sim import Environment, Store
+from .executor import ParallelConfig, run_sweep
+from .tasks import ExperimentPoint, run_experiment_point
+
+__all__ = [
+    "bench_engine_events",
+    "bench_store_throughput",
+    "bench_store_drain",
+    "bench_sweep",
+    "run_bench",
+    "write_bench",
+    "sweep_points",
+]
+
+#: Bump when the harness shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def bench_engine_events(events: int = 200_000) -> float:
+    """Event-loop throughput: one process advancing through timeouts."""
+    env = Environment()
+
+    def chain():
+        for _ in range(events):
+            yield env.timeout(1.0)
+
+    env.process(chain())
+    start = time.perf_counter()
+    env.run()
+    return events / (time.perf_counter() - start)
+
+
+def bench_store_throughput(items: int = 100_000) -> float:
+    """Put/get pairs through an unbounded FIFO store."""
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        for i in range(items):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(items):
+            yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    start = time.perf_counter()
+    env.run()
+    return items / (time.perf_counter() - start)
+
+
+def bench_store_drain(items: int = 100_000) -> float:
+    """Drain a deep pre-filled store (the old O(n) ``pop(0)`` path)."""
+    env = Environment()
+    store = Store(env)
+    store.items.extend(range(items))
+
+    def consumer():
+        for _ in range(items):
+            yield store.get()
+
+    env.process(consumer())
+    start = time.perf_counter()
+    env.run()
+    return items / (time.perf_counter() - start)
+
+
+def sweep_points(
+    point_count: int = 12,
+    *,
+    seed: int = 0,
+    measure_requests: int = 400,
+    warmup_requests: int = 100,
+) -> List[ExperimentPoint]:
+    """A concurrency-ladder sweep of ``point_count`` independent runs."""
+    concurrencies = [4, 8, 16, 32]
+    points = []
+    for index in range(point_count):
+        concurrency = concurrencies[index % len(concurrencies)]
+        config = ExperimentConfig(
+            server=ServerConfig(preprocess_batch_size=16),
+            concurrency=concurrency,
+            warmup_requests=warmup_requests,
+            measure_requests=measure_requests,
+            seed=seed + index // len(concurrencies),
+        )
+        points.append(
+            ExperimentPoint(
+                config=config,
+                tags=(("point", index), ("concurrency", concurrency)),
+            )
+        )
+    return points
+
+
+def bench_sweep(
+    point_count: int = 12,
+    workers: Optional[int] = None,
+    *,
+    measure_requests: int = 400,
+    warmup_requests: int = 100,
+) -> Dict[str, Any]:
+    """Run the sweep serially and in parallel; report both wall-clocks."""
+    points = sweep_points(
+        point_count,
+        measure_requests=measure_requests,
+        warmup_requests=warmup_requests,
+    )
+    serial = run_sweep(
+        run_experiment_point, points, ParallelConfig(serial=True)
+    )
+    parallel = run_sweep(
+        run_experiment_point, points, ParallelConfig(workers=workers)
+    )
+    identical = serial.values == parallel.values
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds
+        if parallel.wall_seconds > 0
+        else 0.0
+    )
+    return {
+        "points": point_count,
+        "measure_requests": measure_requests,
+        "serial_wall_seconds": serial.wall_seconds,
+        "parallel_wall_seconds": parallel.wall_seconds,
+        "parallel_workers": parallel.workers,
+        "parallel_mode": parallel.mode,
+        "parallel_efficiency": parallel.parallel_efficiency,
+        "speedup": speedup,
+        "bit_identical": identical,
+        "serial_point_seconds": [r.seconds for r in serial.results],
+        "parallel_point_seconds": [r.seconds for r in parallel.results],
+    }
+
+
+def run_bench(
+    smoke: bool = False, workers: Optional[int] = None
+) -> Dict[str, Any]:
+    """Full harness; ``smoke=True`` shrinks every probe for CI."""
+    scale = 0.1 if smoke else 1.0
+    engine_events = int(200_000 * scale)
+    store_items = int(100_000 * scale)
+    sweep_count = 12
+    measure = int(400 * scale) or 40
+    warmup = int(100 * scale) or 10
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": sys.platform,
+            "cpu_count": os.cpu_count(),
+        },
+        "engine": {
+            "timeout_events_per_sec": bench_engine_events(engine_events),
+            "store_ops_per_sec": bench_store_throughput(store_items),
+            "store_drain_per_sec": bench_store_drain(store_items),
+        },
+        "sweep": bench_sweep(
+            sweep_count,
+            workers,
+            measure_requests=measure,
+            warmup_requests=warmup,
+        ),
+    }
+
+
+def write_bench(path: str, data: Dict[str, Any]) -> None:
+    """Write harness output as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

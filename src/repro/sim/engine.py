@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, List, Optional, Tuple
 
 from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
@@ -26,6 +26,8 @@ class Environment:
     this repository).  Events scheduled at the same time are processed in
     (priority, insertion order), which makes runs fully deterministic.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -72,8 +74,9 @@ class Environment:
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Put a triggered ``event`` on the queue after ``delay``."""
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        eid = self._eid + 1
+        self._eid = eid
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -87,7 +90,7 @@ class Environment:
         Raises :class:`EmptySchedule` when there is nothing left to do.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -135,9 +138,26 @@ class Environment:
                 raise until_event._value
             until_event.callbacks.append(_stop_simulation)
 
+        # Inlined event loop (equivalent to `while True: self.step()`).
+        # This is the hottest code in the simulator: local bindings for the
+        # queue and heappop, and no per-event method call or assert,
+        # measurably raise events/sec on large sweeps.
+        queue = self._queue
         try:
             while True:
-                self.step()
+                try:
+                    item = heappop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = item[0]
+                event = item[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failed event nobody handled: escalate to the caller.
+                    raise event._value
         except StopSimulation as stop:
             finished: Event = stop.args[0]
             if finished._ok:

@@ -62,7 +62,12 @@ class Event:
     Processes wait for an event by ``yield``-ing it.  When the event is
     processed, each waiting process receives :attr:`value` (or has
     :attr:`value` raised into it when the event failed).
+
+    Events are the single most-allocated objects in a simulation, so the
+    whole hierarchy is ``__slots__``-based: no per-instance ``__dict__``.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -154,6 +159,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after ``delay`` units of simulated time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -173,6 +180,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Result of a condition: an ordered mapping of triggered events to values."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: List[Event] = []
@@ -222,6 +231,8 @@ class Condition(Event):
     (in declaration order) that had triggered by the time the condition
     itself triggered.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -283,12 +294,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers once all of ``events`` have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that triggers once any of ``events`` has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

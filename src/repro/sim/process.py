@@ -33,6 +33,8 @@ class Interrupt(Exception):
 class Initialize(Event):
     """Internal bootstrap event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -43,6 +45,8 @@ class Initialize(Event):
 
 class _InterruptEvent(Event):
     """Internal urgent event that delivers an :class:`Interrupt`."""
+
+    __slots__ = ()
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -68,6 +72,8 @@ class Process(Event):
     The process event triggers when the generator terminates: successfully
     with its return value, or failed with the uncaught exception.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "throw"):
@@ -113,6 +119,7 @@ class Process(Event):
         """Advance the generator with the state of ``event``."""
         env = self.env
         env._active_proc = self
+        generator = self._generator
 
         # Detach from the event we were waiting on so a stale interrupt does
         # not try to unregister from it.
@@ -121,11 +128,11 @@ class Process(Event):
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The event failed: throw its exception into the process.
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 # Generator finished: the process event succeeds.
                 self._ok = True
@@ -165,6 +172,8 @@ class Process(Event):
 
 class _YieldError(Event):
     """Failed pseudo-event used to report an invalid yield."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", message: str) -> None:
         super().__init__(env)

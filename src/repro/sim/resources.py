@@ -16,6 +16,7 @@ supported::
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import TYPE_CHECKING, List, Optional
 
 from .events import Event
@@ -28,6 +29,8 @@ __all__ = ["Request", "Release", "Resource", "PriorityResource"]
 
 class Request(Event):
     """Event that succeeds when the resource grants a slot to the requester."""
+
+    __slots__ = ("resource", "usage_since", "requested_at")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
@@ -55,6 +58,8 @@ class Request(Event):
 class PriorityRequest(Request):
     """Request with a priority; lower values are granted first."""
 
+    __slots__ = ("priority", "order")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         self.priority = priority
         #: Tie-break counter assigned by the resource for FIFO within priority.
@@ -68,6 +73,8 @@ class PriorityRequest(Request):
 
 class Release(Event):
     """Immediate event confirming a release (for symmetry with SimPy)."""
+
+    __slots__ = ("request",)
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
@@ -84,7 +91,9 @@ class Resource:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self._capacity = capacity
-        self.queue: List[Request] = []
+        # FIFO grant queue: deque for the O(1) pop in _next_request
+        # (PriorityResource swaps in a sortable list).
+        self.queue = self._new_queue()
         self.users: List[Request] = []
         # Utilization accounting: busy slot-seconds integrated over time.
         self._busy_time = 0.0
@@ -169,10 +178,13 @@ class Resource:
             # Cancelled while still waiting.
             self.queue.remove(request)
 
+    def _new_queue(self):
+        return deque()
+
     def _next_request(self) -> Optional[Request]:
         if not self.queue:
             return None
-        return self.queue.pop(0)
+        return self.queue.popleft()
 
     def _dispatch(self) -> None:
         while len(self.users) < self._capacity:
@@ -188,6 +200,15 @@ class PriorityResource(Resource):
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         super().__init__(env, capacity)
         self._order = itertools.count()
+
+    def _new_queue(self):
+        # Sorted in (priority, FIFO) order on insert; needs list.sort.
+        return []
+
+    def _next_request(self) -> Optional[Request]:
+        if not self.queue:
+            return None
+        return self.queue.pop(0)
 
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         return PriorityRequest(self, priority)

@@ -5,12 +5,23 @@ batcher's pending queue, broker topics, inter-stage channels.  A
 :class:`Store` optionally has bounded capacity (puts block when full).
 :class:`FilterStore` lets getters select items with a predicate, and
 :class:`PriorityStore` pops the smallest item first.
+
+Implementation notes (hot path):
+
+- ``items`` and the waiter lists are :class:`collections.deque`, so the
+  FIFO pop is O(1) instead of the O(n) ``list.pop(0)`` — queue depths
+  reach thousands under the paper's high-concurrency sweeps.
+  :class:`PriorityStore` is the exception: its ``items`` stay a plain
+  list because :mod:`heapq` requires one.
+- The put/get event classes carry ``__slots__``; they are allocated once
+  per message hop and never grow ad-hoc attributes.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from .events import Event
 
@@ -22,6 +33,8 @@ __all__ = ["Store", "FilterStore", "PriorityStore", "PriorityItem", "StorePut", 
 
 class StorePut(Event):
     """Succeeds when the item has been accepted by the store."""
+
+    __slots__ = ("item", "store")
 
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
@@ -39,18 +52,39 @@ class StorePut(Event):
 class StoreGet(Event):
     """Succeeds with the retrieved item."""
 
+    __slots__ = ("store", "filter_fn", "requested_at", "_abandoned")
+
     def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None) -> None:
         super().__init__(store.env)
         self.store = store
         self.filter_fn = filter_fn
         self.requested_at = store.env.now
+        self._abandoned = False
         store._get_waiters.append(self)
         store._trigger()
 
     def cancel(self) -> None:
-        """Withdraw a still-pending get."""
-        if not self.triggered and self in self.store._get_waiters:
-            self.store._get_waiters.remove(self)
+        """Withdraw the get; never loses an item.
+
+        A get raced against a timeout (``yield get | env.timeout(...)``)
+        can succeed in the very step the timeout fires: the item has
+        already been popped from the store and stashed as this event's
+        value, but the racing process resumes via the timeout and walks
+        away.  Cancelling a get that has already succeeded therefore
+        *requeues* its item at the front of the store, so the next getter
+        receives it and nothing is silently dropped.  Cancelling a
+        still-pending get simply deregisters it.  ``cancel()`` is
+        idempotent.
+        """
+        if not self.triggered:
+            try:
+                self.store._get_waiters.remove(self)
+            except ValueError:
+                pass
+            return
+        if self._ok and not self._abandoned:
+            self._abandoned = True
+            self.store._return_item(self._value)
 
     @property
     def wait_time(self) -> float:
@@ -66,14 +100,18 @@ class Store:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self._capacity = capacity
-        self.items: List[Any] = []
-        self._put_waiters: List[StorePut] = []
-        self._get_waiters: List[StoreGet] = []
+        self.items = self._new_items()
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: Deque[StoreGet] = deque()
         # Peak occupancy, for memory/backlog diagnostics.
         self._peak = 0
 
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__}(items={len(self.items)})>"
+
+    def _new_items(self):
+        """Container for ``items``; deque for FIFO stores."""
+        return deque()
 
     @property
     def capacity(self) -> float:
@@ -110,39 +148,53 @@ class Store:
     # -- internals ---------------------------------------------------------
 
     def _do_put(self, event: StorePut) -> bool:
-        if len(self.items) < self._capacity:
-            self.items.append(event.item)
-            self._peak = max(self._peak, len(self.items))
+        items = self.items
+        if len(items) < self._capacity:
+            items.append(event.item)
+            if len(items) > self._peak:
+                self._peak = len(items)
             event.succeed()
             return True
         return False
 
     def _do_get(self, event: StoreGet) -> bool:
         if self.items:
-            event.succeed(self.items.pop(0))
+            event.succeed(self.items.popleft())
             return True
         return False
+
+    def _return_item(self, item: Any) -> None:
+        """Requeue an item abandoned by a cancelled-after-success get.
+
+        The item goes back to the *front* of the store (it was the oldest
+        one), even if a racing put has meanwhile filled the store to
+        capacity — losing the item would be worse than transiently
+        exceeding the bound.  Blocked getters are then re-served.
+        """
+        self.items.appendleft(item)
+        if len(self.items) > self._peak:
+            self._peak = len(self.items)
+        self._trigger()
+
+    def _serve_getters(self) -> bool:
+        """Serve blocked getters in FIFO order; True if any was served."""
+        served = False
+        get_waiters = self._get_waiters
+        while get_waiters and self._do_get(get_waiters[0]):
+            get_waiters.popleft()
+            served = True
+        return served
 
     def _trigger(self) -> None:
         progressed = True
         while progressed:
             progressed = False
-            while self._put_waiters:
-                if self._do_put(self._put_waiters[0]):
-                    self._put_waiters.pop(0)
-                    progressed = True
-                else:
-                    break
-            # Serve getters; FilterStore may satisfy a later getter even if
-            # the first is still blocked, so scan the whole list.
-            idx = 0
-            while idx < len(self._get_waiters):
-                getter = self._get_waiters[idx]
-                if self._do_get(getter):
-                    self._get_waiters.pop(idx)
-                    progressed = True
-                else:
-                    idx += 1
+            put_waiters = self._put_waiters
+            while put_waiters and self._do_put(put_waiters[0]):
+                put_waiters.popleft()
+                progressed = True
+            if self._get_waiters and self._serve_getters():
+                progressed = True
 
 
 class FilterStore(Store):
@@ -160,6 +212,19 @@ class FilterStore(Store):
                 event.succeed(item)
                 return True
         return False
+
+    def _serve_getters(self) -> bool:
+        # A later getter may be satisfiable even when the first is still
+        # blocked on its predicate, so scan every waiter (in FIFO order).
+        served = False
+        waiters = self._get_waiters
+        for _ in range(len(waiters)):
+            getter = waiters.popleft()
+            if self._do_get(getter):
+                served = True
+            else:
+                waiters.append(getter)
+        return served
 
 
 class PriorityItem:
@@ -181,10 +246,15 @@ class PriorityItem:
 class PriorityStore(Store):
     """Store that always pops the smallest item (heap order)."""
 
+    def _new_items(self):
+        # heapq needs indexable storage; keep a plain list.
+        return []
+
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self._capacity:
             heapq.heappush(self.items, event.item)
-            self._peak = max(self._peak, len(self.items))
+            if len(self.items) > self._peak:
+                self._peak = len(self.items)
             event.succeed()
             return True
         return False
@@ -194,3 +264,10 @@ class PriorityStore(Store):
             event.succeed(heapq.heappop(self.items))
             return True
         return False
+
+    def _return_item(self, item: Any) -> None:
+        # "Front of the queue" for a heap is simply its ordered position.
+        heapq.heappush(self.items, item)
+        if len(self.items) > self._peak:
+            self._peak = len(self.items)
+        self._trigger()

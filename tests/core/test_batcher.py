@@ -102,7 +102,69 @@ class TestGreedyDynamic:
         assert batcher.mean_batch_size == pytest.approx(8 / batcher.dispatched_batches)
 
 
-class TestPreferredBatch:
+class TestDeadlineAnchor:
+    """Regression: the dynamic deadline is anchored to the *oldest
+    item's enqueue time* (Triton max_queue_delay semantics), not to the
+    moment the batcher gets around to filling.  When the batcher stalls
+    on a full output store, the queue head's wait already counts."""
+
+    def test_deadline_anchored_to_oldest_arrival(self):
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=8, max_queue_delay=2.0)
+        sink = []
+
+        def producer():
+            yield batcher.submit("a")  # t=0: dispatched at t=2 (no consumer yet)
+            yield env.timeout(2.5)
+            yield batcher.submit("b")  # t=2.5: dispatched 4.5; put blocks (store full)
+            yield env.timeout(2.5)
+            yield batcher.submit("c")  # t=5.0: waits in queue while batcher is stalled
+            yield env.timeout(2.5)
+            yield batcher.submit("d")  # t=7.5: after c's deadline (5+2) has passed
+
+        def consumer():
+            # First pickup at t=6: the batcher resumes, takes "c" (which
+            # already waited 1.0 of its 2.0 budget) and must dispatch it
+            # at t=7.0 — before "d" arrives.  The buggy anchor (fill
+            # start, t=6) would keep filling until t=8 and merge in "d".
+            yield env.timeout(6.0)
+            while True:
+                batch = yield batcher.next_batch()
+                sink.append((env.now, list(batch)))
+                yield env.timeout(2.0)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run(until=20)
+        assert [batch for _, batch in sink] == [["a"], ["b"], ["c"], ["d"]]
+
+    def test_expired_deadline_dispatches_immediately(self):
+        env = Environment()
+        batcher = DynamicBatcher(env, max_batch=8, max_queue_delay=1.0)
+        sink = []
+
+        def producer():
+            yield batcher.submit("a")  # dispatched at t=1 (no consumer yet)
+            yield env.timeout(1.5)
+            yield batcher.submit("b")  # dispatched 2.5; put blocks on full store
+            yield env.timeout(2.0)
+            yield batcher.submit("c")  # t=3.5: queued; deadline 4.5 expires
+            yield env.timeout(2.0)     # ...while the batcher is still stalled
+            yield batcher.submit("d")  # t=5.5
+
+        def consumer():
+            yield env.timeout(5.0)
+            while True:
+                batch = yield batcher.next_batch()
+                sink.append((env.now, list(batch)))
+                yield env.timeout(2.0)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run(until=20)
+        # At t=5 the batcher unblocks and finds "c" 0.5s past its
+        # deadline: it must go out alone, not wait until t=6 for "d".
+        assert [batch for _, batch in sink] == [["a"], ["b"], ["c"], ["d"]]
     def test_small_batch_waits_for_preferred(self):
         env = Environment()
         batcher = DynamicBatcher(

@@ -135,6 +135,134 @@ class TestStore:
         assert store.size == 1  # nobody consumed it
 
 
+class TestGetCancelRequeue:
+    """``get | timeout`` races: cancelling a get that already succeeded
+    must put the item back (at the front), never drop it."""
+
+    def test_cancel_after_success_requeues_item_at_front(self):
+        env = Environment()
+        store = Store(env)
+        seen = []
+
+        def proc(env):
+            yield store.put("a")
+            yield store.put("b")
+            get = store.get()  # succeeds immediately with "a"
+            timeout = env.timeout(0)
+            yield get | timeout
+            get.cancel()  # loser branch of a race: give "a" back
+            seen.append(list(store.items))
+
+        env.run(until=env.process(proc(env)))
+        assert seen == [["a", "b"]]  # "a" back at the *front*, order kept
+
+    def test_cancel_twice_requeues_once(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("a")
+            get = store.get()
+            yield env.timeout(0)
+            get.cancel()
+            get.cancel()
+
+        env.run(until=env.process(proc(env)))
+        assert list(store.items) == ["a"]
+
+    def test_requeued_item_wakes_blocked_getter(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def waiter(env):
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def racer(env):
+            yield env.timeout(1)
+            yield store.put("x")
+            get = store.get()
+            yield env.timeout(0)
+            get.cancel()  # hand "x" back; the waiter must receive it
+
+        env.process(racer(env))
+        env.process(waiter(env))
+        env.run()
+        assert got == [("x", 1)]
+
+    def test_get_timeout_race_never_loses_item(self):
+        """put and timeout land on the same timestamp: whichever branch
+        the consumer takes, the item survives."""
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield env.timeout(1.0)
+            yield store.put("x")
+
+        def consumer(env):
+            get = store.get()
+            timeout = env.timeout(1.0)
+            yield get | timeout
+            if get.triggered:
+                got.append(get.value)
+            else:
+                get.cancel()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["x"] or list(store.items) == ["x"]
+
+    def test_filter_store_cancel_requeues(self):
+        env = Environment()
+        store = FilterStore(env)
+
+        def proc(env):
+            yield store.put(1)
+            yield store.put(2)
+            get = store.get(lambda x: x == 2)
+            yield env.timeout(0)
+            get.cancel()
+
+        env.run(until=env.process(proc(env)))
+        assert sorted(store.items) == [1, 2]
+
+    def test_priority_store_cancel_requeues_in_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def proc(env):
+            yield store.put(PriorityItem(2, "b"))
+            yield store.put(PriorityItem(1, "a"))
+            get = store.get()  # pops the smallest: "a"
+            yield env.timeout(0)
+            get.cancel()  # must heap-push it back, not appendleft
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.run(until=env.process(proc(env)))
+        assert got == ["a", "b"]
+
+    def test_cancel_untriggered_get_leaves_no_waiter(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            get = store.get()
+            yield env.timeout(1)
+            get.cancel()
+            yield store.put("x")
+
+        env.run(until=env.process(proc(env)))
+        assert list(store.items) == ["x"]
+        assert store.waiting_getters == 0
+
+
 class TestFilterStore:
     def test_filter_selects_matching_item(self):
         env = Environment()
@@ -150,7 +278,7 @@ class TestFilterStore:
 
         env.run(until=env.process(proc(env)))
         assert got == [2]
-        assert store.items == [1, 3]
+        assert list(store.items) == [1, 3]
 
     def test_filter_blocks_until_match_arrives(self):
         env = Environment()
