@@ -87,6 +87,15 @@ from .vision import (
     ZipfDataset,
     reference_dataset,
 )
+from .workload import (
+    DiurnalCurve,
+    FlashCrowd,
+    MarkovSessionModel,
+    RegionalMix,
+    Workload,
+    synthesize_trace,
+    trace_digest,
+)
 
 __version__ = "1.0.0"
 
@@ -140,6 +149,13 @@ __all__ = [
     "TelemetrySession",
     "Tracer",
     "TuningResult",
+    "Workload",
+    "DiurnalCurve",
+    "FlashCrowd",
+    "MarkovSessionModel",
+    "RegionalMix",
+    "synthesize_trace",
+    "trace_digest",
     "ZipfDataset",
     "breakdown_from_metrics",
     "cache_summary",

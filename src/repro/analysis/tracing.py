@@ -80,6 +80,9 @@ def requests_to_trace_events(
             }
         )
         args = {"batch_size": request.batch_size, "gpu": request.gpu_index}
+        phase = getattr(request, "workload_phase", None)
+        if phase is not None:
+            args["phase"] = phase
         if request.timeline:
             for span, start, end in sorted(request.timeline, key=lambda e: e[1]):
                 events.append(
@@ -210,6 +213,14 @@ def timeline_trace_events(
                 "args": {"name": f"request {rid} ({request.image})"},
             }
         )
+        span_args = {
+            "kind": None,
+            "batch_size": request.batch_size,
+            "gpu": request.gpu_index,
+        }
+        phase = getattr(request, "workload_phase", None)
+        if phase is not None:
+            span_args["phase"] = phase
         for span, start, end in sorted(request.timeline, key=lambda e: e[1]):
             events.append(
                 {
@@ -220,11 +231,7 @@ def timeline_trace_events(
                     "tid": rid,
                     "ts": start * 1e6,
                     "dur": (end - start) * 1e6,
-                    "args": {
-                        "kind": span_kind(span),
-                        "batch_size": request.batch_size,
-                        "gpu": request.gpu_index,
-                    },
+                    "args": {**span_args, "kind": span_kind(span)},
                 }
             )
             track = _device_track(span, request.gpu_index)

@@ -221,9 +221,10 @@ class FacePipeline:
 
     # -- public API ------------------------------------------------------------
 
-    def submit(self, frame_image: Image) -> Event:
+    def submit(self, frame_image: Image, phase: Optional[str] = None) -> Event:
         """Submit one frame; the event succeeds when every face is identified."""
-        request = InferenceRequest(frame_image, arrival_time=self.env.now)
+        request = InferenceRequest(frame_image, arrival_time=self.env.now,
+                                   phase=phase)
         if self.tracer is not None:
             self.tracer.register(request)
         done = self.env.event()

@@ -36,6 +36,7 @@ from .models.zoo import MODEL_ZOO
 from .serving import plan_capacity, run_face_pipeline
 from .serving.runner import ExperimentConfig, run_experiment
 from .vision.datasets import reference_dataset
+from .workload import DAY_SECONDS
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +60,24 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1,
         help="worker processes for the sweep (1 = serial, 0 = one per "
              "CPU core); parallel results are bit-identical to serial")
+
+
+def _add_workload_flag(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument(
+        "--workload", default=None, metavar="SPEC",
+        help=f"{help_text}; a trace path (*.jsonl[.gz]) or a spec like "
+             "'diurnal:mean=120,swing=0.6' / 'flash:mean=100,at=300,peak=6' "
+             "(see `repro workload --help`)")
+
+
+def _workload_from_args(args):
+    """Parse ``--workload`` if given; ``ValueError`` propagates to callers."""
+    spec = getattr(args, "workload", None)
+    if not spec:
+        return None
+    from .workload import Workload
+
+    return Workload.parse(spec)
 
 
 def _run_points(task, points, workers: int) -> List[Dict]:
@@ -208,6 +227,40 @@ def cmd_breakdown(args) -> int:
 def cmd_sweep(args) -> int:
     from .parallel import ExperimentPoint, run_experiment_point
 
+    try:
+        workload = _workload_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if workload is not None:
+        # Open-loop: the workload, not closed-loop concurrency, sets the
+        # load, so the sweep collapses to one point per seed.
+        seeds = [args.seed + i for i in range(args.repeats)]
+        points = [
+            ExperimentPoint(
+                config=ExperimentConfig(
+                    server=ServerConfig(
+                        model=args.model,
+                        preprocess_device=args.preprocess_device,
+                        preprocess_batch_size=64,
+                    ),
+                    dataset=reference_dataset(args.size),
+                    warmup_requests=300,
+                    measure_requests=1500,
+                    seed=seed,
+                ),
+                workload=workload,
+                tags=(("workload", workload.name), ("seed", seed)),
+            )
+            for seed in seeds
+        ]
+        rows = _run_points(run_experiment_point, points, args.workers)
+        chart = {f"seed={row['seed']}": row["throughput"] for row in rows}
+        print(bar_chart(chart, unit=" img/s",
+                        title=f"Open-loop throughput — {workload.name}, "
+                              f"{args.model} ({args.preprocess_device})"))
+        _export(args, rows)
+        return 0
     points = [
         ExperimentPoint(
             config=ExperimentConfig(
@@ -251,6 +304,12 @@ def cmd_cache(args) -> int:
 
     from .parallel import ExperimentPoint, run_experiment_point
 
+    try:
+        workload = _workload_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     skews = _float_list(args.skews)
     budgets = _float_list(args.cache_mb)
     points = []
@@ -287,6 +346,12 @@ def cmd_cache(args) -> int:
                         measure_requests=args.requests,
                         seed=args.seed,
                     ),
+                    # The sweep's per-skew Zipf dataset replaces the
+                    # workload's own dataset so the skew axis survives;
+                    # arrival timing (and open-loop mode) come from the
+                    # workload.
+                    workload=(workload.with_overrides(dataset=dataset)
+                              if workload is not None else None),
                     tags=(
                         ("skew", skew),
                         ("catalog_size", args.catalog),
@@ -315,6 +380,11 @@ def cmd_cache(args) -> int:
 def cmd_faces(args) -> int:
     from .parallel import FacePipelinePoint, run_face_pipeline_point
 
+    try:
+        workload = _workload_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     face_counts = _int_list(args.faces)
     brokers = _str_list(args.brokers)
     points = [
@@ -324,6 +394,7 @@ def cmd_faces(args) -> int:
             warmup_requests=120,
             measure_requests=args.frames,
             seed=args.seed,
+            workload=workload,
             tags=(("broker", broker), ("faces", faces)),
         )
         for faces in face_counts
@@ -388,6 +459,18 @@ def cmd_faults(args) -> int:
     if not fractions:
         print("error: no downtime fractions given", file=sys.stderr)
         return 1
+    try:
+        workload = _workload_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if workload is not None:
+        load_kwargs = {"workload": workload}
+        rate_label = workload.offered_rate_hint()
+    else:
+        load_kwargs = {"offered_rate": args.rate,
+                       "dataset": reference_dataset(args.size)}
+        rate_label = args.rate
     points = sweep_fault_rates(
         ServerConfig(model=args.model, preprocess_device=args.preprocess_device,
                      preprocess_batch_size=64),
@@ -396,12 +479,11 @@ def cmd_faults(args) -> int:
         resilience=resilience,
         workers=args.workers if args.workers != 0 else os.cpu_count(),
         node_count=args.nodes,
-        offered_rate=args.rate,
-        dataset=reference_dataset(args.size),
         seed=args.seed,
         warmup_requests=args.warmup,
         measure_requests=args.requests,
         max_sim_seconds=args.max_seconds,
+        **load_kwargs,
     )
     rows = [{"downtime_fraction": 0.0, **points[0].baseline.to_dict()}]
     for point in points:
@@ -426,7 +508,7 @@ def cmd_faults(args) -> int:
                  str(p.result.fault_count)]
                 for p in points
             ],
-            title=f"GPU-crash tolerance — {args.model}, {args.nodes} node(s) @ {args.rate:.0f} req/s",
+            title=f"GPU-crash tolerance — {args.model}, {args.nodes} node(s) @ {rate_label:.0f} req/s",
         )
     )
     print(bar_chart({f"{p.downtime_fraction * 100:.1f}%": p.goodput_ratio * 100 for p in points},
@@ -573,6 +655,110 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_workload_synthesize(args) -> int:
+    from .workload import Workload, synthesize_trace, trace_digest
+
+    try:
+        workload = Workload.parse(args.spec)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if workload.is_replay:
+        print("error: spec is already a trace file; nothing to synthesize",
+              file=sys.stderr)
+        return 2
+    if workload.duration_seconds is None:
+        print("error: spec needs duration= (an unbounded workload never "
+              "finishes recording)", file=sys.stderr)
+        return 2
+    count = synthesize_trace(workload, args.out, seed=args.seed)
+    digest = trace_digest(args.out)
+    print(f"wrote {count} events to {args.out}")
+    print(f"sha256 (uncompressed): {digest}")
+    _export(args, [{"path": args.out, "workload": workload.name,
+                    "seed": args.seed, "events": count, "digest": digest}])
+    return 0
+
+
+def _flatten_describe(data: Dict, prefix: str = "") -> List[List[str]]:
+    rows = []
+    for key, value in data.items():
+        label = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flatten_describe(value, prefix=f"{label}."))
+        else:
+            rows.append([label, f"{value:g}" if isinstance(value, float) else str(value)])
+    return rows
+
+
+def cmd_workload_describe(args) -> int:
+    import json
+
+    from .workload import Workload, describe_trace
+
+    target = args.target
+    if os.path.exists(target):
+        stats = describe_trace(target)
+        title = f"trace {target}"
+    else:
+        try:
+            workload = Workload.parse(target)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        stats = workload.describe()
+        title = f"workload {workload.name}"
+    print(format_table(["field", "value"], _flatten_describe(stats), title=title))
+    _export(args, [{key: (json.dumps(value) if isinstance(value, dict) else value)
+                    for key, value in stats.items()}])
+    return 0
+
+
+def cmd_workload_replay(args) -> int:
+    from .serving.runner import run_open_loop
+    from .workload import Workload
+
+    try:
+        workload = Workload.replay(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_open_loop(
+        ExperimentConfig(
+            server=ServerConfig(model=args.model,
+                                preprocess_device=args.preprocess_device,
+                                preprocess_batch_size=64),
+            dataset=reference_dataset(args.size),
+            warmup_requests=args.warmup,
+            measure_requests=args.requests,
+            seed=args.seed,
+            max_sim_seconds=args.max_seconds,
+        ),
+        workload=workload,
+    )
+    phase_rows = [
+        [key.removeprefix("workload_phase_"), f"{value:,.0f}"]
+        for key, value in sorted(result.metrics.extras.items())
+        if key.startswith("workload_phase_")
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["throughput", f"{result.throughput:,.2f} img/s"],
+                ["mean latency", f"{result.mean_latency * 1e3:.2f} ms"],
+                ["p99 latency", f"{result.p99_latency * 1e3:.2f} ms"],
+                ["measured requests", f"{result.metrics.completed:,}"],
+            ] + [[f"phase {name}", count] for name, count in phase_rows],
+            title=f"trace replay — {workload.name} on {args.model} "
+                  f"({args.preprocess_device} preprocessing)",
+        )
+    )
+    _export(args, [{"workload": workload.name, "trace": args.trace,
+                    **result.to_dict()}])
+    return 0
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -610,6 +796,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--size", default="medium", choices=["small", "medium", "large"])
     sweep.add_argument("--concurrencies", default="1,16,64,256,1024")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--repeats", type=int, default=1,
+                       help="with --workload: open-loop runs at consecutive seeds")
+    _add_workload_flag(sweep, "drive the sweep open-loop from this workload "
+                              "(ignores --concurrencies)")
     _add_workers_flag(sweep)
     _add_export_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
@@ -630,6 +820,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--warmup", type=int, default=300)
     cache.add_argument("--requests", type=int, default=1500)
     cache.add_argument("--seed", type=int, default=0)
+    _add_workload_flag(cache, "drive each cache point open-loop from this "
+                              "workload (its dataset is replaced per skew)")
     _add_workers_flag(cache)
     _add_export_flags(cache)
     cache.set_defaults(func=cmd_cache)
@@ -640,6 +832,8 @@ def build_parser() -> argparse.ArgumentParser:
     faces.add_argument("--concurrency", type=int, default=96)
     faces.add_argument("--frames", type=int, default=800)
     faces.add_argument("--seed", type=int, default=0)
+    _add_workload_flag(faces, "frame dataset/popularity for the pipeline "
+                              "(closed-loop; arrivals ignored)")
     _add_workers_flag(faces)
     _add_export_flags(faces)
     faces.set_defaults(func=cmd_faces)
@@ -663,6 +857,8 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--requests", type=int, default=1000)
     faults.add_argument("--max-seconds", type=float, default=60.0)
     faults.add_argument("--seed", type=int, default=0)
+    _add_workload_flag(faults, "fleet load during the fault sweep "
+                               "(overrides --rate/--size)")
     _add_workers_flag(faults)
     _add_export_flags(faults)
     faults.set_defaults(func=cmd_faults)
@@ -710,6 +906,51 @@ def build_parser() -> argparse.ArgumentParser:
     models = sub.add_parser("models", help="list the model zoo")
     _add_export_flags(models)
     models.set_defaults(func=cmd_models)
+
+    workload = sub.add_parser(
+        "workload",
+        help="synthesize, describe, or replay workload traces",
+        description="Trace-driven workloads: record a synthesized day "
+                    "(diurnal curves, flash crowds, regional mixes, user "
+                    "sessions) to a compact gzip trace, inspect it, or "
+                    "replay it through the open-loop runner.  Specs: "
+                    "constant:rate=150 | diurnal:mean=120,swing=0.6 | "
+                    "flash:mean=100,at=300,len=60,peak=6 | "
+                    "regions:mean=90,count=3 — shared keys duration=, "
+                    "sessions=1, zipf=SKEW, catalog=N.",
+    )
+    wsub = workload.add_subparsers(dest="action", required=True)
+
+    synth = wsub.add_parser("synthesize", help="record a workload spec to a trace file")
+    synth.add_argument("--spec", required=True,
+                       help="workload spec with duration=, e.g. "
+                            "'diurnal:mean=120,swing=0.6,duration=3600'")
+    synth.add_argument("--out", required=True, help="trace path (*.jsonl or *.jsonl.gz)")
+    synth.add_argument("--seed", type=int, default=0)
+    _add_export_flags(synth)
+    synth.set_defaults(func=cmd_workload_synthesize)
+
+    describe_w = wsub.add_parser("describe", help="summarize a trace file or workload spec")
+    describe_w.add_argument("target", help="trace path or workload spec")
+    _add_export_flags(describe_w)
+    describe_w.set_defaults(func=cmd_workload_describe)
+
+    replay = wsub.add_parser("replay",
+                             help="replay a recorded trace through the open-loop runner")
+    replay.add_argument("trace", help="trace path")
+    replay.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    _add_preprocess_device_flag(replay, default="gpu", choices=["cpu", "gpu"])
+    replay.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    replay.add_argument("--warmup", type=int, default=0,
+                        help="completions before the measurement window arms")
+    replay.add_argument("--requests", type=int, default=1_000_000,
+                        help="measurement-window completion target (the "
+                             "replay also ends when the trace runs dry)")
+    replay.add_argument("--max-seconds", type=float, default=DAY_SECONDS,
+                        help="hard wall on simulated seconds")
+    replay.add_argument("--seed", type=int, default=0)
+    _add_export_flags(replay)
+    replay.set_defaults(func=cmd_workload_replay)
 
     plan = sub.add_parser("plan", help="size a fleet for a rate + p99 SLO")
     plan.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))

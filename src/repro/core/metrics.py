@@ -309,7 +309,21 @@ class MetricsCollector:
             if tier is not None:
                 cache_hits[tier] = cache_hits.get(tier, 0) + 1
 
+        # Per-phase completion counts ride in extras only when the load
+        # generator stamped phases — legacy runs keep empty extras (and
+        # therefore byte-identical exports).
+        phase_counts: Dict[str, int] = {}
+        for request in self._requests:
+            phase = getattr(request, "workload_phase", None)
+            if phase is not None:
+                phase_counts[phase] = phase_counts.get(phase, 0) + 1
+        extras = {
+            f"workload_phase_{name}": float(count)
+            for name, count in sorted(phase_counts.items())
+        }
+
         return RunMetrics(
+            extras=extras,
             window_seconds=window,
             completed=len(self._requests),
             throughput=len(self._requests) / window,

@@ -81,6 +81,7 @@ class InferenceRequest:
         "attempt",
         "outcome",
         "served_from",
+        "workload_phase",
         "timeline",
         "_open_spans",
     )
@@ -91,6 +92,7 @@ class InferenceRequest:
         arrival_time: float,
         deadline: Optional[float] = None,
         attempt: int = 0,
+        phase: Optional[str] = None,
     ) -> None:
         self.request_id = next(_request_ids)
         self.image = image
@@ -112,6 +114,10 @@ class InferenceRequest:
         #: Highest cache tier that served this request ("result",
         #: "tensor", "image"), or ``None`` for a fully computed request.
         self.served_from: Optional[str] = None
+        #: Workload phase ("day", "night", "flash", "region:eu", ...)
+        #: the arrival was issued under, or ``None`` when the load
+        #: generator carries no phase information (legacy clients).
+        self.workload_phase = phase
         #: Timestamped ``(name, start, end)`` intervals, recorded only
         #: when a tracer armed the request (``None`` = recording off).
         self.timeline: Optional[List[Tuple[str, float, float]]] = None

@@ -243,6 +243,7 @@ class InferenceServer:
         arrival_time: Optional[float] = None,
         deadline: Optional[float] = None,
         attempt: int = 0,
+        phase: Optional[str] = None,
     ) -> Event:
         """Submit one request; the returned event succeeds at completion
         with the finished :class:`InferenceRequest` as its value.
@@ -251,13 +252,16 @@ class InferenceServer:
         when it entered the datacenter, so balancer queueing counts
         toward end-to-end latency.  ``deadline`` (absolute simulation
         time) marks the request as a timeout if it completes at or past
-        it; ``attempt`` is the retry index stamped by resilient callers.
+        it; ``attempt`` is the retry index stamped by resilient callers;
+        ``phase`` is the workload phase the arrival was issued under
+        (stamped onto the request for per-phase metrics and traces).
         """
         request = InferenceRequest(
             image,
             arrival_time=self.env.now if arrival_time is None else arrival_time,
             deadline=deadline,
             attempt=attempt,
+            phase=phase,
         )
         if self.tracer is not None:
             self.tracer.register(request)

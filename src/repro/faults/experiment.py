@@ -18,6 +18,7 @@ from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..serving.fleet import FleetResult, run_fleet_experiment
 from ..serving.resilience import ResiliencePolicy
 from ..vision.datasets import Dataset
+from ..workload import Workload
 from .profiles import FaultPlan, gpu_crash_plan
 
 __all__ = ["FaultSweepPoint", "run_fault_experiment", "sweep_fault_rates"]
@@ -37,21 +38,25 @@ def run_fault_experiment(
     warmup_requests: int = 300,
     measure_requests: int = 2000,
     max_sim_seconds: float = 60.0,
+    workload: Optional[Workload] = None,
 ) -> FleetResult:
     """One fleet experiment under a fault plan.
 
     A thin front door over
     :func:`~repro.serving.fleet.run_fleet_experiment` that defaults the
     resilience policy on whenever a fault plan is active (running faults
-    without deadlines would just hang the tail).
+    without deadlines would just hang the tail).  ``workload`` overrides
+    the flat ``offered_rate``/``dataset`` knobs; without one, those map
+    onto ``Workload.constant`` (bit-identical to the old inline load).
     """
     if resilience is None and faults is not None and faults.enabled:
         resilience = ResiliencePolicy()
+    if workload is None:
+        workload = Workload.constant(offered_rate, dataset=dataset)
     return run_fleet_experiment(
         server_config,
         node_count=node_count,
-        offered_rate=offered_rate,
-        dataset=dataset,
+        workload=workload,
         calibration=calibration,
         gpu_count=gpu_count,
         per_node_cap=per_node_cap,

@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.config import ServerConfig
 from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..serving.runner import ExperimentConfig, run_experiment, run_open_loop
+from ..workload import Workload
 
 __all__ = [
     "ExperimentPoint",
@@ -43,20 +44,35 @@ def _tag_dict(tags: Tags) -> Dict[str, Any]:
 @dataclass(frozen=True, kw_only=True)
 class ExperimentPoint:
     """One single-node experiment: closed-loop, or open-loop when
-    ``offered_rate`` is set."""
+    ``offered_rate`` or ``workload`` is set."""
 
     config: ExperimentConfig
     offered_rate: Optional[float] = None
+    #: Open-loop workload spec; overrides ``offered_rate``.  A trace
+    #: replay point is picklable (the worker re-opens the file), so
+    #: sweeps over a recorded day parallelize like any other point.
+    workload: Optional[Workload] = None
     #: Extra row columns, e.g. ``(("concurrency", 64),)``.
     tags: Tags = ()
+
+    def __post_init__(self) -> None:
+        if self.workload is not None and self.offered_rate is not None:
+            raise ValueError("pass offered_rate or workload, not both")
 
 
 def run_experiment_point(point: ExperimentPoint) -> Dict[str, Any]:
     """Task: run one :class:`ExperimentPoint`, return its flat row."""
-    if point.offered_rate is None:
+    if point.workload is not None:
+        result = run_open_loop(point.config, workload=point.workload)
+    elif point.offered_rate is None:
         result = run_experiment(point.config)
     else:
-        result = run_open_loop(point.config, point.offered_rate)
+        # Map the legacy rate onto the non-deprecated path; bit-identical
+        # to the old OpenLoopClient draw order.
+        result = run_open_loop(
+            point.config,
+            workload=Workload.constant(point.offered_rate, dataset=point.config.dataset),
+        )
     return {**_tag_dict(point.tags), **result.to_dict()}
 
 
@@ -73,6 +89,7 @@ class FacePipelinePoint:
     measure_requests: int = 1200
     max_sim_seconds: float = 600.0
     think_jitter_seconds: float = 2e-3
+    workload: Optional[Workload] = None
     tags: Tags = ()
 
 
@@ -90,6 +107,7 @@ def run_face_pipeline_point(point: FacePipelinePoint) -> Dict[str, Any]:
         measure_requests=point.measure_requests,
         max_sim_seconds=point.max_sim_seconds,
         think_jitter_seconds=point.think_jitter_seconds,
+        workload=point.workload,
     )
     return {**_tag_dict(point.tags), **result.to_dict()}
 
@@ -112,6 +130,7 @@ class FleetPoint:
     max_sim_seconds: float = 60.0
     resilience: Optional[Any] = None
     faults: Optional[Any] = None
+    workload: Optional[Workload] = None
     tags: Tags = ()
 
     def _run(self):
@@ -131,6 +150,7 @@ class FleetPoint:
             warmup_requests=self.warmup_requests,
             measure_requests=self.measure_requests,
             max_sim_seconds=self.max_sim_seconds,
+            workload=self.workload,
         )
 
 

@@ -8,6 +8,7 @@ from .loadgen import (
     DiurnalArrivals,
     PatternedClient,
     PoissonArrivals,
+    WorkloadClient,
 )
 from .fleet import (
     CapacityPlan,
@@ -41,6 +42,7 @@ __all__ = [
     "DiurnalArrivals",
     "PatternedClient",
     "PoissonArrivals",
+    "WorkloadClient",
     "ClosedLoopClient",
     "Fleet",
     "FleetResult",

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..core.config import ServerConfig
 from ..core.metrics import MetricsCollector
+from ..core.request import OUTCOME_SHED, InferenceRequest
 from ..core.server import InferenceServer
 from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..hardware.platform import ServerNode
@@ -48,8 +49,15 @@ class AutoscalerPolicy:
     #: Active-set bounds.
     min_nodes: int = 1
     max_nodes: int = 8
+    #: Shed new requests once the balancer backlog reaches this depth
+    #: (``None`` = never shed, the original unbounded-queue behaviour).
+    #: Under a flash crowd this is what bounds queueing delay while the
+    #: scale-out capacity is still provisioning.
+    max_backlog: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.max_backlog is not None and self.max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1 when set")
         if self.target_outstanding_per_node <= 0:
             raise ValueError("target outstanding must be positive")
         if self.scale_out_threshold <= 1.0:
@@ -107,6 +115,7 @@ class AutoscaledFleet:
         self._provisioning = 0
         self.outstanding = [0] * policy.max_nodes
         self.events: List[ScalingEvent] = []
+        self.shed = 0
         self._last_action_time = -float("inf")
         self._backlog: Store = Store(env)
         env.process(self._dispatcher())
@@ -114,9 +123,22 @@ class AutoscaledFleet:
 
     # -- public API --------------------------------------------------------------
 
-    def submit(self, image) -> Event:
+    def submit(self, image, phase: Optional[str] = None) -> Event:
         done = self.env.event()
-        self._backlog.put((image, done, self.env.now))
+        if (
+            self.policy.max_backlog is not None
+            and self._backlog.size >= self.policy.max_backlog
+        ):
+            # Admission control: reject without touching any node (same
+            # contract as LoadBalancer shedding).
+            self.shed += 1
+            self.metrics.note_shed()
+            request = InferenceRequest(image, arrival_time=self.env.now,
+                                       phase=phase)
+            request.outcome = OUTCOME_SHED
+            done.succeed(request)
+            return done
+        self._backlog.put((image, done, self.env.now, phase))
         return done
 
     @property
@@ -150,6 +172,11 @@ class AutoscaledFleet:
             "Scale-out/in actions taken by the controller",
             lambda: len(self.events),
         )
+        registry.counter_fn(
+            "repro_autoscaler_shed_total",
+            "Requests rejected by backlog admission control",
+            lambda: self.shed,
+        )
 
     @property
     def load_factor(self) -> float:
@@ -166,7 +193,7 @@ class AutoscaledFleet:
     def _dispatcher(self):
         cap = self.policy.per_node_cap
         while True:
-            image, done, enqueued_at = yield self._backlog.get()
+            image, done, enqueued_at, phase = yield self._backlog.get()
             while True:
                 index = min(
                     range(self.active_count), key=lambda i: self.outstanding[i]
@@ -178,7 +205,8 @@ class AutoscaledFleet:
                 yield self.env.timeout(0.5e-3)
             self.outstanding[index] += 1
             # Backdated so balancer queueing counts in request latency.
-            inner = self.servers[index].submit(image, arrival_time=enqueued_at)
+            inner = self.servers[index].submit(image, arrival_time=enqueued_at,
+                                               phase=phase)
             self.env.process(self._track(index, inner, done))
 
     def _track(self, index: int, inner: Event, done: Event):

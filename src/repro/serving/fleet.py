@@ -16,6 +16,7 @@ loop the paper's single-node throughput numbers exist to inform.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -31,6 +32,7 @@ from .resilience import CircuitBreaker, ResiliencePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..faults import FaultPlan
+    from ..workload import Workload
 
 __all__ = [
     "DispatchPolicy",
@@ -53,13 +55,15 @@ _POLICIES = (ROUND_ROBIN, LEAST_OUTSTANDING)
 class _Job:
     """One request travelling through the balancer (possibly retried)."""
 
-    __slots__ = ("image", "done", "enqueued_at", "attempt")
+    __slots__ = ("image", "done", "enqueued_at", "attempt", "phase")
 
-    def __init__(self, image, done: Event, enqueued_at: float) -> None:
+    def __init__(self, image, done: Event, enqueued_at: float,
+                 phase: Optional[str] = None) -> None:
         self.image = image
         self.done = done
         self.enqueued_at = enqueued_at
         self.attempt = 0
+        self.phase = phase
 
 
 class LoadBalancer:
@@ -180,7 +184,7 @@ class LoadBalancer:
                 lambda: sum(b.open_transitions for b in self.breakers),
             )
 
-    def submit(self, image) -> Event:
+    def submit(self, image, phase: Optional[str] = None) -> Event:
         """Route one request; the returned event completes with the
         finished request (same contract as ``InferenceServer.submit``)."""
         done = self.env.event()
@@ -189,16 +193,16 @@ class LoadBalancer:
             and self.resilience.max_backlog is not None
             and self._backlog.size >= self.resilience.max_backlog
         ):
-            return self._shed(image, done)
-        self._backlog.put(_Job(image, done, self.env.now))
+            return self._shed(image, done, phase)
+        self._backlog.put(_Job(image, done, self.env.now, phase=phase))
         return done
 
-    def _shed(self, image, done: Event) -> Event:
+    def _shed(self, image, done: Event, phase: Optional[str] = None) -> Event:
         """Admission control: reject without touching any node."""
         self.shed += 1
         if self.metrics is not None:
             self.metrics.note_shed()
-        request = InferenceRequest(image, arrival_time=self.env.now)
+        request = InferenceRequest(image, arrival_time=self.env.now, phase=phase)
         request.outcome = OUTCOME_SHED
         done.succeed(request)
         return done
@@ -248,7 +252,7 @@ class LoadBalancer:
             # attempts) count in request latency.
             inner = self.servers[index].submit(
                 job.image, arrival_time=job.enqueued_at,
-                deadline=deadline, attempt=job.attempt,
+                deadline=deadline, attempt=job.attempt, phase=job.phase,
             )
             self.env.process(self._track(index, job, inner, deadline))
 
@@ -298,7 +302,7 @@ class LoadBalancer:
             # Attempt budget exhausted: fail the request to the caller.
             # (Each timed-out attempt was already recorded server-side.)
             request = InferenceRequest(job.image, arrival_time=job.enqueued_at,
-                                       attempt=job.attempt)
+                                       attempt=job.attempt, phase=job.phase)
             request.outcome = OUTCOME_TIMEOUT
             job.done.succeed(request)
             return
@@ -353,8 +357,8 @@ class Fleet:
     def node_count(self) -> int:
         return len(self.nodes)
 
-    def submit(self, image) -> Event:
-        return self.balancer.submit(image)
+    def submit(self, image, phase: Optional[str] = None) -> Event:
+        return self.balancer.submit(image, phase=phase)
 
 
 @dataclass(frozen=True)
@@ -411,7 +415,7 @@ class FleetResult:
 def run_fleet_experiment(
     server_config: ServerConfig,
     node_count: int,
-    offered_rate: float,
+    offered_rate: Optional[float] = None,
     dataset: Optional[Dataset] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
     gpu_count: int = 1,
@@ -424,16 +428,38 @@ def run_fleet_experiment(
     resilience: Optional[ResiliencePolicy] = None,
     faults: Optional["FaultPlan"] = None,
     telemetry=None,
+    *,
+    workload: Optional["Workload"] = None,
 ) -> FleetResult:
-    """Open-loop Poisson load against an N-node fleet.
+    """Open-loop load against an N-node fleet.
+
+    Traffic comes from ``workload`` (a :class:`repro.workload.Workload`:
+    diurnal curves, flash crowds, sessions, trace replay, ...).  The
+    legacy ``offered_rate=``/``dataset=`` kwargs are deprecated shims
+    mapping onto ``Workload.constant(...)`` — bit-identical draws, plus
+    a ``DeprecationWarning``.
 
     ``resilience`` enables deadlines/retries/shedding/circuit-breaking
     in the balancer; ``faults`` injects the given fault plan.  Both
     default to ``None``, which reproduces the fault-free experiment
     exactly (no extra processes, no extra RNG draws).
     """
-    if offered_rate <= 0:
-        raise ValueError(f"offered_rate must be positive, got {offered_rate}")
+    from ..workload import Workload
+
+    if workload is None:
+        if offered_rate is None:
+            raise ValueError("pass a workload= (or the legacy offered_rate=)")
+        warnings.warn(
+            "run_fleet_experiment(offered_rate=..., dataset=...) is deprecated; "
+            "pass workload=Workload.constant(rate, dataset=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        workload = Workload.constant(offered_rate, dataset=dataset)
+    elif offered_rate is not None or dataset is not None:
+        raise ValueError("pass either workload= or legacy offered_rate=/dataset=, not both")
+    workload.validate()
+    rate_label = offered_rate if offered_rate is not None else workload.offered_rate_hint()
     env = Environment()
     streams = RandomStreams(seed)
     collector = MetricsCollector()
@@ -444,16 +470,32 @@ def run_fleet_experiment(
     warmup_done = env.event()
     measure_done = env.event()
     completed = {"n": 0}
+    state = {"stop": False, "issued": 0, "exhausted": False}
     target_total = warmup_requests + measure_requests
+    if warmup_requests == 0:
+        warmup_done.succeed()  # measurement window arms at t=0
+
+    def finish_if_exhausted():
+        # Bounded workloads (duration or trace end) may run dry before
+        # the completion targets; once every submitted request has
+        # resolved, waiting out max_sim_seconds would only pad the
+        # measurement window with dead air.
+        if not state["exhausted"] or completed["n"] < state["issued"]:
+            return
+        if not warmup_done.triggered:
+            warmup_done.succeed()
+        if not measure_done.triggered:
+            measure_done.succeed()
 
     def on_complete(request):
         completed["n"] += 1
-        if completed["n"] == warmup_requests:
+        if completed["n"] == warmup_requests and not warmup_done.triggered:
             warmup_done.succeed()
-        elif completed["n"] == target_total:
+        elif completed["n"] == target_total and not measure_done.triggered:
             measure_done.succeed()
         if session is not None:
             session.observe_completion(request, env.now)
+        finish_if_exhausted()
 
     fleet = Fleet(
         env,
@@ -487,18 +529,30 @@ def run_fleet_experiment(
         injector.start()
         if session is not None:
             injector.register_metrics(session.registry)
-    images = dataset if dataset is not None else reference_dataset("medium")
-    rng = streams.stream("fleet:images")
-    arrival_rng = streams.stream("fleet:arrivals")
-    state = {"stop": False}
+    source = workload.source(streams, prefix="fleet",
+                             default_dataset=reference_dataset("medium"))
+    if session is not None and source.model is not None:
+        model = source.model
+        session.registry.gauge_fn(
+            "repro_workload_offered_rate",
+            "Instantaneous workload arrival rate (requests/second)",
+            lambda: model.rate_at(env.now),
+        )
     peak_backlog = {"n": 0}
 
     def generator():
         while not state["stop"]:
-            yield env.timeout(arrival_rng.expovariate(offered_rate))
+            interval = source.next_interval(env.now)
+            if interval is None:
+                # Workload exhausted (bounded duration or trace end).
+                state["exhausted"] = True
+                finish_if_exhausted()
+                return
+            yield env.timeout(interval)
             if state["stop"]:
                 return
-            fleet.submit(images.sample(rng))
+            state["issued"] += 1
+            fleet.submit(source.next_image(), phase=source.last_phase)
             peak_backlog["n"] = max(peak_backlog["n"], fleet.balancer.backlog_depth)
 
     env.process(generator())
@@ -518,7 +572,7 @@ def run_fleet_experiment(
     return FleetResult(
         telemetry=session,
         node_count=node_count,
-        offered_rate=offered_rate,
+        offered_rate=rate_label,
         metrics=collector.finalize(),
         dispatched_per_node=list(fleet.balancer.dispatched),
         peak_backlog=peak_backlog["n"],
@@ -558,14 +612,18 @@ def plan_capacity(
     """
     if p99_slo_seconds <= 0:
         raise ValueError("p99 SLO must be positive")
+    from ..workload import Workload
+
+    # Built once here so the sizing loop stays on the non-deprecated
+    # path (bit-identical to the legacy offered_rate/dataset kwargs).
+    workload = Workload.constant(offered_rate, dataset=dataset)
     evaluations: Dict[int, float] = {}
     nodes = 1
     while nodes <= max_nodes:
         result = run_fleet_experiment(
             server_config,
             node_count=nodes,
-            offered_rate=offered_rate,
-            dataset=dataset,
+            workload=workload,
             **run_kwargs,
         )
         p99 = result.metrics.latency.p99

@@ -12,10 +12,13 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from ..sim import Environment, RandomStreams
 from ..vision.datasets import Dataset
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..workload.source import ArrivalSource
 
 __all__ = [
     "ArrivalProcess",
@@ -23,6 +26,7 @@ __all__ = [
     "BurstyArrivals",
     "DiurnalArrivals",
     "PatternedClient",
+    "WorkloadClient",
 ]
 
 
@@ -48,10 +52,22 @@ class ArrivalProcess:
 
     def next_interval(self, now: float, rng: random.Random) -> float:
         """Time until the next arrival, sampled at ``now``."""
+        interval, _ = self.wait(now, rng)
+        return interval
+
+    def wait(self, now: float, rng: random.Random) -> Tuple[float, bool]:
+        """``(interval, is_arrival)``: how long to sleep, and whether an
+        arrival fires when the sleep ends.
+
+        During zero-rate stretches the client must wake up to re-check
+        the rate *without emitting a request* — ``is_arrival=False``
+        marks those re-polls (a re-poll that submitted would inject one
+        spurious request per ``idle_repoll_seconds`` of idle time).
+        """
         rate = self.rate_at(now)
         if rate <= 0:
-            return self.idle_repoll_seconds  # idle: re-examine the rate later
-        return rng.expovariate(rate)
+            return self.idle_repoll_seconds, False  # idle: re-examine later
+        return rng.expovariate(rate), True
 
 
 class PoissonArrivals(ArrivalProcess):
@@ -157,13 +173,74 @@ class PatternedClient:
 
     def _generator(self):
         while not self._stopped:
-            yield self.env.timeout(
-                self.arrivals.next_interval(self.env.now, self._arrival_rng)
-            )
+            interval, is_arrival = self.arrivals.wait(self.env.now, self._arrival_rng)
+            yield self.env.timeout(interval)
             if self._stopped:
                 return
+            if not is_arrival:
+                continue  # idle re-poll: the rate was zero, nothing arrives
             self.issued += 1
             done = self.server.submit(self.dataset.sample(self._rng))
+            if self.on_complete is not None:
+                self.env.process(self._watch(done))
+
+    def _watch(self, done):
+        request = yield done
+        self.on_complete(request)
+
+
+class WorkloadClient:
+    """Open-loop client driven by a :class:`~repro.workload.source.ArrivalSource`.
+
+    The successor to :class:`PatternedClient` and
+    :class:`~repro.serving.client.OpenLoopClient`: one client for every
+    arrival shape (constant, diurnal, flash crowd, sessions, trace
+    replay).  The source streams lazily — a synthesized 24h day or a
+    100M-event trace never materializes a schedule in memory — and only
+    reports *actual* arrivals, so bursty gaps cost no idle re-polls and
+    can never emit spurious requests.
+
+    Each submission is stamped with the source's phase label, which
+    flows onto the request (per-phase metrics, Perfetto span args).
+    ``on_exhausted`` fires when a bounded source (duration or trace end)
+    runs dry, letting the experiment controller stop early.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server,  # anything with .submit(image, phase=...) -> Event
+        source: "ArrivalSource",
+        on_complete: Optional[Callable] = None,
+        on_exhausted: Optional[Callable] = None,
+    ) -> None:
+        self.env = env
+        self.server = server
+        self.source = source
+        self.on_complete = on_complete
+        self.on_exhausted = on_exhausted
+        self.issued = 0
+        self.exhausted = False
+        self._stopped = False
+        env.process(self._generator())
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _generator(self):
+        while not self._stopped:
+            interval = self.source.next_interval(self.env.now)
+            if interval is None:
+                self.exhausted = True
+                if self.on_exhausted is not None:
+                    self.on_exhausted()
+                return
+            yield self.env.timeout(interval)
+            if self._stopped:
+                return
+            image = self.source.next_image()
+            self.issued += 1
+            done = self.server.submit(image, phase=self.source.last_phase)
             if self.on_complete is not None:
                 self.env.process(self._watch(done))
 

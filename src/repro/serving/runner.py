@@ -25,7 +25,9 @@ from ..hardware.power import DeviceEnergy
 from ..sim import Environment, RandomStreams
 from ..telemetry import TelemetryConfig, TelemetrySession
 from ..vision.datasets import Dataset, reference_dataset
+from ..workload import Workload
 from .client import ClosedLoopClient
+from .loadgen import WorkloadClient
 from .resilience import ResiliencePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -40,6 +42,11 @@ class ExperimentConfig:
 
     server: ServerConfig = field(default_factory=ServerConfig)
     dataset: Optional[Dataset] = None  # defaults to the medium reference image
+    #: Unified traffic spec (:class:`repro.workload.Workload`).  Its
+    #: dataset takes precedence over ``dataset``; open-loop runners
+    #: additionally draw arrival timing from it (closed-loop load is set
+    #: by ``concurrency``, so only the popularity component applies).
+    workload: Optional[Workload] = None
     concurrency: int = 64
     gpu_count: int = 1
     calibration: Calibration = DEFAULT_CALIBRATION
@@ -75,6 +82,8 @@ class ExperimentConfig:
             raise ValueError("max_sim_seconds must be positive")
         if self.think_jitter_seconds < 0:
             raise ValueError("think_jitter_seconds must be >= 0")
+        if self.workload is not None:
+            self.workload.validate()
 
     def validate(self) -> "ExperimentConfig":
         """Re-run field validation (useful after deserialization)."""
@@ -162,8 +171,25 @@ def _open_session(
     return TelemetrySession(telemetry, env=env)
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Simulate one experiment and return its measurements."""
+def _closed_loop_dataset(config: ExperimentConfig, default: Dataset) -> Dataset:
+    """Dataset for a closed-loop run: workload > config.dataset > default."""
+    if config.workload is not None:
+        return config.workload.resolved_dataset(
+            config.dataset if config.dataset is not None else default)
+    return config.dataset if config.dataset is not None else default
+
+
+def run_experiment(
+    config: ExperimentConfig, *, workload: Optional[Workload] = None
+) -> RunResult:
+    """Simulate one experiment and return its measurements.
+
+    ``workload`` (equivalently ``config.workload``) supplies the request
+    mix — a closed-loop run draws its images/popularity from it, while
+    load intensity stays set by ``config.concurrency``.
+    """
+    if workload is not None:
+        config = config.with_overrides(workload=workload)
     env = Environment()
     streams = RandomStreams(config.seed)
     node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
@@ -191,7 +217,7 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     if session is not None:
         session.attach_server(server)
         session.start()
-    dataset = config.dataset if config.dataset is not None else reference_dataset("medium")
+    dataset = _closed_loop_dataset(config, reference_dataset("medium"))
     client = ClosedLoopClient(
         env,
         server,
@@ -267,16 +293,33 @@ def run_face_pipeline(
     think_jitter_seconds: float = 2e-3,
     frame_dataset: Optional[Dataset] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    *,
+    workload: Optional[Workload] = None,
 ) -> RunResult:
     """Simulate the multi-DNN face pipeline (paper Sec. 4.7 / Fig. 11).
 
     Same measurement protocol as :func:`run_experiment`, but the server
     is a :class:`~repro.apps.face_pipeline.FacePipeline` fed with video
     frames instead of a single-model classification deployment.
+
+    Frames come from ``workload`` (its dataset component; closed-loop
+    load is set by ``concurrency``).  The legacy ``frame_dataset=``
+    kwarg is a deprecated shim for ``workload=Workload.constant(...,
+    dataset=frame_dataset)``.
     """
     # Imported here to avoid a circular import (apps imports serving).
     from ..apps.face_pipeline import FacePipeline
     from ..vision.datasets import VideoFrameDataset
+
+    if frame_dataset is not None:
+        warnings.warn(
+            "run_face_pipeline(frame_dataset=...) is deprecated; pass "
+            "workload=Workload.constant(rate, dataset=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if workload is not None:
+            raise ValueError("pass either workload= or frame_dataset=, not both")
 
     env = Environment()
     streams = RandomStreams(seed)
@@ -304,7 +347,12 @@ def run_face_pipeline(
     if session is not None:
         session.attach_pipeline(pipeline)
         session.start()
-    dataset = frame_dataset if frame_dataset is not None else VideoFrameDataset()
+    if frame_dataset is not None:
+        dataset = frame_dataset
+    elif workload is not None:
+        dataset = workload.resolved_dataset(VideoFrameDataset())
+    else:
+        dataset = VideoFrameDataset()
     client = ClosedLoopClient(
         env,
         pipeline,
@@ -340,6 +388,7 @@ def run_face_pipeline(
     gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
 
     experiment = ExperimentConfig(
+        workload=workload,
         concurrency=concurrency,
         gpu_count=gpu_count,
         calibration=calibration,
@@ -363,16 +412,37 @@ def run_face_pipeline(
 
 def run_open_loop(
     config: ExperimentConfig,
-    offered_rate: float,
+    offered_rate: Optional[float] = None,
+    *,
+    workload: Optional[Workload] = None,
 ) -> RunResult:
-    """Open-loop variant of :func:`run_experiment` (Poisson arrivals).
+    """Open-loop variant of :func:`run_experiment`.
+
+    Arrival timing comes from ``workload`` (or ``config.workload``):
+    constant Poisson, diurnal curves, flash crowds, per-user sessions,
+    or trace replay.  The legacy ``offered_rate=`` argument is a
+    deprecated shim mapping onto ``Workload.constant(offered_rate)`` —
+    the RNG draws are bit-identical, plus a ``DeprecationWarning``.
 
     Under open-loop load at a rate below capacity, a *fixed-batch*
     server exhibits long batch-fill waits that dominate tail latency —
     the regime in which the paper observes dynamic batching improving
     p99 from 55 ms to 38 ms (Sec. 2.3) at a small throughput cost.
     """
-    from .client import OpenLoopClient
+    resolved = workload if workload is not None else config.workload
+    if resolved is None:
+        if offered_rate is None:
+            raise ValueError("pass a workload= (or the legacy offered_rate=)")
+        warnings.warn(
+            "run_open_loop(config, offered_rate) is deprecated; pass "
+            "workload=Workload.constant(offered_rate)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        resolved = Workload.constant(offered_rate, dataset=config.dataset)
+    elif offered_rate is not None:
+        raise ValueError("pass either workload= or the legacy offered_rate=, not both")
+    resolved.validate()
 
     env = Environment()
     streams = RandomStreams(config.seed)
@@ -385,22 +455,48 @@ def run_open_loop(
     target_warmup = config.warmup_requests
     target_total = config.warmup_requests + config.measure_requests
     completed = {"n": 0}
+    if target_warmup == 0:
+        warmup_done.succeed()  # measurement window arms at t=0
+
+    def finish_if_exhausted():
+        # A bounded workload (duration or trace end) may run dry before
+        # the completion targets are hit; once every issued request has
+        # completed, waiting out max_sim_seconds would only pad the
+        # measurement window with dead air.
+        if not client.exhausted or completed["n"] < client.issued:
+            return
+        if not warmup_done.triggered:
+            warmup_done.succeed()
+        if not measure_done.triggered:
+            measure_done.succeed()
 
     def on_complete(request):
         completed["n"] += 1
-        if completed["n"] == target_warmup:
+        if completed["n"] == target_warmup and not warmup_done.triggered:
             warmup_done.succeed()
-        elif completed["n"] == target_total:
+        elif completed["n"] == target_total and not measure_done.triggered:
             measure_done.succeed()
         if session is not None:
             session.observe_completion(request, env.now)
+        finish_if_exhausted()
 
     server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
     if session is not None:
         session.attach_server(server)
         session.start()
-    dataset = config.dataset if config.dataset is not None else reference_dataset("medium")
-    client = OpenLoopClient(env, server, dataset, rate=offered_rate, streams=streams)
+    default_dataset = (
+        config.dataset if config.dataset is not None else reference_dataset("medium")
+    )
+    source = resolved.source(streams, prefix="client",
+                             default_dataset=default_dataset)
+    if session is not None and source.model is not None:
+        model = source.model
+        session.registry.gauge_fn(
+            "repro_workload_offered_rate",
+            "Instantaneous workload arrival rate (requests/second)",
+            lambda: model.rate_at(env.now),
+        )
+    client = WorkloadClient(env, server, source, on_exhausted=finish_if_exhausted)
 
     snapshots = {}
 

@@ -118,6 +118,9 @@ class VideoFrameDataset(Dataset):
 
     def __init__(self, width: int = 1920, height: int = 1080, quality: int = 80) -> None:
         self.name = f"video:{width}x{height}"
+        self.width = width
+        self.height = height
+        self.quality = quality
         self._frame = Image(
             width=width,
             height=height,
@@ -162,6 +165,7 @@ class ZipfDataset(Dataset):
         self.base = base
         self.catalog_size = catalog_size
         self.skew = skew
+        self.seed = seed
         self.name = name or f"zipf:{base.name}:n{catalog_size}:s{skew:g}"
         catalog_rng = random.Random(f"{self.name}:{seed}")
         self.catalog: List[Image] = [
@@ -186,10 +190,19 @@ class ZipfDataset(Dataset):
         top_n = min(top_n, self.catalog_size)
         return self._cumulative[top_n - 1] / self._cumulative[-1]
 
-    def sample(self, rng: random.Random) -> Image:
+    def sample_index(self, rng: random.Random) -> int:
+        """Draw a catalog index (rank - 1) from the Zipf popularity.
+
+        Exposed so trace synthesis can record *which* catalog item each
+        request hit (replay maps the index straight back); one
+        ``rng.random()`` draw, identical to :meth:`sample`.
+        """
         u = rng.random() * self._cumulative[-1]
         index = bisect.bisect_right(self._cumulative, u)
-        return self.catalog[min(index, self.catalog_size - 1)]
+        return min(index, self.catalog_size - 1)
+
+    def sample(self, rng: random.Random) -> Image:
+        return self.catalog[self.sample_index(rng)]
 
 
 def reference_dataset(size: str) -> FixedImageDataset:

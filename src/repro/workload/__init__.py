@@ -1,0 +1,64 @@
+"""Trace-driven planet-scale workload subsystem.
+
+One :class:`Workload` object describes request traffic — composable
+arrival processes (diurnal curves, flash crowds, regional mixes),
+Zipf popularity, per-user Markov sessions — and every runner entry
+point accepts it.  A synthesized workload can be recorded to a compact
+JSONL(+gzip) trace and replayed bit-identically (see MODELING.md §11).
+"""
+
+from .arrivals import (
+    DAY_SECONDS,
+    ArrivalModel,
+    ConstantRate,
+    DiurnalCurve,
+    FlashCrowd,
+    Region,
+    RegionalMix,
+    Superpose,
+    model_from_dict,
+)
+from .sessions import MarkovSessionModel, SessionState, session_model_from_dict
+from .source import ArrivalSource, ConstantSource, ReplaySource, SyntheticSource
+from .spec import Workload, dataset_from_dict, dataset_to_dict, synthesize_trace
+from .trace import (
+    TRACE_FORMAT,
+    TraceEvent,
+    TraceMeta,
+    describe_trace,
+    read_trace,
+    read_trace_meta,
+    trace_digest,
+    write_trace,
+)
+
+__all__ = [
+    "ArrivalModel",
+    "ConstantRate",
+    "DiurnalCurve",
+    "FlashCrowd",
+    "Region",
+    "RegionalMix",
+    "Superpose",
+    "DAY_SECONDS",
+    "model_from_dict",
+    "MarkovSessionModel",
+    "SessionState",
+    "session_model_from_dict",
+    "ArrivalSource",
+    "ConstantSource",
+    "SyntheticSource",
+    "ReplaySource",
+    "Workload",
+    "synthesize_trace",
+    "dataset_to_dict",
+    "dataset_from_dict",
+    "TRACE_FORMAT",
+    "TraceEvent",
+    "TraceMeta",
+    "write_trace",
+    "read_trace",
+    "read_trace_meta",
+    "trace_digest",
+    "describe_trace",
+]

@@ -171,3 +171,69 @@ class TestTelemetryCommand:
         ])
         assert code == 1
         assert "MISSED" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([
+            "workload", "synthesize", "--spec", "constant:rate=5,duration=2",
+            "--out", "t.jsonl",
+        ])
+        assert args.action == "synthesize"
+        assert args.seed == 0
+
+    def test_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload"])
+
+    def test_synthesize_describe_replay_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "day.jsonl.gz"
+        assert main([
+            "workload", "synthesize",
+            "--spec", "flash:mean=40,at=5,len=3,peak=4,duration=12,zipf=1.0,catalog=16",
+            "--out", str(trace), "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "sha256" in out
+
+        assert main(["workload", "describe", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "digest" in out
+
+        assert main([
+            "workload", "replay", str(trace), "--warmup", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "phase" in out  # flash/day phase counters surfaced
+
+    def test_describe_accepts_a_spec_string(self, capsys):
+        assert main(["workload", "describe", "diurnal:mean=80,swing=0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "arrivals.kind" in out
+
+    def test_synthesize_rejects_unbounded_spec(self, tmp_path, capsys):
+        assert main([
+            "workload", "synthesize", "--spec", "constant:rate=5",
+            "--out", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        assert main([
+            "workload", "synthesize", "--spec", "bogus:rate=1",
+            "--out", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_accepts_workload_flag(self, capsys):
+        assert main([
+            "sweep", "--workload", "constant:rate=400,duration=10",
+            "--repeats", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seed=0" in out and "seed=1" in out
+
+    def test_sweep_rejects_bad_workload_spec(self, capsys):
+        assert main(["sweep", "--workload", "bogus:rate=1"]) == 2
+        assert "error" in capsys.readouterr().err

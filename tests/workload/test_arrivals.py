@@ -1,0 +1,163 @@
+"""Tests for composable arrival-rate models."""
+
+import pytest
+
+from repro.workload import (
+    DAY_SECONDS,
+    ConstantRate,
+    DiurnalCurve,
+    FlashCrowd,
+    Region,
+    RegionalMix,
+    Superpose,
+    model_from_dict,
+)
+
+
+class TestConstantRate:
+    def test_rate_is_flat(self):
+        model = ConstantRate(120.0)
+        assert model.rate_at(0.0) == 120.0
+        assert model.rate_at(1e6) == 120.0
+        assert model.peak_rate() == 120.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantRate(0.0)
+        with pytest.raises(ValueError):
+            ConstantRate(-5.0)
+
+
+class TestDiurnalCurve:
+    def test_trough_at_zero_peak_at_half_period(self):
+        model = DiurnalCurve(100.0, swing=0.5, period_seconds=DAY_SECONDS)
+        assert model.rate_at(0.0) == pytest.approx(50.0)
+        assert model.rate_at(DAY_SECONDS / 2) == pytest.approx(150.0)
+        assert model.peak_rate() == pytest.approx(150.0)
+
+    def test_mean_over_full_period_is_mean_rate(self):
+        model = DiurnalCurve(80.0, swing=0.7, period_seconds=3600.0)
+        assert model.mean_rate(3600.0, samples=4096) == pytest.approx(80.0, rel=0.01)
+
+    def test_phase_offset_shifts_the_curve(self):
+        base = DiurnalCurve(100.0, swing=0.5, period_seconds=3600.0)
+        shifted = DiurnalCurve(100.0, swing=0.5, period_seconds=3600.0,
+                               phase_offset_seconds=1800.0)
+        assert shifted.rate_at(0.0) == pytest.approx(base.rate_at(1800.0))
+
+    def test_phases_partition_day_and_night(self):
+        model = DiurnalCurve(100.0, swing=0.5, period_seconds=DAY_SECONDS)
+        assert model.phase_at(0.0) == "night"
+        assert model.phase_at(DAY_SECONDS / 2) == "day"
+
+    def test_swing_bounds(self):
+        with pytest.raises(ValueError):
+            DiurnalCurve(100.0, swing=1.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(100.0, swing=-0.1)
+
+
+class TestFlashCrowd:
+    def make(self, **kwargs):
+        defaults = dict(bursts=[(100.0, 50.0, 5.0)], ramp_seconds=10.0)
+        defaults.update(kwargs)
+        return FlashCrowd(ConstantRate(100.0), **defaults)
+
+    def test_burst_multiplies_base(self):
+        model = self.make()
+        assert model.rate_at(50.0) == pytest.approx(100.0)
+        assert model.rate_at(125.0) == pytest.approx(500.0)
+        assert model.rate_at(300.0) == pytest.approx(100.0)
+
+    def test_ramp_is_linear(self):
+        model = self.make()
+        # Halfway up the 10 s lead-in ramp: halfway between 1x and 5x.
+        assert model.rate_at(95.0) == pytest.approx(300.0)
+        # Halfway down the decay ramp after the burst window.
+        assert model.rate_at(155.0) == pytest.approx(300.0)
+
+    def test_phase_labels_flash_window(self):
+        model = self.make()
+        assert model.phase_at(125.0) == "flash"
+        assert model.phase_at(50.0) != "flash"
+
+    def test_peak_rate_covers_burst(self):
+        model = self.make()
+        assert model.peak_rate() >= 500.0
+
+    def test_amplitude_must_amplify(self):
+        with pytest.raises(ValueError):
+            self.make(bursts=[(100.0, 50.0, 1.0)])
+
+
+class TestRegionalMix:
+    def test_weights_scale_regions(self):
+        model = RegionalMix(
+            DiurnalCurve(90.0, swing=0.5, period_seconds=3600.0),
+            [Region("us", weight=2.0, offset_seconds=0.0),
+             Region("eu", weight=1.0, offset_seconds=1200.0)],
+        )
+        # Each region contributes weight x base mean; the mix sums them.
+        assert model.mean_rate(3600.0, samples=4096) == pytest.approx(270.0, rel=0.02)
+
+    def test_offsets_desynchronize_peaks(self):
+        period = 3600.0
+        model = RegionalMix(
+            DiurnalCurve(90.0, swing=0.9, period_seconds=period),
+            [Region(f"r{i}", weight=1.0, offset_seconds=i * period / 3)
+             for i in range(3)],
+        )
+        flat = [model.rate_at(t) for t in (0.0, period / 4, period / 2)]
+        spread = max(flat) - min(flat)
+        single = DiurnalCurve(90.0, swing=0.9, period_seconds=period)
+        single_spread = (max(single.rate_at(t) for t in (0.0, period / 4, period / 2))
+                        - min(single.rate_at(t) for t in (0.0, period / 4, period / 2)))
+        assert spread < single_spread  # staggering smooths the aggregate
+
+    def test_phase_names_the_dominant_region(self):
+        model = RegionalMix(
+            DiurnalCurve(90.0, swing=0.9, period_seconds=3600.0),
+            [Region("us", weight=1.0, offset_seconds=0.0),
+             Region("eu", weight=1.0, offset_seconds=1800.0)],
+        )
+        assert model.phase_at(900.0).startswith("region:")
+
+
+class TestSuperpose:
+    def test_add_composes(self):
+        combined = ConstantRate(40.0) + ConstantRate(60.0)
+        assert isinstance(combined, Superpose)
+        assert combined.rate_at(10.0) == pytest.approx(100.0)
+        assert combined.peak_rate() == pytest.approx(100.0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("model", [
+        ConstantRate(150.0),
+        DiurnalCurve(100.0, swing=0.6, period_seconds=7200.0,
+                     phase_offset_seconds=600.0),
+        FlashCrowd(DiurnalCurve(80.0, swing=0.4), bursts=[(30.0, 10.0, 4.0)],
+                   ramp_seconds=5.0),
+        RegionalMix(DiurnalCurve(90.0, swing=0.5, period_seconds=3600.0),
+                    [Region("us", weight=2.0, offset_seconds=0.0),
+                     Region("eu", weight=1.0, offset_seconds=1200.0)]),
+    ])
+    def test_describe_round_trips(self, model):
+        rebuilt = model_from_dict(model.describe())
+        for t in (0.0, 17.3, 1000.0, 40000.0):
+            assert rebuilt.rate_at(t) == pytest.approx(model.rate_at(t))
+            assert rebuilt.phase_at(t) == model.phase_at(t)
+
+    def test_unknown_kind_returns_none(self):
+        # A trace from a newer format must still replay; the envelope
+        # is advisory, so unknown kinds degrade to None rather than fail.
+        assert model_from_dict({"kind": "nope"}) is None
+
+
+class TestMeanRate:
+    def test_constant_mean_is_exact(self):
+        assert ConstantRate(42.0).mean_rate(100.0) == pytest.approx(42.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            ConstantRate(1.0).mean_rate(0.0)

@@ -1,0 +1,65 @@
+"""Golden-trace regression: the checked-in day must never drift.
+
+``golden/day.jsonl.gz`` is a synthesized 24 h day (diurnal swing, a
+noon flash crowd, Markov sessions, Zipf item popularity) committed to
+the repository with its digest pinned below.  Any change to the RNG
+stream layout, thinning loop, session chain, trace serialization, or
+gzip framing shows up here as a digest mismatch — which means old
+traces would no longer replay bit-identically and the format version
+must be bumped instead.
+"""
+
+from pathlib import Path
+
+from repro.vision import ImageNetLikeDataset, ZipfDataset
+from repro.workload import (
+    MarkovSessionModel,
+    Workload,
+    describe_trace,
+    read_trace,
+    synthesize_trace,
+    trace_digest,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "day.jsonl.gz"
+
+GOLDEN_DIGEST = "7b6a9790b7b1ba5eefaf34db385ea32424160fe2b00321b2d54069b7e7c555ef"
+GOLDEN_EVENTS = 1639
+GOLDEN_SEED = 7
+
+
+def golden_recipe():
+    """The exact spec that produced ``golden/day.jsonl.gz``."""
+    return Workload.flash_crowd(
+        0.001,
+        bursts=[(43_200.0, 3_600.0, 8.0)],
+        ramp_seconds=600.0,
+        swing=0.6,
+        sessions=MarkovSessionModel(),
+        dataset=ZipfDataset(ImageNetLikeDataset(), catalog_size=16, skew=1.0),
+        duration_seconds=86_400.0,
+        name="golden-day",
+    )
+
+
+class TestGoldenTrace:
+    def test_checked_in_trace_matches_pinned_digest(self):
+        assert trace_digest(str(GOLDEN)) == GOLDEN_DIGEST
+
+    def test_resynthesis_reproduces_the_digest(self, tmp_path):
+        fresh = tmp_path / "day.jsonl.gz"
+        count = synthesize_trace(golden_recipe(), str(fresh), seed=GOLDEN_SEED)
+        assert count == GOLDEN_EVENTS
+        assert trace_digest(str(fresh)) == GOLDEN_DIGEST
+        assert fresh.read_bytes() == GOLDEN.read_bytes()
+
+    def test_replay_consumes_every_event(self):
+        meta, events = read_trace(str(GOLDEN))
+        assert meta.name == "golden-day"
+        assert meta.seed == GOLDEN_SEED
+        assert sum(1 for _ in events) == GOLDEN_EVENTS
+
+    def test_trace_covers_every_phase(self):
+        stats = describe_trace(str(GOLDEN))
+        assert set(stats["phases"]) == {"day", "night", "flash"}
+        assert stats["users"] > 0  # sessions recorded user ids

@@ -1,0 +1,109 @@
+"""Tests for the Markov per-user session model."""
+
+import random
+
+import pytest
+
+from repro.workload import MarkovSessionModel, SessionState, session_model_from_dict
+
+
+class TestValidation:
+    def test_default_chain_is_browse_burst(self):
+        model = MarkovSessionModel()
+        assert set(model.states) == {"browse", "burst"}
+        assert model.entry_state == "browse"
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(ValueError):
+            SessionState("", think_mean_seconds=1.0, exit_probability=0.1)
+        with pytest.raises(ValueError):
+            SessionState("a", think_mean_seconds=0.0, exit_probability=0.1)
+        with pytest.raises(ValueError):
+            SessionState("a", think_mean_seconds=1.0, exit_probability=0.0)
+
+    def test_rejects_nonstochastic_row(self):
+        states = [SessionState("a", think_mean_seconds=1.0, exit_probability=0.5)]
+        with pytest.raises(ValueError):
+            MarkovSessionModel(states, {"a": {"a": 0.9}})
+
+    def test_rejects_unknown_transition_target(self):
+        states = [SessionState("a", think_mean_seconds=1.0, exit_probability=0.5)]
+        with pytest.raises(ValueError):
+            MarkovSessionModel(states, {"a": {"b": 1.0}})
+
+    def test_rejects_duplicate_states(self):
+        states = [
+            SessionState("a", think_mean_seconds=1.0, exit_probability=0.5),
+            SessionState("a", think_mean_seconds=2.0, exit_probability=0.5),
+        ]
+        with pytest.raises(ValueError):
+            MarkovSessionModel(states)
+
+
+class TestGeneration:
+    def test_first_request_at_session_start(self):
+        model = MarkovSessionModel()
+        t, state = next(model.requests(123.5, random.Random(0)))
+        assert t == 123.5
+        assert state == "browse"
+
+    def test_times_are_nondecreasing(self):
+        model = MarkovSessionModel()
+        times = [t for t, _ in model.requests(10.0, random.Random(3))]
+        assert times == sorted(times)
+
+    def test_deterministic_given_seed(self):
+        model = MarkovSessionModel()
+        a = list(model.requests(5.0, random.Random(42)))
+        b = list(model.requests(5.0, random.Random(42)))
+        assert a == b
+
+    def test_max_requests_caps_sessions(self):
+        # An exit probability this low would make sessions huge; the cap
+        # must bound them.
+        states = [SessionState("loop", think_mean_seconds=0.01,
+                               exit_probability=1e-9)]
+        model = MarkovSessionModel(states, {"loop": {"loop": 1.0}},
+                                   max_requests=17)
+        assert len(list(model.requests(0.0, random.Random(0)))) == 17
+
+    def test_single_state_always_that_state(self):
+        states = [SessionState("only", think_mean_seconds=0.5,
+                               exit_probability=0.3)]
+        model = MarkovSessionModel(states)
+        assert {s for _, s in model.requests(0.0, random.Random(1))} == {"only"}
+
+
+class TestMeanLength:
+    def test_single_state_geometric_mean(self):
+        # Geometric session length: E[L] = 1 / exit_probability.
+        states = [SessionState("a", think_mean_seconds=1.0, exit_probability=0.25)]
+        model = MarkovSessionModel(states, {"a": {"a": 1.0}})
+        assert model.mean_session_length == pytest.approx(4.0, rel=1e-6)
+
+    def test_mean_length_capped(self):
+        states = [SessionState("a", think_mean_seconds=1.0, exit_probability=0.001)]
+        model = MarkovSessionModel(states, {"a": {"a": 1.0}}, max_requests=10)
+        assert model.mean_session_length == 10.0
+
+    def test_empirical_mean_matches_analytic(self):
+        model = MarkovSessionModel()
+        rng = random.Random(7)
+        lengths = [sum(1 for _ in model.requests(0.0, rng)) for _ in range(4000)]
+        empirical = sum(lengths) / len(lengths)
+        assert empirical == pytest.approx(model.mean_session_length, rel=0.1)
+
+
+class TestRoundTrip:
+    def test_describe_round_trips(self):
+        model = MarkovSessionModel()
+        rebuilt = session_model_from_dict(model.describe())
+        assert rebuilt.entry_state == model.entry_state
+        assert rebuilt.transitions == model.transitions
+        assert rebuilt.max_requests == model.max_requests
+        a = list(model.requests(0.0, random.Random(9)))
+        b = list(rebuilt.requests(0.0, random.Random(9)))
+        assert a == b
+
+    def test_unknown_kind_returns_none(self):
+        assert session_model_from_dict({"kind": "nope"}) is None

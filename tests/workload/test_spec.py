@@ -1,0 +1,244 @@
+"""Tests for the unified Workload spec: validation, parsing, sources."""
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.vision import ImageNetLikeDataset, ZipfDataset, reference_dataset
+from repro.workload import (
+    ConstantRate,
+    ConstantSource,
+    DiurnalCurve,
+    MarkovSessionModel,
+    ReplaySource,
+    SyntheticSource,
+    Workload,
+    read_trace_meta,
+    synthesize_trace,
+    trace_digest,
+)
+
+
+def zipf(catalog=32, skew=1.0):
+    return ZipfDataset(ImageNetLikeDataset(), catalog_size=catalog, skew=skew)
+
+
+class TestValidation:
+    def test_needs_arrivals_or_trace(self):
+        with pytest.raises(ValueError):
+            Workload(name="empty")
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            Workload.constant(10.0, duration_seconds=0.0)
+
+    def test_replay_forbids_sessions(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        synthesize_trace(Workload.constant(5.0, duration_seconds=2.0), str(path))
+        with pytest.raises(ValueError):
+            Workload(name="bad", trace_path=str(path),
+                     sessions=MarkovSessionModel())
+
+    def test_with_overrides(self):
+        base = Workload.constant(10.0)
+        longer = base.with_overrides(duration_seconds=60.0)
+        assert longer.duration_seconds == 60.0
+        assert longer.arrivals is base.arrivals
+        assert base.duration_seconds is None  # frozen original untouched
+
+
+class TestConstructors:
+    def test_constant(self):
+        workload = Workload.constant(150.0)
+        assert isinstance(workload.arrivals, ConstantRate)
+        assert workload.offered_rate_hint() == 150.0
+
+    def test_diurnal(self):
+        workload = Workload.diurnal(100.0, swing=0.6, period_seconds=3600.0)
+        assert isinstance(workload.arrivals, DiurnalCurve)
+        assert workload.offered_rate_hint() == pytest.approx(100.0, rel=0.02)
+
+    def test_flash_crowd_with_swing_layers_diurnal(self):
+        workload = Workload.flash_crowd(
+            100.0, bursts=[(60.0, 30.0, 5.0)], swing=0.5)
+        assert isinstance(workload.arrivals.base, DiurnalCurve)
+
+    def test_sessions_amplify_rate_hint(self):
+        plain = Workload.diurnal(10.0, duration_seconds=100.0)
+        sessioned = Workload.diurnal(10.0, duration_seconds=100.0,
+                                     sessions=MarkovSessionModel())
+        amplification = sessioned.offered_rate_hint() / plain.offered_rate_hint()
+        assert amplification == pytest.approx(
+            sessioned.sessions.mean_session_length, rel=1e-6)
+
+
+class TestParse:
+    def test_constant(self):
+        workload = Workload.parse("constant:rate=150,duration=60")
+        assert isinstance(workload.arrivals, ConstantRate)
+        assert workload.arrivals.rate == 150.0
+        assert workload.duration_seconds == 60.0
+
+    def test_diurnal_with_zipf(self):
+        workload = Workload.parse("diurnal:mean=80,swing=0.3,zipf=1.1,catalog=64")
+        assert isinstance(workload.dataset, ZipfDataset)
+        assert workload.dataset.catalog_size == 64
+        assert workload.dataset.skew == 1.1
+
+    def test_flash_with_sessions(self):
+        workload = Workload.parse("flash:mean=50,at=100,len=30,peak=4,sessions=1")
+        assert workload.sessions is not None
+
+    def test_regions(self):
+        workload = Workload.parse("regions:mean=90,count=3,period=3600")
+        assert len(workload.arrivals.regions) == 3
+
+    def test_trace_path_is_replay(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        synthesize_trace(Workload.constant(5.0, duration_seconds=2.0), str(path))
+        workload = Workload.parse(str(path))
+        assert workload.is_replay
+
+    @pytest.mark.parametrize("spec", [
+        "constant:rate=0x10",
+        "constant:",
+        "diurnal:swing=0.5",
+        "flash:mean=10",
+        "bogus:rate=1",
+        "constant:rate=10,unknown=1",
+        "constant:rate=10,extra",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            Workload.parse(spec)
+
+
+class TestSourceDispatch:
+    def test_plain_constant_uses_legacy_parity_source(self):
+        source = Workload.constant(100.0).source(RandomStreams(0))
+        assert isinstance(source, ConstantSource)
+
+    def test_diurnal_uses_synthetic_source(self):
+        source = Workload.diurnal(100.0).source(RandomStreams(0))
+        assert isinstance(source, SyntheticSource)
+
+    def test_constant_with_sessions_uses_synthetic_source(self):
+        workload = Workload(name="w", arrivals=ConstantRate(10.0),
+                            sessions=MarkovSessionModel())
+        assert isinstance(workload.source(RandomStreams(0)), SyntheticSource)
+
+    def test_trace_uses_replay_source(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        synthesize_trace(Workload.constant(5.0, duration_seconds=2.0), str(path))
+        source = Workload.replay(str(path)).source(RandomStreams(0))
+        assert isinstance(source, ReplaySource)
+
+    def test_source_draws_respect_duration(self):
+        source = Workload.constant(100.0, duration_seconds=1.0).source(
+            RandomStreams(0))
+        now, drawn = 0.0, 0
+        while True:
+            interval = source.next_interval(now)
+            if interval is None:
+                break
+            now += interval
+            source.next_image()
+            drawn += 1
+        assert now <= 1.0  # every accepted arrival is inside the window
+        assert 50 <= drawn <= 200  # ~100 expected
+
+
+class TestSynthesize:
+    def test_same_seed_same_bytes(self, tmp_path):
+        workload = Workload.flash_crowd(
+            2.0, bursts=[(10.0, 5.0, 4.0)], swing=0.5, period_seconds=60.0,
+            dataset=zipf(), duration_seconds=60.0)
+        a = tmp_path / "a.jsonl.gz"
+        b = tmp_path / "b.jsonl.gz"
+        assert synthesize_trace(workload, str(a), seed=5) == \
+            synthesize_trace(workload, str(b), seed=5)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_differs(self, tmp_path):
+        workload = Workload.constant(20.0, duration_seconds=10.0)
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        synthesize_trace(workload, str(a), seed=1)
+        synthesize_trace(workload, str(b), seed=2)
+        assert trace_digest(str(a)) != trace_digest(str(b))
+
+    def test_header_embeds_recipe(self, tmp_path):
+        workload = Workload.diurnal(5.0, swing=0.4, period_seconds=30.0,
+                                    dataset=zipf(catalog=16),
+                                    duration_seconds=30.0)
+        path = tmp_path / "t.jsonl.gz"
+        synthesize_trace(workload, str(path), seed=9)
+        meta = read_trace_meta(str(path))
+        assert meta.seed == 9
+        assert meta.workload["arrivals"]["kind"] == "DiurnalCurve"
+        assert meta.workload["dataset"]["catalog_size"] == 16
+
+    def test_replay_rebuilds_dataset_from_header(self, tmp_path):
+        workload = Workload.constant(20.0, dataset=zipf(catalog=16),
+                                     duration_seconds=5.0)
+        path = tmp_path / "t.jsonl"
+        synthesize_trace(workload, str(path))
+        replay = Workload.replay(str(path))
+        assert isinstance(replay.dataset, ZipfDataset)
+        assert replay.dataset.catalog_size == 16
+
+    def test_unbounded_workload_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            synthesize_trace(Workload.constant(5.0), str(tmp_path / "t.jsonl"))
+
+
+class TestReplaySource:
+    def test_replay_preserves_event_times_and_phases(self, tmp_path):
+        workload = Workload.diurnal(10.0, swing=0.8, period_seconds=20.0,
+                                    dataset=zipf(catalog=8),
+                                    duration_seconds=20.0)
+        path = tmp_path / "t.jsonl.gz"
+        synthesize_trace(workload, str(path), seed=2)
+
+        from repro.workload import read_trace
+
+        _, events = read_trace(str(path))
+        events = list(events)
+        source = Workload.replay(str(path)).source(RandomStreams(0))
+        now = 0.0
+        replayed = []
+        while True:
+            interval = source.next_interval(now)
+            if interval is None:
+                break
+            now += interval
+            source.next_image()
+            replayed.append((now, source.last_phase))
+        assert len(replayed) == len(events)
+        for (t, phase), event in zip(replayed, events):
+            assert t == pytest.approx(event.t, abs=1e-9)
+            assert phase == event.phase
+
+    def test_replay_keys_map_to_catalog_images(self, tmp_path):
+        dataset = zipf(catalog=8)
+        workload = Workload.constant(20.0, dataset=dataset,
+                                     duration_seconds=5.0)
+        path = tmp_path / "t.jsonl"
+        synthesize_trace(workload, str(path), seed=1)
+        source = Workload.replay(str(path)).source(RandomStreams(0))
+        replay_dataset = source.dataset
+        while source.next_interval(0.0) is not None:
+            image = source.next_image()
+            assert image is replay_dataset.catalog[source.last_key]
+
+
+class TestResolvedDataset:
+    def test_explicit_dataset_wins(self):
+        dataset = zipf()
+        workload = Workload.constant(10.0, dataset=dataset)
+        assert workload.resolved_dataset(reference_dataset("small")) is dataset
+
+    def test_falls_back_to_default_then_reference(self):
+        workload = Workload.constant(10.0)
+        default = reference_dataset("large")
+        assert workload.resolved_dataset(default) is default
+        assert workload.resolved_dataset(None) is not None

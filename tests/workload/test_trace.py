@@ -1,0 +1,116 @@
+"""Tests for the JSONL(+gzip) trace record/replay format."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.workload import (
+    TRACE_FORMAT,
+    TraceEvent,
+    TraceMeta,
+    describe_trace,
+    read_trace,
+    read_trace_meta,
+    trace_digest,
+    write_trace,
+)
+
+EVENTS = [
+    TraceEvent(0.25, phase="night"),
+    TraceEvent(1.5, key=3, user=7, state="burst", phase="day"),
+    TraceEvent(1.5, key=0, user=7, state="burst", phase="day"),
+    TraceEvent(9.75, key=12, phase="flash"),
+]
+
+
+def write_sample(path, events=None):
+    meta = TraceMeta(name="sample", seed=11, duration_seconds=10.0,
+                     workload={"name": "sample"})
+    return write_trace(str(path), meta, events if events is not None else EVENTS)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("suffix", [".jsonl", ".jsonl.gz"])
+    def test_events_round_trip(self, tmp_path, suffix):
+        path = tmp_path / f"trace{suffix}"
+        count = write_sample(path)
+        assert count == len(EVENTS)
+        meta, events = read_trace(str(path))
+        assert meta.name == "sample"
+        assert meta.seed == 11
+        assert meta.duration_seconds == 10.0
+        assert list(events) == EVENTS
+
+    def test_header_carries_format(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+
+    def test_read_meta_only(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        write_sample(path)
+        meta = read_trace_meta(str(path))
+        assert meta.name == "sample"
+        assert meta.workload == {"name": "sample"}
+
+    def test_nulls_omitted_from_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample(path, [TraceEvent(0.5, phase="day")])
+        line = json.loads(path.read_text().splitlines()[1])
+        assert set(line) == {"t", "p"}
+
+
+class TestDeterminism:
+    def test_same_events_same_bytes(self, tmp_path):
+        a = tmp_path / "a.jsonl.gz"
+        b = tmp_path / "b.jsonl.gz"
+        write_sample(a)
+        write_sample(b)
+        # Byte-identical even though the output *paths* differ — the
+        # gzip header embeds neither filename nor mtime.
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_digest_ignores_compression(self, tmp_path):
+        plain = tmp_path / "t.jsonl"
+        packed = tmp_path / "t.jsonl.gz"
+        write_sample(plain)
+        write_sample(packed)
+        assert trace_digest(str(plain)) == trace_digest(str(packed))
+        assert plain.read_bytes() == gzip.decompress(packed.read_bytes())
+
+    def test_digest_changes_with_content(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_sample(a)
+        write_sample(b, EVENTS[:-1])
+        assert trace_digest(str(a)) != trace_digest(str(b))
+
+
+class TestValidation:
+    def test_rejects_time_travel(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(ValueError):
+            write_sample(path, [TraceEvent(5.0), TraceEvent(4.0)])
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"format": "other-format"}\n')
+        with pytest.raises(ValueError):
+            read_trace(str(path))
+
+
+class TestDescribe:
+    def test_describe_counts_everything(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        write_sample(path)
+        stats = describe_trace(str(path))
+        assert stats["events"] == 4
+        assert stats["first_t"] == 0.25
+        assert stats["last_t"] == 9.75
+        assert stats["phases"] == {"day": 2, "flash": 1, "night": 1}
+        assert stats["session_states"] == {"burst": 2}
+        assert stats["users"] == 1
+        assert stats["distinct_items"] == 3
+        assert stats["digest"] == trace_digest(str(path))
