@@ -19,6 +19,7 @@ __all__ = [
     "metrics_to_dict",
     "result_to_dict",
     "run_result_to_dict",
+    "cluster_result_to_dict",
     "fleet_result_to_dict",
     "tuning_result_to_dict",
     "rows_to_csv",
@@ -91,6 +92,37 @@ def fleet_result_to_dict(result) -> Dict[str, Any]:
     return out
 
 
+def cluster_result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.cluster.ClusterResult`."""
+    out = metrics_to_dict(result.metrics)
+    out.update(
+        {
+            "cells": result.cluster.cells,
+            "nodes_per_cell": result.cluster.nodes_per_cell,
+            "node_count": result.node_count,
+            "shard_count": result.shard_count,
+            "routing": result.cluster.routing,
+            "execution_mode": result.mode,
+            "issued": result.issued,
+            "cluster_timeouts": result.timeouts,
+            "cluster_retries": result.retries,
+            "cluster_shed": result.shed,
+            "fluid_served": result.fluid_served,
+            "cells_touched": result.cells_touched,
+            "epochs": result.epochs,
+            "epoch_seconds": result.epoch_seconds,
+            "wall_seconds": result.wall_seconds,
+            "busy_seconds": result.busy_seconds,
+            "workers": result.workers,
+            "parallel_efficiency": result.parallel_efficiency,
+        }
+    )
+    if result.slo is not None:
+        out["slo_met"] = result.slo.met
+        out["slo_compliance"] = result.slo.compliance
+    return out
+
+
 def tuning_result_to_dict(result) -> Dict[str, Any]:
     """Flatten a :class:`~repro.core.tuner.TuningResult`."""
     return {
@@ -116,6 +148,8 @@ def result_to_dict(result) -> Dict[str, Any]:
     """
     if hasattr(result, "dispatched_per_node"):
         return fleet_result_to_dict(result)
+    if hasattr(result, "shard_count") and hasattr(result, "cluster"):
+        return cluster_result_to_dict(result)
     if hasattr(result, "baseline") and hasattr(result, "best"):
         return tuning_result_to_dict(result)
     return run_result_to_dict(result)

@@ -599,8 +599,122 @@ def cmd_telemetry(args) -> int:
     return 0 if report.met else 1
 
 
+def cmd_cluster(args) -> int:
+    from .cluster import ClusterConfig, run_cluster_experiment
+    from .telemetry.slo import SloConfig
+    from .workload import Workload
+
+    workload = _workload_from_args(args)
+    if workload is None:
+        workload = Workload.constant(args.rate, duration_seconds=args.duration)
+    cluster = ClusterConfig(
+        cells=args.cells,
+        nodes_per_cell=args.nodes_per_cell,
+        shards=args.shards,
+        routing=args.routing,
+        execution=args.execution,
+        workers=args.workers or None,
+        base_latency_seconds=args.base_latency_us / 1e6,
+        jitter_latency_seconds=args.jitter_latency_us / 1e6,
+        topology_seed=args.topology_seed,
+        fluid=args.fluid,
+        fluid_hot_threshold=args.fluid_hot_threshold,
+    )
+    slo = None
+    if args.slo_ms is not None:
+        slo = SloConfig(latency_objective_seconds=args.slo_ms / 1e3,
+                        target=args.target)
+    result = run_cluster_experiment(
+        ServerConfig(model=args.model, preprocess_device=args.preprocess_device),
+        cluster,
+        workload,
+        seed=args.seed,
+        max_requests=args.max_requests,
+        max_sim_seconds=args.max_seconds,
+        slo=slo,
+    )
+    metrics = result.metrics
+    rows = [
+        ["nodes", f"{result.node_count:,} ({cluster.cells} cells x "
+                  f"{cluster.nodes_per_cell})"],
+        ["shards", f"{result.shard_count} ({result.mode}, "
+                   f"{result.workers} worker(s))"],
+        ["routing", cluster.routing],
+        ["issued", f"{result.issued:,}"],
+        ["completed", f"{result.completed:,}"],
+        ["throughput", f"{metrics.throughput:,.1f} img/s"],
+        ["p50 latency", f"{metrics.latency.p50 * 1e3:.2f} ms"],
+        ["p99 latency", f"{metrics.latency.p99 * 1e3:.2f} ms"],
+        ["epochs", f"{result.epochs:,} x {result.epoch_seconds * 1e3:g} ms"],
+        ["cells touched", f"{result.cells_touched}/{cluster.cells}"],
+        ["wall clock", f"{result.wall_seconds:.2f} s"],
+    ]
+    if result.timeouts:
+        rows.append(["timeouts", f"{result.timeouts:,}"])
+    if result.fluid_served:
+        rows.append(["fluid served", f"{result.fluid_served:,}"])
+    if result.slo is not None:
+        rows.append(["SLO compliance",
+                     f"{result.slo.compliance * 100:.2f}% "
+                     f"({'met' if result.slo.met else 'MISSED'})"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"cluster — {workload.name}"))
+    if args.per_shard:
+        print(format_table(
+            ["shard", "cells", "touched", "delivered", "completed"],
+            [[str(s.shard_id), str(s.cells), str(s.cells_touched),
+              str(s.delivered), str(s.completed)] for s in result.shards],
+            title="per-shard",
+        ))
+    _export(args, [result.to_dict()])
+    if result.slo is not None and not result.slo.met:
+        return 1
+    return 0
+
+
+def _print_cluster_bench(data: Dict) -> bool:
+    scaling = data["scaling"]
+    rows = [
+        ["topology", f"{scaling['cells']} cells x {scaling['nodes_per_cell']} "
+                     f"nodes ({scaling['node_count']} total)"],
+        ["requests", f"{scaling['requests']:,}"],
+        ["serial wall", f"{scaling['serial_wall_seconds']:.2f} s"],
+    ]
+    identical = True
+    for run in scaling["runs"]:
+        identical = identical and run["bit_identical"]
+        rows.append([
+            f"{run['shards']} shard(s)",
+            f"wall {run['wall_seconds']:.2f} s, "
+            f"efficiency {run['parallel_efficiency']:.0%}, "
+            f"identical {run['bit_identical']}",
+        ])
+    day = data.get("day")
+    if day is not None:
+        rows.append(["10k-node day",
+                     f"{day['issued']:,} requests / 24 h simulated in "
+                     f"{day['wall_seconds']:.2f} s "
+                     f"({day['cells_touched']} of {day['cells']} cells hot)"])
+    print(format_table(
+        ["probe", "value"], rows,
+        title=f"cluster bench — {'smoke' if data['smoke'] else 'full'} mode, "
+              f"{data['host']['cpu_count']} CPU(s)",
+    ))
+    return identical
+
+
 def cmd_bench(args) -> int:
     from .parallel.bench import run_bench, write_bench
+
+    if args.cluster:
+        from .cluster.bench import run_cluster_bench
+
+        data = run_cluster_bench(smoke=args.smoke)
+        identical = _print_cluster_bench(data)
+        if args.out:
+            write_bench(args.out, data)
+            print(f"wrote {args.out}")
+        return 0 if identical else 1
 
     data = run_bench(smoke=args.smoke, workers=args.workers or None)
     engine = data["engine"]
@@ -901,7 +1015,61 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shrunk probes for CI (~10x smaller)")
     bench.add_argument("--workers", type=int, default=0,
                        help="pool size for the sweep probe (0 = one per CPU core)")
+    bench.add_argument("--cluster", action="store_true",
+                       help="run the cluster shard-scaling harness instead "
+                            "(writes BENCH_cluster.json shape)")
     bench.set_defaults(func=cmd_bench)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded fleet simulation (cells behind a global routing tier)",
+        description="Simulate a cluster of independent cells behind a "
+                    "global routing tier, packed onto one or more "
+                    "execution shards advanced in conservative lockstep "
+                    "epochs.  Results are invariant to --shards and "
+                    "--execution; see docs/MODELING.md §12.",
+    )
+    cluster.add_argument("--cells", type=int, default=8,
+                         help="routing cells (independent balancer groups)")
+    cluster.add_argument("--nodes-per-cell", type=int, default=4)
+    cluster.add_argument("--shards", type=int, default=1,
+                         help="execution shards (never changes results)")
+    cluster.add_argument("--routing", default="hash",
+                         choices=["hash", "round_robin", "least_backlog"])
+    cluster.add_argument("--execution", default="serial",
+                         choices=["serial", "process"])
+    cluster.add_argument("--workers", type=int, default=0,
+                         help="pool size for process execution "
+                              "(0 = one per shard)")
+    cluster.add_argument("--model", default="resnet-50",
+                         choices=sorted(MODEL_ZOO))
+    _add_preprocess_device_flag(cluster, default="gpu", choices=["cpu", "gpu"])
+    cluster.add_argument("--rate", type=float, default=200.0,
+                         help="offered req/s when no --workload is given")
+    cluster.add_argument("--duration", type=float, default=30.0,
+                         help="seconds of constant load when no --workload")
+    _add_workload_flag(cluster, "cluster traffic")
+    cluster.add_argument("--base-latency-us", type=float, default=500.0,
+                         help="one-way router<->cell latency floor (µs)")
+    cluster.add_argument("--jitter-latency-us", type=float, default=0.0,
+                         help="per-cell deterministic latency spread (µs)")
+    cluster.add_argument("--topology-seed", type=int, default=0)
+    cluster.add_argument("--fluid", action="store_true",
+                         help="serve cold cells analytically at zero-load "
+                              "latency until they turn hot")
+    cluster.add_argument("--fluid-hot-threshold", type=int, default=32)
+    cluster.add_argument("--max-requests", type=int, default=None)
+    cluster.add_argument("--max-seconds", type=float, default=None,
+                         help="hard wall on simulated seconds")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--slo-ms", type=float, default=None,
+                         help="latency objective (ms); enables SLO tracking")
+    cluster.add_argument("--target", type=float, default=0.99,
+                         help="required good fraction for --slo-ms")
+    cluster.add_argument("--per-shard", action="store_true",
+                         help="print the per-shard accounting table")
+    _add_export_flags(cluster)
+    cluster.set_defaults(func=cmd_cluster)
 
     models = sub.add_parser("models", help="list the model zoo")
     _add_export_flags(models)

@@ -1,0 +1,246 @@
+"""Cluster topology: cells, shards, and the cross-shard latency model.
+
+A cluster is ``cells`` independent routing groups ("cells"), each a
+small :class:`~repro.serving.fleet.Fleet` of ``nodes_per_cell`` nodes
+behind its own balancer.  The global routing tier picks a *cell* for
+every arrival; cells never talk to each other.  That independence is
+the load-bearing design decision: execution *shards* (one
+:class:`~repro.sim.Environment` each) are pure packings of cells, so
+the simulated results are a function of the topology alone and
+invariant to the shard count — the property the determinism tests pin.
+
+The latency model is one-way ``base + jitter(cell)`` per direction,
+where the per-cell jitter offset is derived by hashing
+``(topology_seed, cell)`` — fixed for the run, identical in every
+execution mode.  The conservative synchronization epoch defaults to
+the minimum one-way latency (see MODELING.md §12).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..serving.fleet import LEAST_OUTSTANDING, _POLICIES
+
+__all__ = [
+    "ROUTE_HASH",
+    "ROUTE_ROUND_ROBIN",
+    "ROUTE_LEAST_BACKLOG",
+    "ROUTING_POLICIES",
+    "EXEC_SERIAL",
+    "EXEC_PROCESS",
+    "ClusterConfig",
+    "ShardPlan",
+    "route_hash_cell",
+]
+
+ROUTE_HASH = "hash"
+ROUTE_ROUND_ROBIN = "round_robin"
+ROUTE_LEAST_BACKLOG = "least_backlog"
+ROUTING_POLICIES = (ROUTE_HASH, ROUTE_ROUND_ROBIN, ROUTE_LEAST_BACKLOG)
+
+EXEC_SERIAL = "serial"
+EXEC_PROCESS = "process"
+_EXECUTIONS = (EXEC_SERIAL, EXEC_PROCESS)
+
+#: Epoch width used when every cross-shard latency is zero.  With a
+#: feedback-free routing policy the epoch is pure bookkeeping (it never
+#: affects results), so any positive width works; 1s keeps the epoch
+#: count low.  Stale-state routing requires a real positive latency and
+#: never reaches this fallback (enforced by ``validate``).
+_ZERO_LATENCY_EPOCH = 1.0
+
+
+def _stable_fraction(topology_seed: int, tag: str) -> float:
+    """Deterministic value in [0, 1) from ``(topology_seed, tag)``."""
+    digest = hashlib.sha256(f"{topology_seed}:{tag}".encode()).digest()
+    return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+
+def route_hash_cell(topology_seed: int, key: object, cells: int) -> int:
+    """Hash-affinity routing: a stable cell for ``key``.
+
+    SHA-256 based (like :class:`~repro.sim.rng.RandomStreams`), so the
+    mapping is identical across interpreter launches and in every pool
+    worker — never Python's randomized ``hash()``.
+    """
+    digest = hashlib.sha256(f"{topology_seed}:route:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % cells
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of cells to execution shards.
+
+    Cells are dealt round-robin (cell ``c`` lives on shard
+    ``c % shards``), which balances touched cells across shards for any
+    routing policy.  The plan is bookkeeping only: since cells are
+    independent, *any* packing yields identical simulated results.
+    """
+
+    cells: int
+    shards: int
+    shard_cells: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def build(cls, cells: int, shards: int) -> "ShardPlan":
+        count = max(1, min(shards, cells))
+        groups: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(range(shard, cells, count)) for shard in range(count)
+        )
+        return cls(cells=cells, shards=count, shard_cells=groups)
+
+    def shard_of(self, cell: int) -> int:
+        return cell % self.shards
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClusterConfig:
+    """Topology + execution spec for :func:`repro.cluster.run_cluster_experiment`."""
+
+    #: Routing groups; the unit of balancer locality and of parallelism.
+    cells: int = 4
+    #: Identical server nodes behind each cell's balancer.
+    nodes_per_cell: int = 4
+    #: Execution shards (event loops).  Results never depend on this.
+    shards: int = 1
+    #: Global routing tier policy: ``hash`` (session affinity on the
+    #: user id, falling back to the sequence number), ``round_robin``,
+    #: or ``least_backlog`` (epoch-stale backlog snapshots).
+    routing: str = ROUTE_HASH
+    #: Dispatch policy of each cell-local balancer.
+    cell_policy: str = LEAST_OUTSTANDING
+    per_node_cap: int = 512
+    gpu_count: int = 1
+    #: One-way router<->cell network latency floor (seconds).
+    base_latency_seconds: float = 500e-6
+    #: Upper bound of the deterministic per-cell latency offset added on
+    #: top of the base (hash-derived from ``topology_seed``).
+    jitter_latency_seconds: float = 0.0
+    #: Conservative synchronization window; ``None`` = the minimum
+    #: one-way latency (the largest provably safe window).
+    epoch_seconds: Optional[float] = None
+    #: Seed for the latency offsets and hash routing (independent of the
+    #: workload seed: same traffic over a different topology draw).
+    topology_seed: int = 0
+    #: ``serial`` (all shards in-process) or ``process`` (one pool
+    #: worker per shard via ``repro.parallel``).
+    execution: str = EXEC_SERIAL
+    #: Pool size for ``process`` execution; ``None`` = one per shard.
+    workers: Optional[int] = None
+    #: Fluid approximation for cold cells: serve analytically at the
+    #: cell's zero-load latency until the cell turns hot, then switch
+    #: permanently to discrete-event simulation (MODELING.md §12).
+    fluid: bool = False
+    #: Arrivals within ``fluid_hot_window_seconds`` that flip a cell hot.
+    fluid_hot_threshold: int = 32
+    fluid_hot_window_seconds: float = 1.0
+
+    def validate(self) -> "ClusterConfig":
+        if self.cells < 1:
+            raise ValueError(f"cells must be >= 1, got {self.cells}")
+        if self.nodes_per_cell < 1:
+            raise ValueError(
+                f"nodes_per_cell must be >= 1, got {self.nodes_per_cell}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}")
+        if self.cell_policy not in _POLICIES:
+            raise ValueError(
+                f"cell_policy must be one of {_POLICIES}, got {self.cell_policy!r}")
+        if self.per_node_cap < 1:
+            raise ValueError(f"per_node_cap must be >= 1, got {self.per_node_cap}")
+        if self.gpu_count < 1:
+            raise ValueError(f"gpu_count must be >= 1, got {self.gpu_count}")
+        if self.base_latency_seconds < 0:
+            raise ValueError(
+                f"base_latency_seconds must be >= 0, got {self.base_latency_seconds}")
+        if self.jitter_latency_seconds < 0:
+            raise ValueError(
+                "jitter_latency_seconds must be >= 0, got "
+                f"{self.jitter_latency_seconds}")
+        if self.epoch_seconds is not None and self.epoch_seconds <= 0:
+            raise ValueError(
+                f"epoch_seconds must be positive, got {self.epoch_seconds}")
+        if self.execution not in _EXECUTIONS:
+            raise ValueError(
+                f"execution must be one of {_EXECUTIONS}, got {self.execution!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.fluid:
+            if self.fluid_hot_threshold < 1:
+                raise ValueError(
+                    f"fluid_hot_threshold must be >= 1, got {self.fluid_hot_threshold}")
+            if self.fluid_hot_window_seconds <= 0:
+                raise ValueError(
+                    "fluid_hot_window_seconds must be positive, got "
+                    f"{self.fluid_hot_window_seconds}")
+        if self.routing == ROUTE_LEAST_BACKLOG:
+            if self.execution == EXEC_PROCESS:
+                raise ValueError(
+                    "least_backlog routing needs the serial coordinator "
+                    "(process shards cannot exchange backlog snapshots); "
+                    "use hash or round_robin routing with process execution")
+            floor = self.min_latency_seconds()
+            if floor <= 0:
+                raise ValueError(
+                    "least_backlog routing requires a positive cross-shard "
+                    "latency (the epoch bounds snapshot staleness)")
+            if self.epoch_seconds is not None and self.epoch_seconds > floor:
+                raise ValueError(
+                    f"epoch_seconds ({self.epoch_seconds}) must not exceed the "
+                    f"minimum cross-shard latency ({floor}) under "
+                    "least_backlog routing")
+        return self
+
+    def with_overrides(self, **overrides) -> "ClusterConfig":
+        return replace(self, **overrides).validate()
+
+    # -- derived topology --------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self.cells * self.nodes_per_cell
+
+    def ingress_latency(self, cell: int) -> float:
+        """One-way router -> cell delivery latency (seconds)."""
+        if self.jitter_latency_seconds == 0.0:
+            return self.base_latency_seconds
+        offset = _stable_fraction(self.topology_seed, f"cell:{cell}:in")
+        return self.base_latency_seconds + offset * self.jitter_latency_seconds
+
+    def egress_latency(self, cell: int) -> float:
+        """One-way cell -> router response latency (seconds)."""
+        if self.jitter_latency_seconds == 0.0:
+            return self.base_latency_seconds
+        offset = _stable_fraction(self.topology_seed, f"cell:{cell}:out")
+        return self.base_latency_seconds + offset * self.jitter_latency_seconds
+
+    def min_latency_seconds(self) -> float:
+        """Minimum one-way latency over all cells (the lookahead bound)."""
+        if self.jitter_latency_seconds == 0.0:
+            return self.base_latency_seconds
+        return min(
+            min(self.ingress_latency(cell), self.egress_latency(cell))
+            for cell in range(self.cells)
+        )
+
+    def resolved_epoch_seconds(self) -> float:
+        """The lockstep window actually used by the coordinator."""
+        if self.epoch_seconds is not None:
+            return self.epoch_seconds
+        floor = self.min_latency_seconds()
+        return floor if floor > 0 else _ZERO_LATENCY_EPOCH
+
+    def plan(self) -> ShardPlan:
+        return ShardPlan.build(self.cells, self.shards)
+
+    def node_ids(self, cell: int) -> Tuple[str, ...]:
+        """Globally unique, partition-stable node ids for one cell."""
+        return tuple(
+            f"c{cell}/n{index}" for index in range(self.nodes_per_cell)
+        )

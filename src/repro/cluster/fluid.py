@@ -1,0 +1,94 @@
+"""Fluid approximation for cold cells.
+
+A planet-scale day routes most traffic to a minority of hot cells; the
+long tail of cells sees a trickle that never builds a queue.  Spending
+a full discrete-event fleet on those cells buys nothing: at (near) zero
+load every request sails through at the zero-load latency.  The fluid
+model serves exactly that — each request completes analytically at the
+cell's calibrated zero-load latency, with the span breakdown of an
+unloaded request — until the cell turns *hot*, at which point it
+switches permanently to discrete-event simulation.
+
+The hot decision is cell-local and monotone (a count of arrivals inside
+a sliding window), so it is a pure function of the cell's own arrival
+sequence: deterministic, identical under any shard packing and in both
+execution modes.
+
+The zero-load latency is measured, not hand-modelled: the first arrival
+runs once through a throwaway single-node environment (no RNG draws on
+that path), and the resulting latency/spans/batch are cached for every
+later fluid completion.  Cell-local and deterministic, hence safe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.config import ServerConfig
+from ..core.server import InferenceServer
+from ..hardware.calibration import Calibration
+from ..hardware.platform import ServerNode
+from ..sim import Environment
+
+__all__ = ["FluidCellModel", "zero_load_profile"]
+
+
+def zero_load_profile(
+    image,
+    server_config: ServerConfig,
+    calibration: Calibration,
+    gpu_count: int,
+) -> Tuple[float, Dict[str, float], Optional[int]]:
+    """(latency, spans, batch_size) of one request on an idle node."""
+    env = Environment()
+    node = ServerNode(env, calibration, gpu_count=gpu_count)
+    server = InferenceServer(env, node, server_config)
+    done = server.submit(image, arrival_time=0.0)
+    request = env.run(until=done)
+    return request.latency, dict(request.spans), request.batch_size
+
+
+class FluidCellModel:
+    """Per-cell fluid state: cached zero-load profile + hot detection."""
+
+    def __init__(
+        self,
+        server_config: ServerConfig,
+        calibration: Calibration,
+        gpu_count: int,
+        *,
+        hot_threshold: int,
+        hot_window_seconds: float,
+    ) -> None:
+        self._server_config = server_config
+        self._calibration = calibration
+        self._gpu_count = gpu_count
+        self._hot_threshold = hot_threshold
+        self._hot_window = hot_window_seconds
+        self._profile: Optional[Tuple[float, Dict[str, float], Optional[int]]] = None
+        self._recent: Deque[float] = deque()
+        #: Requests served analytically before the cell went hot.
+        self.fluid_served = 0
+
+    def note_arrival(self, now: float) -> bool:
+        """Record an arrival; ``True`` when the cell just turned hot.
+
+        The arrival that crosses the threshold (and everything after it)
+        belongs to the discrete-event fleet.
+        """
+        recent = self._recent
+        recent.append(now)
+        floor = now - self._hot_window
+        while recent and recent[0] < floor:
+            recent.popleft()
+        return len(recent) >= self._hot_threshold
+
+    def serve(self, image) -> Tuple[float, Dict[str, float], Optional[int]]:
+        """Zero-load (latency, spans copy, batch_size) for one request."""
+        if self._profile is None:
+            self._profile = zero_load_profile(
+                image, self._server_config, self._calibration, self._gpu_count
+            )
+        latency, spans, batch = self._profile
+        return latency, dict(spans), batch

@@ -1,0 +1,183 @@
+"""Cross-shard metrics merging: completion records -> one ``RunMetrics``.
+
+Each cell collects a :class:`CompletionRecord` per finished request —
+a frozen, picklable snapshot of exactly the fields
+:class:`~repro.core.metrics.MetricsCollector` reads.  At the end of a
+cluster run the records from every cell are merged in a *canonical
+order* (stable sort by router-side completion time, cells concatenated
+in cell-id order) and replayed through a fresh collector.
+
+The canonical order is what makes the merge well-defined:
+
+- float summation order inside ``MetricsCollector.finalize`` (span
+  means) is fixed by the record order, so the merged ``RunMetrics`` is
+  bit-identical no matter how cells were packed into shards or whether
+  shards ran serially or in a process pool;
+- for a single cell the records arrive already sorted by completion
+  time (completions are processed in event order), so the stable sort
+  is the identity permutation and the merged metrics are byte-identical
+  to an unsharded :func:`~repro.serving.fleet.run_fleet_experiment`
+  with the same seed and a zero-latency fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.metrics import MetricsCollector, RunMetrics
+from ..core.request import OUTCOME_OK
+
+__all__ = ["CompletionRecord", "merge_records", "SPAN_NETWORK"]
+
+#: Extra span carrying the cross-shard fabric time (ingress + egress).
+#: Only stamped when the fabric latency is non-zero, so zero-latency
+#: clusters keep span ledgers identical to the unsharded fleet.
+SPAN_NETWORK = "network"
+
+
+class CompletionRecord:
+    """One finished request as seen from the global routing tier.
+
+    Duck-types the slice of ``InferenceRequest`` that
+    ``MetricsCollector.record``/``finalize`` read, with all times in
+    router coordinates: ``arrival_time`` is when the router issued the
+    request, ``completion_time``/``latency`` include the ingress and
+    egress fabric hops.  ``__slots__`` keeps a 100M-request day compact
+    and the default reduce keeps it picklable for process-pool shards.
+    """
+
+    __slots__ = (
+        "arrival_time",
+        "completion_time",
+        "latency",
+        "outcome",
+        "spans",
+        "batch_size",
+        "eviction_count",
+        "served_from",
+        "workload_phase",
+    )
+
+    def __init__(
+        self,
+        *,
+        arrival_time: float,
+        completion_time: float,
+        latency: float,
+        outcome: str,
+        spans: Dict[str, float],
+        batch_size: Optional[int],
+        eviction_count: int,
+        served_from: Optional[str],
+        workload_phase: Optional[str],
+    ) -> None:
+        self.arrival_time = arrival_time
+        self.completion_time = completion_time
+        self.latency = latency
+        self.outcome = outcome
+        self.spans = spans
+        self.batch_size = batch_size
+        self.eviction_count = eviction_count
+        self.served_from = served_from
+        self.workload_phase = workload_phase
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompletionRecord t={self.arrival_time:.6f} "
+            f"done={self.completion_time:.6f} {self.outcome}>"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CompletionRecord):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    @classmethod
+    def from_request(
+        cls,
+        request,
+        *,
+        ingress: float,
+        egress: float,
+    ) -> "CompletionRecord":
+        """Snapshot a completed in-cell request into router coordinates.
+
+        With a zero-latency fabric every float passes through untouched
+        (adding ``0.0`` is exact), preserving byte-identity with the
+        unsharded fleet path.
+        """
+        fabric = ingress + egress
+        spans = request.spans
+        if fabric > 0.0:
+            spans = dict(spans)
+            spans[SPAN_NETWORK] = spans.get(SPAN_NETWORK, 0.0) + fabric
+        return cls(
+            arrival_time=request.arrival_time - ingress,
+            completion_time=request.completion_time + egress,
+            latency=request.latency + fabric,
+            outcome=request.outcome,
+            spans=spans,
+            batch_size=request.batch_size,
+            eviction_count=request.eviction_count,
+            served_from=request.served_from,
+            workload_phase=request.workload_phase,
+        )
+
+
+def canonical_order(
+    per_cell: Iterable[Tuple[int, List[CompletionRecord]]],
+) -> List[CompletionRecord]:
+    """Merge per-cell record lists into the canonical replay order.
+
+    Cells are concatenated in ascending cell id and stable-sorted by
+    router-side completion time: simultaneous completions keep their
+    (cell id, in-cell) order, which depends only on the topology —
+    never on the shard packing or execution mode.
+    """
+    merged: List[CompletionRecord] = []
+    for _cell, records in sorted(per_cell, key=lambda item: item[0]):
+        merged.extend(records)
+    merged.sort(key=lambda record: record.completion_time)
+    return merged
+
+
+def merge_records(
+    ordered: List[CompletionRecord],
+    *,
+    retry_count: int = 0,
+    shed_count: int = 0,
+) -> RunMetrics:
+    """Replay canonically ordered records through a fresh collector.
+
+    The measurement window spans the whole run: armed at t=0, closed at
+    the last router-side completion — the same window an exhausted
+    bounded workload produces in ``run_fleet_experiment`` with
+    ``warmup_requests=0``.
+    """
+    if not ordered:
+        raise RuntimeError("no requests completed in the cluster run")
+    collector = MetricsCollector()
+    collector.arm(0.0)
+    window_end = 0.0
+    for record in ordered:
+        collector.record(record)
+        if record.completion_time > window_end:
+            window_end = record.completion_time
+    collector.disarm(window_end)
+    metrics = collector.finalize()
+    if retry_count or shed_count:
+        metrics = replace(metrics, retry_count=retry_count, shed_count=shed_count)
+    return metrics
+
+
+def slo_feed(tracker, ordered: Iterable[CompletionRecord]) -> None:
+    """Stream records (already canonically ordered) into an SLO tracker."""
+    for record in ordered:
+        tracker.observe(
+            record.latency,
+            record.completion_time,
+            ok=record.outcome == OUTCOME_OK,
+        )

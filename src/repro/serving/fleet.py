@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import ServerConfig
 from ..core.metrics import MetricsCollector, RunMetrics
@@ -92,6 +92,7 @@ class LoadBalancer:
         resilience: Optional[ResiliencePolicy] = None,
         streams: Optional[RandomStreams] = None,
         metrics: Optional[MetricsCollector] = None,
+        node_ids: Optional[Sequence[str]] = None,
     ) -> None:
         if not servers:
             raise ValueError("fleet needs at least one server")
@@ -99,6 +100,19 @@ class LoadBalancer:
             raise ValueError(f"per_node_cap must be >= 1, got {per_node_cap}")
         if policy not in _POLICIES:
             raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        if node_ids is None:
+            node_ids = tuple(str(index) for index in range(len(servers)))
+        else:
+            node_ids = tuple(str(node_id) for node_id in node_ids)
+            if len(node_ids) != len(servers):
+                raise ValueError(
+                    f"{len(node_ids)} node ids for {len(servers)} servers")
+            if len(set(node_ids)) != len(node_ids):
+                raise ValueError(f"node ids must be unique, got {node_ids}")
+        #: Stable per-node identity used for metric labels.  Defaults to
+        #: the node index; a sharded cluster passes globally unique ids
+        #: so two balancers sharing one registry never collide.
+        self.node_ids: Tuple[str, ...] = node_ids
         self.env = env
         self.servers = servers
         self.per_node_cap = per_node_cap
@@ -158,24 +172,24 @@ class LoadBalancer:
             "Requests rejected by backlog admission control",
             lambda: self.shed,
         )
-        for index in range(len(self.servers)):
+        for index, node_id in enumerate(self.node_ids):
             registry.gauge_fn(
                 "repro_node_outstanding",
                 "In-flight requests on the node",
                 lambda i=index: self.outstanding[i],
-                node=str(index),
+                node=node_id,
             )
             registry.counter_fn(
                 "repro_node_dispatched_total",
                 "Requests routed to the node",
                 lambda i=index: self.dispatched[i],
-                node=str(index),
+                node=node_id,
             )
             registry.gauge_fn(
                 "repro_node_up",
                 "1 when the node is healthy, 0 during an outage",
                 lambda i=index: 1.0 if self.node_up[i] else 0.0,
-                node=str(index),
+                node=node_id,
             )
         if self.breakers is not None:
             registry.counter_fn(
@@ -226,11 +240,28 @@ class LoadBalancer:
                 if self._node_available(index, now):
                     return index
             return None
-        # least outstanding among available nodes
-        candidates = [i for i in range(len(self.servers)) if self._node_available(i, now)]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda i: self.outstanding[i])
+        # Least outstanding among available nodes.  This runs once per
+        # dispatch, so at fleet scale it must stay a single allocation-free
+        # scan: no candidate list, no min() key callable, and an early
+        # exit on the first idle node (the first zero is the first
+        # minimum, since every earlier available node had more in flight).
+        outstanding = self.outstanding
+        node_up = self.node_up
+        cap = self.per_node_cap
+        breakers = self.breakers
+        best = None
+        best_load = cap
+        for index in range(len(outstanding)):
+            load = outstanding[index]
+            if load >= best_load or not node_up[index]:
+                continue
+            if breakers is not None and not breakers[index].allows(now):
+                continue
+            if load == 0:
+                return index
+            best = index
+            best_load = load
+        return best
 
     def _dispatcher(self):
         while True:
@@ -335,6 +366,7 @@ class Fleet:
         on_complete=None,
         resilience: Optional[ResiliencePolicy] = None,
         streams: Optional[RandomStreams] = None,
+        node_ids: Optional[Sequence[str]] = None,
     ) -> None:
         if node_count < 1:
             raise ValueError(f"node_count must be >= 1, got {node_count}")
@@ -351,6 +383,7 @@ class Fleet:
         self.balancer = LoadBalancer(
             env, self.servers, per_node_cap, policy,
             resilience=resilience, streams=streams, metrics=self.metrics,
+            node_ids=node_ids,
         )
 
     @property

@@ -78,6 +78,22 @@ class Environment:
         self._eid = eid
         heappush(self._queue, (self._now + delay, priority, eid, event))
 
+    def schedule_at(self, event: Event, at: float, priority: int = NORMAL) -> None:
+        """Put a triggered ``event`` on the queue at absolute time ``at``.
+
+        Unlike :meth:`schedule`, which computes ``now + delay``, this
+        lands the event at exactly the given float.  Cross-environment
+        coordinators (``repro.cluster``) need that exactness: a delivery
+        computed as an absolute time in one environment must fire at the
+        bit-identical time in another, and ``now + (at - now)`` can be
+        one ulp off.
+        """
+        if at < self._now:
+            raise ValueError(f"at ({at}) must be >= now ({self._now})")
+        eid = self._eid + 1
+        self._eid = eid
+        heappush(self._queue, (at, priority, eid, event))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         if not self._queue:

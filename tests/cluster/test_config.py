@@ -1,0 +1,125 @@
+"""ClusterConfig / ShardPlan validation and derived topology."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ShardPlan, route_hash_cell
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ClusterConfig().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"cells": 0},
+            {"nodes_per_cell": 0},
+            {"shards": 0},
+            {"routing": "random"},
+            {"cell_policy": "nope"},
+            {"per_node_cap": 0},
+            {"gpu_count": 0},
+            {"base_latency_seconds": -1e-6},
+            {"jitter_latency_seconds": -1e-6},
+            {"epoch_seconds": 0.0},
+            {"execution": "threads"},
+            {"workers": 0},
+            {"fluid": True, "fluid_hot_threshold": 0},
+            {"fluid": True, "fluid_hot_window_seconds": 0.0},
+        ],
+    )
+    def test_bad_values_raise(self, overrides):
+        with pytest.raises(ValueError):
+            ClusterConfig(**overrides).validate()
+
+    def test_least_backlog_needs_serial(self):
+        with pytest.raises(ValueError, match="serial"):
+            ClusterConfig(routing="least_backlog",
+                          execution="process").validate()
+
+    def test_least_backlog_needs_positive_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            ClusterConfig(routing="least_backlog",
+                          base_latency_seconds=0.0).validate()
+
+    def test_least_backlog_epoch_bounded_by_latency(self):
+        with pytest.raises(ValueError, match="epoch_seconds"):
+            ClusterConfig(routing="least_backlog",
+                          base_latency_seconds=1e-3,
+                          epoch_seconds=2e-3).validate()
+
+    def test_with_overrides_validates(self):
+        base = ClusterConfig()
+        assert base.with_overrides(shards=4).shards == 4
+        with pytest.raises(ValueError):
+            base.with_overrides(cells=-1)
+
+
+class TestShardPlan:
+    def test_round_robin_deal(self):
+        plan = ShardPlan.build(cells=7, shards=3)
+        assert plan.shard_cells == ((0, 3, 6), (1, 4), (2, 5))
+        for shard, cells in enumerate(plan.shard_cells):
+            for cell in cells:
+                assert plan.shard_of(cell) == shard
+
+    def test_shards_clamped_to_cells(self):
+        plan = ShardPlan.build(cells=2, shards=8)
+        assert plan.shards == 2
+
+    def test_every_cell_assigned_exactly_once(self):
+        plan = ShardPlan.build(cells=13, shards=4)
+        seen = sorted(cell for group in plan.shard_cells for cell in group)
+        assert seen == list(range(13))
+
+
+class TestTopology:
+    def test_node_count(self):
+        assert ClusterConfig(cells=5, nodes_per_cell=3).node_count == 15
+
+    def test_node_ids_globally_unique_and_stable(self):
+        config = ClusterConfig(cells=3, nodes_per_cell=2)
+        ids = [nid for cell in range(3) for nid in config.node_ids(cell)]
+        assert len(set(ids)) == len(ids)
+        # Stable under repartitioning: ids derive from the topology, not
+        # from any shard plan.
+        assert config.with_overrides(shards=3).node_ids(1) == config.node_ids(1)
+        assert config.node_ids(1) == ("c1/n0", "c1/n1")
+
+    def test_latency_model_deterministic(self):
+        config = ClusterConfig(cells=4, jitter_latency_seconds=200e-6,
+                               topology_seed=7)
+        assert config.ingress_latency(2) == config.ingress_latency(2)
+        assert config.ingress_latency(2) >= config.base_latency_seconds
+        spread = {config.ingress_latency(c) for c in range(4)}
+        assert len(spread) == 4  # jitter actually differentiates cells
+        other = config.with_overrides(topology_seed=8)
+        assert other.ingress_latency(2) != config.ingress_latency(2)
+
+    def test_epoch_defaults_to_min_latency(self):
+        config = ClusterConfig(base_latency_seconds=250e-6)
+        assert config.resolved_epoch_seconds() == 250e-6
+        assert config.with_overrides(
+            epoch_seconds=1e-4).resolved_epoch_seconds() == 1e-4
+        # Zero-latency fabric: any positive window works; the fallback
+        # keeps the epoch count low.
+        assert ClusterConfig(
+            base_latency_seconds=0.0).resolved_epoch_seconds() > 0
+
+
+class TestHashRouting:
+    def test_stable_and_in_range(self):
+        for key in ("user-1", 42, "user-2"):
+            cell = route_hash_cell(0, key, 8)
+            assert 0 <= cell < 8
+            assert route_hash_cell(0, key, 8) == cell
+
+    def test_seed_changes_mapping(self):
+        keys = [f"user-{i}" for i in range(64)]
+        a = [route_hash_cell(0, k, 16) for k in keys]
+        b = [route_hash_cell(1, k, 16) for k in keys]
+        assert a != b
+
+    def test_spreads_keys(self):
+        cells = {route_hash_cell(0, f"user-{i}", 4) for i in range(100)}
+        assert cells == {0, 1, 2, 3}

@@ -1,0 +1,53 @@
+"""The tentpole scenario: a 10k-node cluster replaying the golden day.
+
+2500 cells x 4 nodes replaying the checked-in 24 h golden trace with
+the fluid cold-cell model on.  Lazy cells plus the fluid model keep the
+run in the hundreds of milliseconds — and the merged metrics must be
+invariant to the shard count, same as any other topology.
+"""
+
+from pathlib import Path
+
+from repro.cluster import ClusterConfig, run_cluster_experiment
+from repro.core import ServerConfig
+from repro.workload import Workload
+
+GOLDEN = (
+    Path(__file__).parent.parent / "workload" / "golden" / "day.jsonl.gz"
+)
+
+SERVER = ServerConfig(model="resnet-50", preprocess_batch_size=64)
+
+TEN_K = ClusterConfig(
+    cells=2500, nodes_per_cell=4,
+    fluid=True, fluid_hot_threshold=8, fluid_hot_window_seconds=1.0,
+)
+
+
+def run_day(config: ClusterConfig):
+    return run_cluster_experiment(
+        SERVER, config, Workload.replay(str(GOLDEN)), seed=0)
+
+
+def test_ten_thousand_node_day_completes_and_is_shard_invariant():
+    assert TEN_K.node_count == 10_000
+    one = run_day(TEN_K)
+    assert one.issued == one.completed > 0
+    # Traffic concentrates: the overwhelming majority of the 2500 cells
+    # never builds a queue, so the fluid model carries most requests.
+    assert 0 < one.cells_touched < TEN_K.cells
+    assert one.fluid_served > one.completed // 2
+    # Sharding the same day never changes the answer.
+    sharded = run_day(TEN_K.with_overrides(shards=7))
+    assert sharded.metrics == one.metrics
+    assert sharded.fluid_served == one.fluid_served
+
+
+def test_day_without_fluid_matches_request_count():
+    """Fluid changes latency modelling for cold cells, never accounting:
+    the same arrivals are issued and completed either way."""
+    full = run_day(TEN_K.with_overrides(fluid=False, cells=50,
+                                        nodes_per_cell=2))
+    fluid = run_day(TEN_K.with_overrides(cells=50, nodes_per_cell=2))
+    assert full.issued == fluid.issued
+    assert full.completed == fluid.completed

@@ -1,0 +1,105 @@
+"""Completion records: fabric accounting and the canonical merge."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import SPAN_NETWORK, CompletionRecord, canonical_order, merge_records
+from repro.core.request import OUTCOME_OK, OUTCOME_TIMEOUT
+
+
+def record(t_done, *, t_in=None, outcome=OUTCOME_OK, spans=None):
+    arrival = t_done - 0.01 if t_in is None else t_in
+    return CompletionRecord(
+        arrival_time=arrival,
+        completion_time=t_done,
+        latency=t_done - arrival,
+        outcome=outcome,
+        spans=spans or {"inference": 0.005},
+        batch_size=1,
+        eviction_count=0,
+        served_from=None,
+        workload_phase=None,
+    )
+
+
+class FakeRequest:
+    arrival_time = 10.0
+    completion_time = 10.25
+    latency = 0.25
+    outcome = OUTCOME_OK
+    spans = {"inference": 0.2}
+    batch_size = 4
+    eviction_count = 1
+    served_from = "image"
+    workload_phase = "peak"
+
+
+class TestFromRequest:
+    def test_zero_fabric_passes_floats_through(self):
+        rec = CompletionRecord.from_request(FakeRequest(), ingress=0.0, egress=0.0)
+        assert rec.arrival_time == 10.0
+        assert rec.completion_time == 10.25
+        assert rec.latency == 0.25
+        # Zero fabric must not clone or annotate the span dict.
+        assert rec.spans is FakeRequest.spans
+        assert SPAN_NETWORK not in rec.spans
+
+    def test_fabric_shifts_into_router_coordinates(self):
+        rec = CompletionRecord.from_request(
+            FakeRequest(), ingress=0.001, egress=0.002)
+        assert rec.arrival_time == pytest.approx(9.999)
+        assert rec.completion_time == pytest.approx(10.252)
+        assert rec.latency == pytest.approx(0.253)
+        assert rec.spans[SPAN_NETWORK] == pytest.approx(0.003)
+        assert SPAN_NETWORK not in FakeRequest.spans  # original untouched
+
+    def test_picklable(self):
+        rec = CompletionRecord.from_request(FakeRequest(), ingress=0.0, egress=0.0)
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone == rec
+
+
+class TestCanonicalOrder:
+    def test_single_cell_is_identity(self):
+        records = [record(1.0), record(2.0), record(3.0)]
+        assert canonical_order([(0, records)]) == records
+
+    def test_sorts_by_completion_across_cells(self):
+        merged = canonical_order([
+            (1, [record(2.0), record(4.0)]),
+            (0, [record(1.0), record(3.0)]),
+        ])
+        assert [r.completion_time for r in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_ties_break_by_cell_id_not_input_order(self):
+        a = record(5.0, t_in=4.0)
+        b = record(5.0, t_in=3.0)
+        # Same completion time in cells 2 and 0, cells listed out of
+        # order: the merge must order by cell id, independent of how
+        # shards happened to report.
+        merged = canonical_order([(2, [a]), (0, [b])])
+        assert merged == [b, a]
+        assert canonical_order([(0, [b]), (2, [a])]) == [b, a]
+
+
+class TestMergeRecords:
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError, match="no requests"):
+            merge_records([])
+
+    def test_window_spans_first_to_last_completion(self):
+        metrics = merge_records([record(1.0), record(9.0)])
+        assert metrics.completed == 2
+        assert metrics.window_seconds == pytest.approx(9.0)
+        assert metrics.throughput == pytest.approx(2 / 9.0)
+
+    def test_counts_outcomes_and_counters(self):
+        metrics = merge_records(
+            [record(1.0), record(2.0, outcome=OUTCOME_TIMEOUT)],
+            retry_count=3, shed_count=2,
+        )
+        assert metrics.completed == 1  # timeouts are not latency samples
+        assert metrics.timeout_count == 1
+        assert metrics.retry_count == 3
+        assert metrics.shed_count == 2

@@ -1,0 +1,81 @@
+"""Node identity in the balancer: explicit ids, uniqueness, labels.
+
+Before this existed, per-node metric labels were positional indices —
+two fleets in one registry collided, and repartitioning a cluster
+renumbered every node.  Ids are now caller-assignable (the cluster
+layer passes topology-stable ``c<cell>/n<index>`` ids) and validated
+unique.
+"""
+
+import pytest
+
+from repro.core import ServerConfig
+from repro.serving.fleet import Fleet, LoadBalancer
+from repro.sim import Environment
+from repro.telemetry import MetricsRegistry
+
+SERVER = ServerConfig(model="resnet-50", preprocess_batch_size=64)
+
+
+def make_fleet(**kwargs):
+    env = Environment()
+    return env, Fleet(env, 2, SERVER, **kwargs)
+
+
+class TestNodeIds:
+    def test_default_ids_are_positional(self):
+        _, fleet = make_fleet()
+        assert fleet.balancer.node_ids == ("0", "1")
+
+    def test_custom_ids_pass_through(self):
+        _, fleet = make_fleet(node_ids=("c3/n0", "c3/n1"))
+        assert fleet.balancer.node_ids == ("c3/n0", "c3/n1")
+
+    def test_duplicate_ids_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="unique"):
+            Fleet(env, 2, SERVER, node_ids=("a", "a"))
+
+    def test_count_mismatch_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="node ids"):
+            Fleet(env, 2, SERVER, node_ids=("only-one",))
+
+    def test_metrics_labelled_by_node_id(self):
+        _, fleet = make_fleet(node_ids=("c0/n0", "c0/n1"))
+        registry = MetricsRegistry()
+        fleet.balancer.register_metrics(registry)
+        family = registry.family("repro_node_outstanding")
+        labels = {dict(pairs)["node"] for pairs, _ in family.samples()}
+        assert labels == {"c0/n0", "c0/n1"}
+
+class TestPickNodeFastPath:
+    def test_least_outstanding_still_prefers_first_minimum(self):
+        env = Environment()
+        fleet = Fleet(env, 3, SERVER)
+        balancer = fleet.balancer
+        balancer.outstanding[0] = 2
+        balancer.outstanding[1] = 1
+        balancer.outstanding[2] = 1
+        assert balancer._pick_node() == 1
+
+    def test_zero_load_short_circuits(self):
+        env = Environment()
+        balancer = Fleet(env, 3, SERVER).balancer
+        balancer.outstanding[0] = 1
+        assert balancer._pick_node() == 1
+
+    def test_capped_and_down_nodes_skipped(self):
+        env = Environment()
+        balancer = Fleet(env, 3, SERVER, per_node_cap=2).balancer
+        balancer.outstanding[0] = 2   # at cap
+        balancer.node_up[1] = False
+        balancer.outstanding[2] = 1
+        assert balancer._pick_node() == 2
+
+    def test_all_unavailable_returns_none(self):
+        env = Environment()
+        balancer = Fleet(env, 2, SERVER, per_node_cap=1).balancer
+        balancer.outstanding[0] = 1
+        balancer.outstanding[1] = 1
+        assert balancer._pick_node() is None

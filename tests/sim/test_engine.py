@@ -438,3 +438,47 @@ class TestInterrupt:
         env.process(attacker(env, v))
         with pytest.raises(Interrupt):
             env.run()
+
+
+class TestScheduleAt:
+    """Absolute-time scheduling (the cross-environment delivery path)."""
+
+    def test_fires_at_exact_absolute_time(self):
+        env = Environment()
+        seen = []
+        event = env.event()
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _ev: seen.append(env.now))
+        # A time that relative scheduling could miss by an ulp.
+        at = 0.1 + 0.2  # 0.30000000000000004
+        env.schedule_at(event, at)
+        env.run()
+        assert seen == [at]
+
+    def test_interleaves_with_relative_events(self):
+        env = Environment()
+        order = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            order.append("timeout")
+
+        env.process(proc(env))
+        event = env.event()
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _ev: order.append("absolute"))
+        env.schedule_at(event, 0.5)
+        env.run()
+        assert order == ["absolute", "timeout"]
+
+    def test_past_time_rejected(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+
+        env.run(until=env.process(proc(env)))
+        with pytest.raises(ValueError, match="must be >= now"):
+            env.schedule_at(env.event(), 1.0)
