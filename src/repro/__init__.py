@@ -69,6 +69,12 @@ from .serving import (
     run_experiment,
     run_face_pipeline,
 )
+from .kernel import (
+    AsyncioBackend,
+    ExecutionBackend,
+    VirtualTimeBackend,
+    run_until,
+)
 from .sim import Environment, RandomStreams
 from .telemetry import (
     MetricsRegistry,
@@ -119,9 +125,13 @@ __all__ = [
     "gpu_crash_plan",
     "run_fault_experiment",
     "sweep_fault_rates",
+    "AsyncioBackend",
     "DEFAULT_CALIBRATION",
     "DynamicBatcher",
     "Environment",
+    "ExecutionBackend",
+    "run_until",
+    "VirtualTimeBackend",
     "ExperimentConfig",
     "FacePipeline",
     "FacePipelineConfig",

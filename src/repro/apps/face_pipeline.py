@@ -42,7 +42,7 @@ from ..models.detection import FACE_CROP_BYTES, FacesPerFrame, FixedFaces
 from ..models.dnn import inference_cost, inference_latency
 from ..models.runtimes import get_runtime
 from ..models.zoo import get_model
-from ..sim import Environment, Event, RandomStreams
+from ..kernel import Event, ExecutionBackend, RandomStreams
 from ..vision.image import Image
 
 __all__ = ["FacePipelineConfig", "FacePipeline", "SPAN_BROKER", "SPAN_IDENTIFY", "SPAN_DETECT"]
@@ -132,7 +132,7 @@ class FacePipeline:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         node: ServerNode,
         config: FacePipelineConfig,
         streams: RandomStreams,

@@ -22,7 +22,7 @@ from ..hardware.platform import ServerNode
 from ..models.dnn import inference_latency
 from ..models.runtimes import get_runtime
 from ..models.zoo import get_model
-from ..sim import Environment, RandomStreams
+from ..kernel import ExecutionBackend, RandomStreams, VirtualTimeBackend
 from ..vision.datasets import Dataset
 from ..vision.ops import cpu_preprocess_cost, gpu_preprocess_cost
 
@@ -75,7 +75,7 @@ def run_naive_loop(
     seed: int = 0,
 ) -> NaiveLoopResult:
     """Simulate the synchronous loop and return its throughput."""
-    env = Environment()
+    env = VirtualTimeBackend()
     streams = RandomStreams(seed)
     node = ServerNode(env, gpu_count=1)
     gpu = node.gpus[0]
@@ -169,7 +169,7 @@ def run_naive_loop(
     )
 
 
-def _stage(env: Environment, node: ServerNode, seconds: float):
+def _stage(env: ExecutionBackend, node: ServerNode, seconds: float):
     with node.staging.request() as grant:
         yield grant
         yield env.timeout(seconds)

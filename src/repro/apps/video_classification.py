@@ -36,7 +36,7 @@ from ..hardware.platform import ServerNode
 from ..models.dnn import inference_latency
 from ..models.runtimes import get_runtime
 from ..models.zoo import get_model
-from ..sim import Environment, Event, Resource
+from ..kernel import Event, ExecutionBackend, Resource
 from ..vision.video import Video, uniform_sample_indices, video_decode_cost
 from ..vision.ops import cpu_normalize_seconds, cpu_resize_seconds
 
@@ -93,7 +93,7 @@ class VideoClassificationServer:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         node: ServerNode,
         config: VideoServerConfig,
         metrics: Optional[MetricsCollector] = None,

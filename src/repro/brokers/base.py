@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..hardware.platform import ServerNode
-from ..sim import Environment, Store
+from ..kernel import ExecutionBackend, Store
 
 __all__ = ["Broker", "Message"]
 
@@ -56,7 +56,7 @@ class Broker:
     #: message is never dropped); ``"at_most_once"`` hand-offs drop it.
     delivery = "at_least_once"
 
-    def __init__(self, env: Environment, node: ServerNode) -> None:
+    def __init__(self, env: ExecutionBackend, node: ServerNode) -> None:
         self.env = env
         self.node = node
         self.topic: Store = Store(env)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from ..hardware.platform import ServerNode
-from ..sim import Environment, Resource
+from ..kernel import ExecutionBackend, Resource
 from .base import Broker, Message
 
 __all__ = ["KafkaBroker"]
@@ -29,7 +29,7 @@ class KafkaBroker(Broker):
 
     name = "kafka"
 
-    def __init__(self, env: Environment, node: ServerNode) -> None:
+    def __init__(self, env: ExecutionBackend, node: ServerNode) -> None:
         super().__init__(env, node)
         calib = node.calibration.broker
         self.produce_seconds = calib.kafka_produce_seconds

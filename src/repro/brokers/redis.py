@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from ..hardware.platform import ServerNode
-from ..sim import Environment, Resource
+from ..kernel import ExecutionBackend, Resource
 from .base import Broker, Message
 
 __all__ = ["RedisBroker"]
@@ -23,7 +23,7 @@ class RedisBroker(Broker):
 
     name = "redis"
 
-    def __init__(self, env: Environment, node: ServerNode) -> None:
+    def __init__(self, env: ExecutionBackend, node: ServerNode) -> None:
         super().__init__(env, node)
         calib = node.calibration.broker
         self.produce_seconds = calib.redis_produce_seconds

@@ -1,6 +1,8 @@
 """Command-line interface: run serving experiments from a shell.
 
-    python -m repro serve --model resnet-50 --preprocess-device gpu
+    python -m repro run --model resnet-50 --preprocess-device gpu
+    python -m repro serve --port 8080            # live asyncio node (HTTP)
+    python -m repro serve --replay day.jsonl.gz  # sim-vs-live comparison
     python -m repro breakdown --model vit-base-16 --size large
     python -m repro sweep --model resnet-50 --concurrencies 1,64,512,4096
     python -m repro cache --skews 0.0,1.0 --cache-mb 0,64,256 --tiers image,tensor
@@ -148,7 +150,7 @@ def _str_list(text: str) -> List[str]:
 # -- commands -------------------------------------------------------------------
 
 
-def cmd_serve(args) -> int:
+def cmd_run(args) -> int:
     trace = TraceCollector(limit=500) if args.trace else None
     result = serve_classification(
         model=args.model,
@@ -181,6 +183,107 @@ def cmd_serve(args) -> int:
         print(f"wrote {count} trace events to {args.trace} "
               "(open in chrome://tracing or Perfetto)")
     _export(args, [row])
+    return 0
+
+
+def cmd_serve(args) -> int:
+    if args.replay:
+        return _cmd_serve_replay(args)
+    return _cmd_serve_live(args)
+
+
+def _cmd_serve_live(args) -> int:
+    import asyncio
+    import signal
+
+    from .live import LiveHttpServer, LiveNode, LiveNodeConfig
+
+    config = LiveNodeConfig(
+        server=ServerConfig(
+            model=args.model,
+            preprocess_device=args.preprocess_device,
+            runtime=args.runtime,
+        ),
+        gpu_count=args.gpus,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        grace_seconds=args.grace_seconds,
+    )
+
+    async def serve() -> None:
+        node = LiveNode(config)
+        http = LiveHttpServer(node, args.host, args.port)
+        node.start()
+        await http.start()
+        host, port = http.address
+        print(
+            f"serving {args.model} ({args.preprocess_device} preprocessing, "
+            f"{args.gpus} GPU) on http://{host}:{port} — "
+            "POST /v1/infer, GET /metrics /stats /healthz",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        try:
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+        finally:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(sig)
+        print("shutting down: draining batchers", flush=True)
+        await http.stop()
+        metrics = await node.shutdown()
+        print(
+            f"served {metrics.completed} requests "
+            f"(admitted {node.admitted}, rejected {node.rejected})"
+        )
+        if metrics.completed:
+            print(
+                f"mean latency {metrics.latency.mean * 1e3:.2f} ms | "
+                f"p99 {metrics.latency.p99 * 1e3:.2f} ms | "
+                f"mean batch {metrics.mean_batch_size:.2f}"
+            )
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_serve_replay(args) -> int:
+    from .live import replay_trace
+
+    try:
+        report = replay_trace(
+            args.replay,
+            model=args.model,
+            preprocess_device=args.preprocess_device,
+            size=args.size,
+            gpu_count=args.gpus,
+            seed=args.seed,
+            warmup_requests=args.warmup,
+            measure_requests=args.requests,
+            max_sim_seconds=args.max_seconds,
+            time_scale=args.time_scale,
+            fast_forward=args.fast_forward,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    mode = "fast-forward" if report.fast_forward else f"x{report.time_scale:g}"
+    print(
+        format_table(
+            ["metric", "sim (virtual clock)", "live (asyncio)", "delta"],
+            report.rows(),
+            title=f"sim vs live — {report.workload_name} on {args.model} ({mode})",
+        )
+    )
+    _export(args, [report.to_dict()])
     return 0
 
 
@@ -883,16 +986,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    serve = sub.add_parser("serve", help="run one serving experiment")
+    run_cmd = sub.add_parser("run", help="run one simulated serving experiment")
+    run_cmd.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
+    _add_preprocess_device_flag(run_cmd, default="gpu", choices=["cpu", "gpu"])
+    run_cmd.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    run_cmd.add_argument("--concurrency", type=int, default=512)
+    run_cmd.add_argument("--gpus", type=int, default=1)
+    run_cmd.add_argument("--runtime", default="tensorrt",
+                         choices=["tensorrt", "onnxruntime", "pytorch"])
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--trace", help="write a chrome://tracing JSON of request timelines")
+    _add_export_flags(run_cmd)
+    run_cmd.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="live asyncio serving node over HTTP; --replay compares "
+             "a recorded trace under the virtual and wall clocks")
     serve.add_argument("--model", default="resnet-50", choices=sorted(MODEL_ZOO))
     _add_preprocess_device_flag(serve, default="gpu", choices=["cpu", "gpu"])
-    serve.add_argument("--size", default="medium", choices=["small", "medium", "large"])
-    serve.add_argument("--concurrency", type=int, default=512)
+    serve.add_argument("--size", default="medium", choices=["small", "medium", "large"],
+                       help="reference image class for replayed requests")
     serve.add_argument("--gpus", type=int, default=1)
     serve.add_argument("--runtime", default="tensorrt",
                        choices=["tensorrt", "onnxruntime", "pytorch"])
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--trace", help="write a chrome://tracing JSON of request timelines")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="HTTP port (0 picks a free port)")
+    serve.add_argument("--time-scale", type=float, default=1.0,
+                       help="virtual seconds per wall second (live mode) / "
+                            "trace compression factor (replay mode)")
+    serve.add_argument("--grace-seconds", type=float, default=5.0,
+                       help="batcher-drain deadline on shutdown")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N wall seconds then exit "
+                            "(default: until SIGINT/SIGTERM)")
+    serve.add_argument("--replay", metavar="TRACE",
+                       help="replay a repro-trace-v1 file through both "
+                            "clocks and report the sim-vs-live gap")
+    serve.add_argument("--requests", type=int, default=500,
+                       help="replay: measurement completion target")
+    serve.add_argument("--warmup", type=int, default=0,
+                       help="replay: completions discarded as warm-up")
+    serve.add_argument("--max-seconds", type=float, default=600.0,
+                       help="replay: cap on simulated seconds")
+    serve.add_argument("--fast-forward", action="store_true",
+                       help="replay without sleeping: deterministic "
+                            "asyncio dispatch, metrics match the DES exactly")
     _add_export_flags(serve)
     serve.set_defaults(func=cmd_serve)
 

@@ -21,9 +21,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional
 
-from ..sim import Environment, Store
+from ..kernel import ExecutionBackend, Store
 
 __all__ = ["DynamicBatcher"]
+
+#: Sentinel flushed through the input queue by :meth:`DynamicBatcher.drain`.
+#: Travelling the ordinary ``queue.put`` path means draining adds *zero*
+#: events to the schedule until a drain is actually requested, so the
+#: event-id stream — and with it every pinned golden — is untouched.
+_DRAIN = object()
 
 
 class DynamicBatcher:
@@ -31,7 +37,7 @@ class DynamicBatcher:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         max_batch: int,
         max_queue_delay: Optional[float],
         output_capacity: int = 1,
@@ -71,6 +77,8 @@ class DynamicBatcher:
         #: item's arrival (Triton max_queue_delay semantics), which must
         #: survive the batcher being blocked on a full output store.
         self._arrivals: Deque[float] = deque()
+        self._draining = False
+        self._drained = None
         self._process = env.process(self._run())
 
     def __repr__(self) -> str:
@@ -94,6 +102,30 @@ class DynamicBatcher:
         """Event: retrieve the next formed batch (instances call this)."""
         return self.batches.get()
 
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has been requested."""
+        return self._draining
+
+    def drain(self):
+        """Event: flush everything queued as (partial) batches, then succeed.
+
+        Graceful-shutdown hook: after ``drain()`` the batching loop stops
+        waiting — no full-batch blocking, no queue-delay accumulation —
+        and dispatches whatever is queued immediately, so in-flight work
+        completes instead of being dropped.  The returned event succeeds
+        once the input queue is empty and the last partial batch has been
+        emitted.  Idempotent: repeated calls return the same event.  Any
+        shutdown *deadline* belongs to the caller (``yield drain() |
+        timeout`` and give up on expiry).
+        """
+        if self._drained is None:
+            self._drained = self.env.event()
+            self._draining = True
+            self._arrivals.append(self.env.now)
+            self.queue.put(_DRAIN)
+        return self._drained
+
     def _consumer_idle(self) -> bool:
         """True when an instance is blocked right now waiting for a batch."""
         return self.greedy and self.batches.waiting_getters > 0
@@ -107,11 +139,15 @@ class DynamicBatcher:
     def _run(self):
         while True:
             first = yield self.queue.get()
+            if first is _DRAIN:
+                self._pop_arrival()
+                self._finish_drain()
+                continue
             first_arrival = self._pop_arrival()
             batch: List[Any] = [first]
             self._drain_into(batch)
 
-            if len(batch) < self.max_batch:
+            if len(batch) < self.max_batch and not self._draining:
                 if self.max_queue_delay is None:
                     yield from self._fill_to_capacity(batch)
                 elif not self._dispatchable(batch):
@@ -124,6 +160,24 @@ class DynamicBatcher:
             self.dispatched_batches += 1
             self.dispatched_items += len(batch)
 
+    def _finish_drain(self) -> None:
+        """The drain sentinel reached the loop head: decide if we're done."""
+        if self.queue.items:
+            # Items were submitted behind the sentinel; push it to the
+            # back so they flush (immediately, since draining) first.
+            self._arrivals.append(self.env.now)
+            self.queue.items.append(_DRAIN)
+        else:
+            self._drained.succeed()
+
+    def _requeue_sentinel(self) -> None:
+        """A fill pass pulled the sentinel mid-batch: put it back in front.
+
+        Its arrival stamp was not popped, so the arrivals deque stays
+        aligned with the queue contents.
+        """
+        self.queue.items.appendleft(_DRAIN)
+
     def _pop_arrival(self) -> float:
         """Consume the enqueue timestamp of the item just removed."""
         if self._arrivals:
@@ -134,7 +188,7 @@ class DynamicBatcher:
         """Move already-queued items into ``batch`` without waiting."""
         items = self.queue.items
         arrivals = self._arrivals
-        while len(batch) < self.max_batch and items:
+        while len(batch) < self.max_batch and items and items[0] is not _DRAIN:
             batch.append(items.popleft())
             if arrivals:
                 arrivals.popleft()
@@ -143,6 +197,9 @@ class DynamicBatcher:
         """Fixed-batch policy: block until the batch is completely full."""
         while len(batch) < self.max_batch:
             item = yield self.queue.get()
+            if item is _DRAIN:
+                self._requeue_sentinel()
+                return
             self._pop_arrival()
             batch.append(item)
 
@@ -168,6 +225,9 @@ class DynamicBatcher:
             get_event = self.queue.get()
             yield get_event | timeout
             if get_event.triggered:
+                if get_event.value is _DRAIN:
+                    self._requeue_sentinel()
+                    return
                 self._pop_arrival()
                 batch.append(get_event.value)
                 self._drain_into(batch)

@@ -95,6 +95,21 @@ class RunMetrics:
     #: counters (evictions, bytes, rates) live in ``extras``.
     cache_hits: Dict[str, int] = field(default_factory=dict)
 
+    @classmethod
+    def empty(cls) -> "RunMetrics":
+        """A window in which nothing completed (e.g. a live node shut
+        down before serving any request)."""
+        return cls(
+            window_seconds=0.0,
+            completed=0,
+            throughput=0.0,
+            latency=LatencyStats.empty(),
+            span_means={},
+            span_fractions={},
+            mean_batch_size=0.0,
+            eviction_count=0,
+        )
+
     def latency_histogram(self, buckets: int = 10) -> List[Tuple[float, float, int]]:
         """Equal-width histogram of request latencies.
 

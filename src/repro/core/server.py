@@ -32,7 +32,7 @@ from ..hardware.platform import ServerNode
 from ..models.dnn import inference_latency
 from ..models.runtimes import RuntimeSpec, get_runtime
 from ..models.zoo import ModelSpec, get_model
-from ..sim import Environment, Event, Resource
+from ..kernel import Event, ExecutionBackend, Resource
 from ..vision.image import Image
 from ..vision.ops import cpu_preprocess_cost, gpu_preprocess_cost
 from .batcher import DynamicBatcher
@@ -94,7 +94,7 @@ class InferenceServer:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         node: ServerNode,
         config: ServerConfig,
         metrics: Optional[MetricsCollector] = None,
@@ -180,6 +180,20 @@ class InferenceServer:
             f"<InferenceServer {self.model.name}/{self.runtime.name} "
             f"preproc={self.config.preprocess_device} mode={self.config.mode}>"
         )
+
+    def drain(self):
+        """Event: gracefully drain every batcher (see
+        :meth:`~repro.core.batcher.DynamicBatcher.drain`).
+
+        Succeeds once all preprocessing and inference batchers have
+        flushed their queues as (partial) batches.  Live serving calls
+        this on shutdown so admitted requests complete instead of being
+        dropped; callers impose a deadline with ``yield drain() |
+        env.timeout(grace)``.
+        """
+        drains = [b.drain() for b in self._batchers]
+        drains.extend(b.drain() for b in self._preproc_batchers)
+        return self.env.all_of(drains)
 
     @property
     def _uses_gpu_preprocessing(self) -> bool:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import Generator, Optional
 
-from ..sim import Environment, Event
+from ..kernel import Event, ExecutionBackend
 
 __all__ = ["DeviceHealth", "BrokerHealth"]
 
@@ -24,7 +24,7 @@ __all__ = ["DeviceHealth", "BrokerHealth"]
 class DeviceHealth:
     """Down/degraded state for one device (GPU, PCIe link, node)."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: ExecutionBackend) -> None:
         self.env = env
         #: Kernel-duration multiplier (>= 1.0 when degraded).
         self.slowdown = 1.0
@@ -86,7 +86,7 @@ class BrokerHealth(DeviceHealth):
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         rng: random.Random,
         loss_probability: float = 0.0,
         redelivery_seconds: float = 50e-3,

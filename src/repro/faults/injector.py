@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from ..sim import Environment, RandomStreams
+from ..kernel import ExecutionBackend, RandomStreams
 from .health import BrokerHealth, DeviceHealth
 from .profiles import (
     BrokerFault,
@@ -41,7 +41,7 @@ class FaultEvent:
 class FaultInjector:
     """Drives the fault timeline of one simulation."""
 
-    def __init__(self, env: Environment, streams: RandomStreams, plan: FaultPlan) -> None:
+    def __init__(self, env: ExecutionBackend, streams: RandomStreams, plan: FaultPlan) -> None:
         self.env = env
         self.streams = streams
         self.plan = plan

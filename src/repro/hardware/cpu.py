@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Generator, List
 
-from ..sim import Environment, Resource
+from ..kernel import ExecutionBackend, Resource
 from .calibration import CpuCalibration
 
 __all__ = ["Cpu"]
@@ -21,7 +21,7 @@ __all__ = ["Cpu"]
 class Cpu:
     """A multicore host CPU."""
 
-    def __init__(self, env: Environment, calibration: CpuCalibration, name: str = "cpu") -> None:
+    def __init__(self, env: ExecutionBackend, calibration: CpuCalibration, name: str = "cpu") -> None:
         self.env = env
         self.name = name
         self.calibration = calibration

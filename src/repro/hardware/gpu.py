@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..sim import Environment, PriorityResource
+from ..kernel import ExecutionBackend, PriorityResource
 from .calibration import Calibration
 from .memory import GpuMemoryPool
 from .pcie import PcieLink
@@ -37,7 +37,7 @@ PRIORITY_INFERENCE = 1
 class Gpu:
     """One GPU device with compute engine, memory pool, and PCIe link."""
 
-    def __init__(self, env: Environment, calibration: Calibration, index: int = 0) -> None:
+    def __init__(self, env: ExecutionBackend, calibration: Calibration, index: int = 0) -> None:
         self.env = env
         self.calibration = calibration
         self.index = index

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional
 
-from ..sim import Container, Environment
+from ..kernel import Container, ExecutionBackend
 
 __all__ = ["Allocation", "GpuMemoryPool", "OutOfMemoryError"]
 
@@ -65,7 +65,7 @@ class GpuMemoryPool:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         capacity_bytes: float,
         name: str = "gpumem",
         evict_policy: str = "newest",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..sim import Environment, Resource
+from ..kernel import ExecutionBackend, Resource
 from .calibration import PcieCalibration
 
 __all__ = ["PcieLink", "H2D", "D2H"]
@@ -28,7 +28,7 @@ D2H = "d2h"
 class PcieLink:
     """One full-duplex PCIe link with per-direction DMA engines."""
 
-    def __init__(self, env: Environment, calibration: PcieCalibration, name: str = "pcie") -> None:
+    def __init__(self, env: ExecutionBackend, calibration: PcieCalibration, name: str = "pcie") -> None:
         self.env = env
         self.name = name
         self.bandwidth = calibration.bandwidth

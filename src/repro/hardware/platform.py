@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..sim import Environment
+from ..kernel import ExecutionBackend
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from .cpu import Cpu
 from .gpu import Gpu
@@ -24,7 +24,7 @@ class ServerNode:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         calibration: Calibration = DEFAULT_CALIBRATION,
         gpu_count: int = 1,
     ) -> None:

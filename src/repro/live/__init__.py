@@ -1,0 +1,23 @@
+"""Live serving: the simulated policy stack on a real clock.
+
+``python -m repro serve`` boots a :class:`LiveNode` — the same
+:class:`~repro.core.server.InferenceServer`, dynamic batchers, cache
+tiers, and telemetry the discrete-event experiments measure — on an
+:class:`~repro.kernel.AsyncioBackend`, fronted by a small HTTP API
+(:class:`LiveHttpServer`).  :func:`replay_trace` drives one recorded
+``repro-trace-v1`` workload through both clocks and reports the
+sim-vs-live latency gap.
+"""
+
+from .http import LiveHttpServer
+from .node import LiveNode, LiveNodeConfig, NodeShuttingDown
+from .replay import ReplayReport, replay_trace
+
+__all__ = [
+    "LiveHttpServer",
+    "LiveNode",
+    "LiveNodeConfig",
+    "NodeShuttingDown",
+    "ReplayReport",
+    "replay_trace",
+]

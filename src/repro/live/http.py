@@ -1,0 +1,182 @@
+"""Minimal asyncio HTTP/1.1 front-end for a :class:`~repro.live.node.LiveNode`.
+
+Hand-rolled on ``asyncio.start_server`` (the repo deliberately has no
+web-framework dependency).  Good enough for the serving surface it
+exposes — short-lived JSON requests from benchmarking tools and a
+Prometheus scraper — not a general-purpose HTTP implementation.
+
+Endpoints:
+
+- ``GET /healthz``  — liveness: ``{"status": "ok"}`` (``"draining"``
+  once shutdown has begun).
+- ``GET /metrics``  — Prometheus text exposition from the node's
+  :class:`~repro.telemetry.session.TelemetrySession` registry.
+- ``GET /stats``    — JSON snapshot of admission/completion counters.
+- ``POST /v1/infer`` — admit one request; body ``{"size": "medium",
+  "key": 123}`` (both optional); responds after completion with
+  latency, batch size, cache tier, and per-span seconds.
+
+Connections are ``Connection: close`` — one request per connection
+keeps the parser trivial and the shutdown path enumerable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .node import LiveNode, NodeShuttingDown
+
+__all__ = ["LiveHttpServer"]
+
+_MAX_HEADER_BYTES = 16384
+_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class LiveHttpServer:
+    """Serve a :class:`LiveNode` over HTTP on ``host:port``."""
+
+    def __init__(self, node: LiveNode, host: str = "127.0.0.1", port: int = 8080) -> None:
+        self.node = node
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port) — resolves ``port=0``."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting new connections (in-flight handlers finish)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as error:  # noqa: BLE001 - handler must not leak
+            status, payload = 500, {"error": type(error).__name__, "detail": str(error)}
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "Unknown")
+        content_type = (
+            "text/plain; version=0.0.4; charset=utf-8"
+            if payload.get("_raw")
+            else "application/json"
+        )
+        if "_raw" in payload:
+            body = payload["_raw"].encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> Tuple[int, Dict[str, Any]]:
+        try:
+            request_line, headers = await self._read_head(reader)
+        except ValueError as error:
+            return 400, {"error": "bad request", "detail": str(error)}
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": "malformed request line"}
+        method, path, _version = parts
+        path = path.split("?", 1)[0]
+
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok" if self.node.accepting else "draining"}
+        if method == "GET" and path == "/metrics":
+            return 200, {"_raw": self.node.prometheus_text()}
+        if method == "GET" and path == "/stats":
+            return 200, self.node.stats()
+        if path == "/v1/infer":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._infer(reader, headers)
+        if method not in ("GET", "POST"):
+            return 405, {"error": f"method {method} not supported"}
+        return 404, {"error": f"no route for {path}"}
+
+    async def _infer(self, reader: asyncio.StreamReader, headers: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            return 413, {"error": "body too large"}
+        body = await reader.readexactly(length) if length else b""
+        if body:
+            try:
+                spec = json.loads(body)
+            except json.JSONDecodeError:
+                return 400, {"error": "body must be JSON"}
+            if not isinstance(spec, dict):
+                return 400, {"error": "body must be a JSON object"}
+        else:
+            spec = {}
+        size = spec.get("size", "medium")
+        key = spec.get("key")
+        if key is not None and not isinstance(key, int):
+            return 400, {"error": "key must be an integer"}
+        try:
+            result = await self.node.infer(size=size, key=key)
+        except NodeShuttingDown:
+            self.node.rejected += 1
+            return 503, {"error": "node is shutting down"}
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        return 200, result
+
+    @staticmethod
+    async def _read_head(reader: asyncio.StreamReader) -> Tuple[str, Dict[str, str]]:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            raise ValueError("truncated request head") from error
+        except asyncio.LimitOverrunError as error:
+            raise ValueError("request head too large") from error
+        if len(raw) > _MAX_HEADER_BYTES:
+            raise ValueError("request head too large")
+        lines = raw.decode("latin-1").split("\r\n")
+        request_line = lines[0]
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return request_line, headers

@@ -22,7 +22,7 @@ from ..core.request import OUTCOME_SHED, InferenceRequest
 from ..core.server import InferenceServer
 from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..hardware.platform import ServerNode
-from ..sim import Environment, Event, Store
+from ..kernel import Event, ExecutionBackend, Store
 
 __all__ = ["AutoscalerPolicy", "AutoscaledFleet", "ScalingEvent"]
 
@@ -88,7 +88,7 @@ class AutoscaledFleet:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         server_config: ServerConfig,
         policy: AutoscalerPolicy,
         calibration: Calibration = DEFAULT_CALIBRATION,

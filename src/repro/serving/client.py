@@ -14,7 +14,7 @@ from typing import Callable, Optional
 
 from ..core.metrics import MetricsCollector
 from ..core.server import InferenceServer
-from ..sim import Environment, RandomStreams
+from ..kernel import ExecutionBackend, RandomStreams
 from ..vision.datasets import Dataset
 from .resilience import ResiliencePolicy
 
@@ -34,7 +34,7 @@ class ClosedLoopClient:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         server: InferenceServer,
         dataset: Dataset,
         concurrency: int,
@@ -119,7 +119,7 @@ class OpenLoopClient:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         server: InferenceServer,
         dataset: Dataset,
         rate: float,

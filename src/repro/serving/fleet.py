@@ -26,7 +26,7 @@ from ..core.request import OUTCOME_SHED, OUTCOME_TIMEOUT, InferenceRequest
 from ..core.server import InferenceServer
 from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..hardware.platform import ServerNode
-from ..sim import Environment, Event, RandomStreams, Store
+from ..kernel import Event, ExecutionBackend, RandomStreams, Store, VirtualTimeBackend
 from ..vision.datasets import Dataset, reference_dataset
 from .resilience import CircuitBreaker, ResiliencePolicy
 
@@ -84,7 +84,7 @@ class LoadBalancer:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         servers: List[InferenceServer],
         per_node_cap: int,
         policy: DispatchPolicy = LEAST_OUTSTANDING,
@@ -355,7 +355,7 @@ class Fleet:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         node_count: int,
         server_config: ServerConfig,
         calibration: Calibration = DEFAULT_CALIBRATION,
@@ -493,7 +493,7 @@ def run_fleet_experiment(
         raise ValueError("pass either workload= or legacy offered_rate=/dataset=, not both")
     workload.validate()
     rate_label = offered_rate if offered_rate is not None else workload.offered_rate_hint()
-    env = Environment()
+    env = VirtualTimeBackend()
     streams = RandomStreams(seed)
     collector = MetricsCollector()
     from .runner import _open_session

@@ -14,7 +14,7 @@ import math
 import random
 from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
-from ..sim import Environment, RandomStreams
+from ..kernel import ExecutionBackend, RandomStreams
 from ..vision.datasets import Dataset
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -150,7 +150,7 @@ class PatternedClient:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         server,  # anything with .submit(image) -> Event
         dataset: Dataset,
         arrivals: ArrivalProcess,
@@ -208,7 +208,7 @@ class WorkloadClient:
 
     def __init__(
         self,
-        env: Environment,
+        env: ExecutionBackend,
         server,  # anything with .submit(image, phase=...) -> Event
         source: "ArrivalSource",
         on_complete: Optional[Callable] = None,

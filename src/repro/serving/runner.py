@@ -8,6 +8,14 @@ concurrency with some image dataset, discard a warm-up prefix, and
 measure a window.  :func:`run_experiment` does exactly that and returns
 a :class:`RunResult` with throughput, latency statistics, per-span
 breakdowns, and per-image energy.
+
+The run scaffolding every experiment shares — environment/node/collector
+construction, the warm-up/measure completion observer, the controller
+process that snapshots energy and arms the measurement window, and the
+post-run utilization arithmetic — lives in :class:`RunSession`.  A
+session is clock-agnostic: pass ``backend=AsyncioBackend(...)`` to any
+runner and the identical policy stack executes against the wall clock
+(``repro.live`` uses this for trace replay through the live stack).
 """
 
 from __future__ import annotations
@@ -21,8 +29,8 @@ from ..core.metrics import MetricsCollector, RunMetrics
 from ..core.server import InferenceServer
 from ..hardware.calibration import DEFAULT_CALIBRATION, Calibration
 from ..hardware.platform import ServerNode
-from ..hardware.power import DeviceEnergy
-from ..sim import Environment, RandomStreams
+from ..hardware.power import DeviceEnergy, EnergySnapshot
+from ..kernel import ExecutionBackend, RandomStreams, VirtualTimeBackend, run_until
 from ..telemetry import TelemetryConfig, TelemetrySession
 from ..vision.datasets import Dataset, reference_dataset
 from ..workload import Workload
@@ -33,7 +41,14 @@ from .resilience import ResiliencePolicy
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..faults import FaultPlan
 
-__all__ = ["ExperimentConfig", "RunResult", "run_experiment", "run_face_pipeline", "run_open_loop"]
+__all__ = [
+    "ExperimentConfig",
+    "RunResult",
+    "RunSession",
+    "run_experiment",
+    "run_face_pipeline",
+    "run_open_loop",
+]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -163,7 +178,7 @@ class RunResult:
 
 
 def _open_session(
-    telemetry: Optional[TelemetryConfig], env: Environment
+    telemetry: Optional[TelemetryConfig], env: ExecutionBackend
 ) -> Optional[TelemetrySession]:
     """Create the run's telemetry session, or ``None`` when disabled."""
     if telemetry is None or not telemetry.enabled:
@@ -179,105 +194,214 @@ def _closed_loop_dataset(config: ExperimentConfig, default: Dataset) -> Dataset:
     return config.dataset if config.dataset is not None else default
 
 
+class RunSession:
+    """Shared scaffolding for one measured serving run.
+
+    Owns the pieces every runner previously copy-pasted: the execution
+    backend, RNG streams, the :class:`ServerNode`, the metrics
+    collector, the optional telemetry session, the warm-up/measurement
+    completion events, the controller process (energy snapshots +
+    collector arm/disarm + client stop), and the post-run
+    energy/utilization arithmetic.  Construction order matches the
+    historical runners exactly, so DES runs are bit-identical.
+
+    The session never inspects the backend's clock: handed a
+    :class:`~repro.kernel.AsyncioBackend` it drives the same stack on
+    the wall clock (``run_until`` picks the right dispatch loop).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        calibration: Calibration,
+        gpu_count: int,
+        telemetry: Optional[TelemetryConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        self.env: ExecutionBackend = (
+            backend if backend is not None else VirtualTimeBackend()
+        )
+        self.streams = RandomStreams(seed)
+        self.node = ServerNode(self.env, calibration, gpu_count=gpu_count)
+        self.collector = MetricsCollector()
+        self.session = _open_session(telemetry, self.env)
+        self.warmup_done = self.env.event()
+        self.measure_done = self.env.event()
+        self.completed = 0
+        self.client = None
+        self._snapshots: Dict[str, EnergySnapshot] = {}
+
+    # -- completion stream -------------------------------------------------
+
+    def completion_observer(
+        self,
+        warmup_target: int,
+        total_target: int,
+        after: Optional[Callable] = None,
+    ) -> Callable:
+        """The ``on_complete`` callback shared by all runners.
+
+        Counts completions, fires the warm-up/measurement events at
+        their targets, feeds telemetry, then invokes ``after`` (the
+        runner-specific tail: user callbacks, exhaustion checks).
+        """
+
+        def on_complete(request) -> None:
+            self.completed += 1
+            if self.completed == warmup_target and not self.warmup_done.triggered:
+                self.warmup_done.succeed()
+            elif self.completed == total_target and not self.measure_done.triggered:
+                self.measure_done.succeed()
+            if self.session is not None:
+                self.session.observe_completion(request, self.env.now)
+            if after is not None:
+                after(request)
+
+        return on_complete
+
+    def arm_immediately(self) -> None:
+        """Open the measurement window at t=0 (no warm-up phase)."""
+        if not self.warmup_done.triggered:
+            self.warmup_done.succeed()
+
+    # -- the measured run --------------------------------------------------
+
+    def _controller(self, max_sim_seconds: float):
+        env = self.env
+        yield self.warmup_done | env.timeout(max_sim_seconds)
+        self._snapshots["start"] = self.node.energy.snapshot(env.now)
+        self.collector.arm(env.now)
+        yield self.measure_done | env.timeout(max_sim_seconds)
+        self.collector.disarm(env.now)
+        self._snapshots["end"] = self.node.energy.snapshot(env.now)
+        if self.client is not None:
+            self.client.stop()
+
+    def execute(self, client, max_sim_seconds: float) -> None:
+        """Run warm-up + measurement to completion under either clock."""
+        self.client = client
+        done = self.env.process(self._controller(max_sim_seconds))
+        run_until(self.env, done)
+
+    # -- post-run accounting -----------------------------------------------
+
+    def finalize_metrics(self, cache=None) -> RunMetrics:
+        """Window metrics, with run-global cache counters in extras."""
+        metrics = self.collector.finalize()
+        if cache is not None:
+            # Run-global cache counters ride along in extras (window-gated
+            # per-tier hit counts live in metrics.cache_hits).
+            metrics = replace(metrics, extras={**metrics.extras, **cache.stats_dict()})
+        return metrics
+
+    def energy_window(self) -> Dict[str, DeviceEnergy]:
+        return self.node.energy.energy_between(
+            self._snapshots["start"], self._snapshots["end"]
+        )
+
+    def utilization(self, window: float) -> tuple:
+        """(cpu_util, mean gpu_util) over the measurement window."""
+        start = self._snapshots["start"]
+        end = self._snapshots["end"]
+        cpu_busy = end.busy["cpu"] - start.busy["cpu"]
+        gpu_busy = [end.busy[gpu.name] - start.busy[gpu.name] for gpu in self.node.gpus]
+        cpu_util = (
+            min(1.0, cpu_busy / (self.node.cpu.core_count * window)) if window > 0 else 0.0
+        )
+        gpu_util = (
+            sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy)
+            if window > 0
+            else 0.0
+        )
+        return cpu_util, gpu_util
+
+    def result(
+        self,
+        config: ExperimentConfig,
+        *,
+        cache=None,
+        fault_count: int = 0,
+    ) -> RunResult:
+        """Assemble the :class:`RunResult` and finalize telemetry."""
+        metrics = self.finalize_metrics(cache)
+        energy = self.energy_window()
+        cpu_util, gpu_util = self.utilization(metrics.window_seconds)
+        if self.session is not None:
+            self.session.finalize(self.env.now)
+        return RunResult(
+            config=config,
+            metrics=metrics,
+            energy=energy,
+            cpu_utilization=cpu_util,
+            gpu_utilization=gpu_util,
+            fault_count=fault_count,
+            telemetry=self.session,
+        )
+
+
 def run_experiment(
-    config: ExperimentConfig, *, workload: Optional[Workload] = None
+    config: ExperimentConfig,
+    *,
+    workload: Optional[Workload] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> RunResult:
     """Simulate one experiment and return its measurements.
 
     ``workload`` (equivalently ``config.workload``) supplies the request
     mix — a closed-loop run draws its images/popularity from it, while
-    load intensity stays set by ``config.concurrency``.
+    load intensity stays set by ``config.concurrency``.  ``backend``
+    selects the execution clock (default: deterministic virtual time).
     """
     if workload is not None:
         config = config.with_overrides(workload=workload)
-    env = Environment()
-    streams = RandomStreams(config.seed)
-    node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
-    collector = MetricsCollector()
-    session = _open_session(config.telemetry, env)
+    run = RunSession(
+        seed=config.seed,
+        calibration=config.calibration,
+        gpu_count=config.gpu_count,
+        telemetry=config.telemetry,
+        backend=backend,
+    )
+    env = run.env
 
-    warmup_done = env.event()
-    measure_done = env.event()
-    target_warmup = config.warmup_requests
-    target_total = config.warmup_requests + config.measure_requests
-    completed = {"n": 0}
-
-    def on_complete(request):
-        completed["n"] += 1
-        if completed["n"] == target_warmup:
-            warmup_done.succeed()
-        elif completed["n"] == target_total:
-            measure_done.succeed()
-        if session is not None:
-            session.observe_completion(request, env.now)
-        if config.on_complete is not None:
-            config.on_complete(request)
-
-    server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
-    if session is not None:
-        session.attach_server(server)
-        session.start()
+    on_complete = run.completion_observer(
+        config.warmup_requests,
+        config.warmup_requests + config.measure_requests,
+        after=config.on_complete,
+    )
+    server = InferenceServer(
+        env, run.node, config.server, metrics=run.collector, on_complete=on_complete
+    )
+    if run.session is not None:
+        run.session.attach_server(server)
+        run.session.start()
     dataset = _closed_loop_dataset(config, reference_dataset("medium"))
     client = ClosedLoopClient(
         env,
         server,
         dataset,
         concurrency=config.concurrency,
-        streams=streams,
+        streams=run.streams,
         think_jitter_seconds=config.think_jitter_seconds,
         resilience=config.resilience,
-        metrics=collector,
+        metrics=run.collector,
     )
 
     injector = None
     if config.faults is not None and config.faults.enabled:
         from ..faults.injector import FaultInjector
 
-        injector = FaultInjector(env, streams, config.faults)
-        injector.attach_node(node)
+        injector = FaultInjector(env, run.streams, config.faults)
+        injector.attach_node(run.node)
         injector.start()
-        if session is not None:
-            injector.register_metrics(session.registry)
+        if run.session is not None:
+            injector.register_metrics(run.session.registry)
 
-    snapshots = {}
-
-    def controller():
-        yield warmup_done | env.timeout(config.max_sim_seconds)
-        snapshots["start"] = node.energy.snapshot(env.now)
-        collector.arm(env.now)
-        yield measure_done | env.timeout(config.max_sim_seconds)
-        collector.disarm(env.now)
-        snapshots["end"] = node.energy.snapshot(env.now)
-        client.stop()
-
-    done = env.process(controller())
-    env.run(until=done)
-
-    metrics = collector.finalize()
-    if server.cache is not None:
-        # Run-global cache counters ride along in extras (window-gated
-        # per-tier hit counts live in metrics.cache_hits).
-        metrics = replace(metrics, extras={**metrics.extras, **server.cache.stats_dict()})
-    energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
-    window = metrics.window_seconds
-    cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
-    gpu_busy = [
-        snapshots["end"].busy[gpu.name] - snapshots["start"].busy[gpu.name]
-        for gpu in node.gpus
-    ]
-    cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
-    gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
-
-    if session is not None:
-        session.finalize(env.now)
-    return RunResult(
-        config=config,
-        metrics=metrics,
-        energy=energy,
-        cpu_utilization=cpu_util,
-        gpu_utilization=gpu_util,
+    run.execute(client, config.max_sim_seconds)
+    return run.result(
+        config,
+        cache=server.cache,
         fault_count=injector.fault_count if injector is not None else 0,
-        telemetry=session,
     )
 
 
@@ -295,6 +419,7 @@ def run_face_pipeline(
     telemetry: Optional[TelemetryConfig] = None,
     *,
     workload: Optional[Workload] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> RunResult:
     """Simulate the multi-DNN face pipeline (paper Sec. 4.7 / Fig. 11).
 
@@ -321,32 +446,25 @@ def run_face_pipeline(
         if workload is not None:
             raise ValueError("pass either workload= or frame_dataset=, not both")
 
-    env = Environment()
-    streams = RandomStreams(seed)
-    node = ServerNode(env, calibration, gpu_count=gpu_count)
-    collector = MetricsCollector()
-    session = _open_session(telemetry, env)
-
-    warmup_done = env.event()
-    measure_done = env.event()
-    target_total = warmup_requests + measure_requests
-    completed = {"n": 0}
-
-    def on_complete(request):
-        completed["n"] += 1
-        if completed["n"] == warmup_requests:
-            warmup_done.succeed()
-        elif completed["n"] == target_total:
-            measure_done.succeed()
-        if session is not None:
-            session.observe_completion(request, env.now)
-
-    pipeline = FacePipeline(
-        env, node, pipeline_config, streams, metrics=collector, on_complete=on_complete
+    run = RunSession(
+        seed=seed,
+        calibration=calibration,
+        gpu_count=gpu_count,
+        telemetry=telemetry,
+        backend=backend,
     )
-    if session is not None:
-        session.attach_pipeline(pipeline)
-        session.start()
+    env = run.env
+
+    on_complete = run.completion_observer(
+        warmup_requests, warmup_requests + measure_requests
+    )
+    pipeline = FacePipeline(
+        env, run.node, pipeline_config, run.streams,
+        metrics=run.collector, on_complete=on_complete,
+    )
+    if run.session is not None:
+        run.session.attach_pipeline(pipeline)
+        run.session.start()
     if frame_dataset is not None:
         dataset = frame_dataset
     elif workload is not None:
@@ -358,34 +476,11 @@ def run_face_pipeline(
         pipeline,
         dataset,
         concurrency=concurrency,
-        streams=streams,
+        streams=run.streams,
         think_jitter_seconds=think_jitter_seconds,
     )
 
-    snapshots = {}
-
-    def controller():
-        yield warmup_done | env.timeout(max_sim_seconds)
-        snapshots["start"] = node.energy.snapshot(env.now)
-        collector.arm(env.now)
-        yield measure_done | env.timeout(max_sim_seconds)
-        collector.disarm(env.now)
-        snapshots["end"] = node.energy.snapshot(env.now)
-        client.stop()
-
-    done = env.process(controller())
-    env.run(until=done)
-
-    metrics = collector.finalize()
-    energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
-    window = metrics.window_seconds
-    cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
-    gpu_busy = [
-        snapshots["end"].busy[gpu.name] - snapshots["start"].busy[gpu.name]
-        for gpu in node.gpus
-    ]
-    cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
-    gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
+    run.execute(client, max_sim_seconds)
 
     experiment = ExperimentConfig(
         workload=workload,
@@ -398,16 +493,7 @@ def run_face_pipeline(
         max_sim_seconds=max_sim_seconds,
         think_jitter_seconds=think_jitter_seconds,
     )
-    if session is not None:
-        session.finalize(env.now)
-    return RunResult(
-        config=experiment,
-        metrics=metrics,
-        energy=energy,
-        cpu_utilization=cpu_util,
-        gpu_utilization=gpu_util,
-        telemetry=session,
-    )
+    return run.result(experiment)
 
 
 def run_open_loop(
@@ -415,6 +501,7 @@ def run_open_loop(
     offered_rate: Optional[float] = None,
     *,
     workload: Optional[Workload] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> RunResult:
     """Open-loop variant of :func:`run_experiment`.
 
@@ -428,6 +515,9 @@ def run_open_loop(
     server exhibits long batch-fill waits that dominate tail latency —
     the regime in which the paper observes dynamic batching improving
     p99 from 55 ms to 38 ms (Sec. 2.3) at a small throughput cost.
+
+    ``backend=AsyncioBackend(...)`` replays the same workload through
+    the identical stack on the wall clock (see ``repro.live.replay``).
     """
     resolved = workload if workload is not None else config.workload
     if resolved is None:
@@ -444,94 +534,54 @@ def run_open_loop(
         raise ValueError("pass either workload= or the legacy offered_rate=, not both")
     resolved.validate()
 
-    env = Environment()
-    streams = RandomStreams(config.seed)
-    node = ServerNode(env, config.calibration, gpu_count=config.gpu_count)
-    collector = MetricsCollector()
-    session = _open_session(config.telemetry, env)
+    run = RunSession(
+        seed=config.seed,
+        calibration=config.calibration,
+        gpu_count=config.gpu_count,
+        telemetry=config.telemetry,
+        backend=backend,
+    )
+    env = run.env
 
-    warmup_done = env.event()
-    measure_done = env.event()
-    target_warmup = config.warmup_requests
-    target_total = config.warmup_requests + config.measure_requests
-    completed = {"n": 0}
-    if target_warmup == 0:
-        warmup_done.succeed()  # measurement window arms at t=0
+    if config.warmup_requests == 0:
+        run.arm_immediately()  # measurement window arms at t=0
 
-    def finish_if_exhausted():
+    def finish_if_exhausted(_request=None):
         # A bounded workload (duration or trace end) may run dry before
         # the completion targets are hit; once every issued request has
         # completed, waiting out max_sim_seconds would only pad the
         # measurement window with dead air.
-        if not client.exhausted or completed["n"] < client.issued:
+        if not client.exhausted or run.completed < client.issued:
             return
-        if not warmup_done.triggered:
-            warmup_done.succeed()
-        if not measure_done.triggered:
-            measure_done.succeed()
+        if not run.warmup_done.triggered:
+            run.warmup_done.succeed()
+        if not run.measure_done.triggered:
+            run.measure_done.succeed()
 
-    def on_complete(request):
-        completed["n"] += 1
-        if completed["n"] == target_warmup and not warmup_done.triggered:
-            warmup_done.succeed()
-        elif completed["n"] == target_total and not measure_done.triggered:
-            measure_done.succeed()
-        if session is not None:
-            session.observe_completion(request, env.now)
-        finish_if_exhausted()
-
-    server = InferenceServer(env, node, config.server, metrics=collector, on_complete=on_complete)
-    if session is not None:
-        session.attach_server(server)
-        session.start()
+    on_complete = run.completion_observer(
+        config.warmup_requests,
+        config.warmup_requests + config.measure_requests,
+        after=finish_if_exhausted,
+    )
+    server = InferenceServer(
+        env, run.node, config.server, metrics=run.collector, on_complete=on_complete
+    )
+    if run.session is not None:
+        run.session.attach_server(server)
+        run.session.start()
     default_dataset = (
         config.dataset if config.dataset is not None else reference_dataset("medium")
     )
-    source = resolved.source(streams, prefix="client",
+    source = resolved.source(run.streams, prefix="client",
                              default_dataset=default_dataset)
-    if session is not None and source.model is not None:
+    if run.session is not None and source.model is not None:
         model = source.model
-        session.registry.gauge_fn(
+        run.session.registry.gauge_fn(
             "repro_workload_offered_rate",
             "Instantaneous workload arrival rate (requests/second)",
             lambda: model.rate_at(env.now),
         )
     client = WorkloadClient(env, server, source, on_exhausted=finish_if_exhausted)
 
-    snapshots = {}
-
-    def controller():
-        yield warmup_done | env.timeout(config.max_sim_seconds)
-        snapshots["start"] = node.energy.snapshot(env.now)
-        collector.arm(env.now)
-        yield measure_done | env.timeout(config.max_sim_seconds)
-        collector.disarm(env.now)
-        snapshots["end"] = node.energy.snapshot(env.now)
-        client.stop()
-
-    done = env.process(controller())
-    env.run(until=done)
-
-    metrics = collector.finalize()
-    if server.cache is not None:
-        metrics = replace(metrics, extras={**metrics.extras, **server.cache.stats_dict()})
-    energy = node.energy.energy_between(snapshots["start"], snapshots["end"])
-    window = metrics.window_seconds
-    cpu_busy = snapshots["end"].busy["cpu"] - snapshots["start"].busy["cpu"]
-    gpu_busy = [
-        snapshots["end"].busy[gpu.name] - snapshots["start"].busy[gpu.name]
-        for gpu in node.gpus
-    ]
-    cpu_util = min(1.0, cpu_busy / (node.cpu.core_count * window)) if window > 0 else 0.0
-    gpu_util = sum(min(1.0, b / window) for b in gpu_busy) / len(gpu_busy) if window > 0 else 0.0
-
-    if session is not None:
-        session.finalize(env.now)
-    return RunResult(
-        config=config,
-        metrics=metrics,
-        energy=energy,
-        cpu_utilization=cpu_util,
-        gpu_utilization=gpu_util,
-        telemetry=session,
-    )
+    run.execute(client, config.max_sim_seconds)
+    return run.result(config, cache=server.cache)

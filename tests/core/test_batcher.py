@@ -235,3 +235,160 @@ class TestNonGreedy:
         env.run(until=10)
         assert sink[0][0] == pytest.approx(2.0)
         assert sink[0][1] == ["a", "b"]
+
+
+class TestDrain:
+    """Graceful shutdown: drain() flushes partial batches instead of
+    dropping queued work, under both execution backends."""
+
+    @staticmethod
+    def _backends():
+        import asyncio
+
+        from repro.kernel import AsyncioBackend, VirtualTimeBackend
+
+        def des():
+            env = VirtualTimeBackend()
+            return env, lambda until: env.run(until=until)
+
+        def rt():
+            env = AsyncioBackend(fast_forward=True)
+            return env, lambda until: asyncio.run(
+                env.run_async(until=until, stop_on_empty=True)
+            )
+
+        return [("virtual", des), ("asyncio", rt)]
+
+    def _each_backend(self, scenario):
+        for name, make in self._backends():
+            env, run = make()
+            scenario(env, run, name)
+
+    def test_drain_flushes_partial_dynamic_batch(self):
+        """A deadline wait in progress is cut short by drain()."""
+
+        def scenario(env, run, name):
+            batcher = DynamicBatcher(env, max_batch=8, max_queue_delay=100.0)
+            sink = []
+            consume(env, batcher, sink, service_time=1.0)
+            done = []
+
+            def producer():
+                yield batcher.submit("a")  # dispatched instantly
+                yield env.timeout(0.1)
+                yield batcher.submit("b")  # consumer busy: accumulates
+                yield batcher.submit("c")
+                yield env.timeout(0.1)
+                drained = batcher.drain()
+                assert batcher.draining
+                yield drained
+                done.append(env.now)
+
+            env.process(producer())
+            run(10)
+            assert [b for _, b in sink] == [["a"], ["b", "c"]], name
+            # Flushed at the drain request, not at the 100 s deadline.
+            assert sink[1][0] == pytest.approx(1.0), name
+            assert done and done[0] < 2.0, name
+
+        self._each_backend(scenario)
+
+    def test_drain_unblocks_fixed_batch_policy(self):
+        """max_queue_delay=None would otherwise hold items forever."""
+
+        def scenario(env, run, name):
+            batcher = DynamicBatcher(env, max_batch=4, max_queue_delay=None)
+            sink = []
+            consume(env, batcher, sink)
+            done = []
+
+            def producer():
+                yield batcher.submit("a")
+                yield batcher.submit("b")
+                yield env.timeout(1.0)
+                yield batcher.drain()
+                done.append(env.now)
+
+            env.process(producer())
+            run(10)
+            assert [b for _, b in sink] == [["a", "b"]], name
+            assert done == [pytest.approx(1.0)], name
+
+        self._each_backend(scenario)
+
+    def test_drain_empty_queue_succeeds_immediately(self):
+        def scenario(env, run, name):
+            batcher = DynamicBatcher(env, max_batch=4, max_queue_delay=0.5)
+            consume(env, batcher, [])
+            done = []
+
+            def producer():
+                yield env.timeout(2.0)
+                yield batcher.drain()
+                done.append(env.now)
+
+            env.process(producer())
+            run(10)
+            assert done == [pytest.approx(2.0)], name
+
+        self._each_backend(scenario)
+
+    def test_items_submitted_behind_drain_still_flush(self):
+        """Work racing with shutdown completes rather than being lost."""
+
+        def scenario(env, run, name):
+            batcher = DynamicBatcher(env, max_batch=4, max_queue_delay=None)
+            sink = []
+            consume(env, batcher, sink)
+            done = []
+
+            def producer():
+                yield batcher.submit("a")
+                drained = batcher.drain()
+                yield batcher.submit("late")
+                yield drained
+                done.append(env.now)
+
+            env.process(producer())
+            run(10)
+            flushed = [item for _, batch in sink for item in batch]
+            assert flushed == ["a", "late"], name
+            assert done, name
+
+        self._each_backend(scenario)
+
+    def test_drain_is_idempotent(self):
+        def scenario(env, run, name):
+            batcher = DynamicBatcher(env, max_batch=4, max_queue_delay=0.5)
+            consume(env, batcher, [])
+            first = batcher.drain()
+            assert batcher.drain() is first, name
+            run(1)
+            assert first.triggered, name
+
+        self._each_backend(scenario)
+
+    def test_server_drain_fans_out(self):
+        from repro.core import InferenceServer, ServerConfig
+        from repro.hardware import DEFAULT_CALIBRATION, ServerNode
+        from repro.sim import Environment
+        from repro.vision import reference_dataset
+
+        env = Environment()
+        node = ServerNode(env, DEFAULT_CALIBRATION, gpu_count=1)
+        server = InferenceServer(env, node, ServerConfig())
+        import random
+
+        dataset = reference_dataset("medium")
+        rng = random.Random(7)
+        done = []
+
+        def scenario():
+            completions = [server.submit(dataset.sample(rng)) for _ in range(3)]
+            yield env.all_of(completions)
+            yield server.drain()
+            done.append(env.now)
+
+        env.process(scenario())
+        env.run(until=60)
+        assert done and server.metrics is not None

@@ -1,0 +1,176 @@
+"""In-process tests for the live serving node and its HTTP front-end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.live import LiveHttpServer, LiveNode, LiveNodeConfig, NodeShuttingDown
+from repro.telemetry.exposition import parse_prometheus_text
+
+
+def _node_config(**overrides):
+    defaults = dict(
+        server=ServerConfig(model="tinyvit-5m", preprocess_device="gpu"),
+        time_scale=1.0,
+        grace_seconds=2.0,
+    )
+    defaults.update(overrides)
+    return LiveNodeConfig(**defaults)
+
+
+async def _http(host, port, method, path, payload=None):
+    """One-shot HTTP exchange against the live server."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    reader, writer = await asyncio.open_connection(host, port)
+    head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    writer.write(head.encode() + b"\r\n" + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    payload = raw.split(b"\r\n\r\n", 1)[1]
+    return status, payload
+
+
+class TestLiveNodeConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveNodeConfig(time_scale=0)
+        with pytest.raises(ValueError):
+            LiveNodeConfig(gpu_count=0)
+        with pytest.raises(ValueError):
+            LiveNodeConfig(grace_seconds=-1)
+
+
+class TestLiveNode:
+    def test_infer_and_shutdown(self):
+        async def main():
+            node = LiveNode(_node_config())
+            node.start()
+            results = await asyncio.gather(
+                *(node.infer(size="small") for _ in range(4))
+            )
+            metrics = await node.shutdown()
+            return node, results, metrics
+
+        node, results, metrics = asyncio.run(main())
+        assert len(results) == 4
+        for result in results:
+            assert result["outcome"] == "ok"
+            assert result["latency_seconds"] > 0
+            assert result["spans"]
+        assert metrics.completed == 4
+        assert node.admitted == 4
+
+    def test_rejects_after_shutdown(self):
+        async def main():
+            node = LiveNode(_node_config())
+            node.start()
+            await node.infer()
+            await node.shutdown()
+            with pytest.raises(NodeShuttingDown):
+                await node.infer()
+            # Shutdown is idempotent.
+            again = await node.shutdown()
+            return again
+
+        metrics = asyncio.run(main())
+        assert metrics.completed == 1
+
+    def test_shutdown_drains_inflight_requests(self):
+        """Requests in the batcher when shutdown starts still complete."""
+
+        async def main():
+            node = LiveNode(_node_config())
+            node.start()
+            inflight = [
+                asyncio.ensure_future(node.infer(size="small")) for _ in range(6)
+            ]
+            await asyncio.sleep(0)  # let submissions enter the kernel
+            metrics = await node.shutdown()
+            results = await asyncio.gather(*inflight)
+            return metrics, results
+
+        metrics, results = asyncio.run(main())
+        assert len(results) == 6
+        assert all(r["outcome"] == "ok" for r in results)
+        assert metrics.completed == 6
+
+    def test_stats_shape(self):
+        async def main():
+            node = LiveNode(_node_config())
+            node.start()
+            await node.infer()
+            stats = node.stats()
+            await node.shutdown()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats["model"] == "tinyvit-5m"
+        assert stats["admitted"] == stats["completed"] == 1
+        assert stats["in_flight"] == 0
+
+
+class TestLiveHttp:
+    def _boot(self):
+        node = LiveNode(_node_config())
+        server = LiveHttpServer(node, port=0)
+        return node, server
+
+    def test_routes(self):
+        async def main():
+            node, server = self._boot()
+            node.start()
+            await server.start()
+            host, port = server.address
+
+            status, health = await _http(host, port, "GET", "/healthz")
+            assert status == 200 and b"ok" in health
+
+            status, body = await _http(host, port, "POST", "/v1/infer",
+                                       {"size": "small"})
+            assert status == 200
+            result = json.loads(body)
+            assert result["outcome"] == "ok"
+            assert result["batch_size"] >= 1
+
+            status, metrics_text = await _http(host, port, "GET", "/metrics")
+            assert status == 200
+            families = parse_prometheus_text(metrics_text.decode())
+            assert "repro_requests_completed_total" in families
+
+            status, stats = await _http(host, port, "GET", "/stats")
+            assert status == 200
+            assert json.loads(stats)["completed"] == 1
+
+            status, _ = await _http(host, port, "GET", "/nope")
+            assert status == 404
+            status, _ = await _http(host, port, "GET", "/v1/infer")
+            assert status == 405
+            status, _ = await _http(host, port, "POST", "/v1/infer",
+                                    {"size": "galactic"})
+            assert status == 400
+
+            await server.stop()
+            await node.shutdown()
+
+        asyncio.run(main())
+
+    def test_draining_node_returns_503(self):
+        async def main():
+            node, server = self._boot()
+            node.start()
+            await server.start()
+            host, port = server.address
+            await node.shutdown()
+            status, _ = await _http(host, port, "POST", "/v1/infer", {})
+            assert status == 503
+            status, health = await _http(host, port, "GET", "/healthz")
+            assert status == 200 and b"draining" in health
+            await server.stop()
+
+        asyncio.run(main())

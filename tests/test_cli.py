@@ -14,20 +14,20 @@ class TestParser:
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve", "--model", "alexnet"])
+            build_parser().parse_args(["run", "--model", "alexnet"])
 
     def test_defaults(self):
-        args = build_parser().parse_args(["serve"])
+        args = build_parser().parse_args(["run"])
         assert args.model == "resnet-50"
         assert args.preprocess_device == "gpu"
 
     def test_preprocess_device_flag(self):
-        args = build_parser().parse_args(["serve", "--preprocess-device", "cpu"])
+        args = build_parser().parse_args(["run", "--preprocess-device", "cpu"])
         assert args.preprocess_device == "cpu"
 
     def test_deprecated_preprocess_alias_warns(self):
         with pytest.warns(DeprecationWarning, match="--preprocess-device"):
-            args = build_parser().parse_args(["serve", "--preprocess", "cpu"])
+            args = build_parser().parse_args(["run", "--preprocess", "cpu"])
         assert args.preprocess_device == "cpu"
 
     def test_faults_defaults(self):
@@ -58,16 +58,16 @@ class TestCommands:
         rows = json.loads(path.read_text())
         assert any(r["name"] == "vit-base-16" for r in rows)
 
-    def test_serve(self, capsys):
-        assert main(["serve", "--model", "resnet-50", "--concurrency", "64"]) == 0
+    def test_run(self, capsys):
+        assert main(["run", "--model", "resnet-50", "--concurrency", "64"]) == 0
         out = capsys.readouterr().out
         assert "throughput" in out
         assert "img/s" in out
 
-    def test_serve_csv_export(self, tmp_path, capsys):
+    def test_run_csv_export(self, tmp_path, capsys):
         path = tmp_path / "run.csv"
         assert main([
-            "serve", "--model", "tinyvit-5m", "--concurrency", "64",
+            "run", "--model", "tinyvit-5m", "--concurrency", "64",
             "--csv", str(path),
         ]) == 0
         text = path.read_text()
