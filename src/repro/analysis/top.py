@@ -1,0 +1,151 @@
+"""``repro top``: terminal rendering of the metrics time series.
+
+A deliberately dependency-free dashboard: the CLI polls a live node's
+``/metrics/history`` endpoint (or loads a cluster run's exported JSONL)
+into a :class:`~repro.telemetry.timeseries.TimeSeriesStore` and renders
+it with the pure functions here — Unicode sparklines per series plus a
+header of admission counters and SLO burn.  Keeping the rendering pure
+(store in, string out) is what makes the dashboard testable and lets
+the CI smoke job assert on a ``--once --plain`` frame.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..telemetry.timeseries import SeriesBuffer, TimeSeriesStore
+
+__all__ = ["sparkline", "select_series", "render_top"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: Default display set: recording-rule and health series, by suffix or
+#: exact name.  Raw per-label gauge families stay out of the default
+#: view (they can be wide); ``series=`` overrides.
+_DEFAULT_SUFFIXES = (":rate", ":p50", ":p95", ":p99")
+_DEFAULT_NAMES = (
+    "repro_slo_burn_rate",
+    "repro_batch_queue_depth",
+    "repro_batch_occupancy",
+    "repro_metrics_dropped_series_total",
+)
+_DEFAULT_PREFIXES = ("alert:",)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Block-character sparkline of the last ``width`` values.
+
+    Scaled to the rendered window's own min/max (a flat series renders
+    as a low bar, not blank); ASCII-safe input is not attempted —
+    callers wanting plain output still get deterministic characters.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    window = list(values)[-width:]
+    if not window:
+        return ""
+    low = min(window)
+    high = max(window)
+    span = high - low
+    out = []
+    for value in window:
+        if span <= 0:
+            index = 1 if high > 0 else 0
+        else:
+            index = 1 + int((value - low) / span * (len(_BLOCKS) - 2))
+        out.append(_BLOCKS[min(index, len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def _wanted(name: str, patterns: Optional[Sequence[str]]) -> bool:
+    if patterns is not None:
+        return any(pattern in name for pattern in patterns)
+    if name in _DEFAULT_NAMES:
+        return True
+    if any(name.startswith(prefix) for prefix in _DEFAULT_PREFIXES):
+        return True
+    return any(name.endswith(suffix) for suffix in _DEFAULT_SUFFIXES)
+
+
+def select_series(
+    store: TimeSeriesStore, patterns: Optional[Sequence[str]] = None
+) -> List[SeriesBuffer]:
+    """The buffers to display, name-sorted.
+
+    ``patterns`` filters by substring match on the series name; without
+    it the default view keeps rates, quantiles, queue depth, SLO burn,
+    and alert state.
+    """
+    return [
+        buffer for buffer in store.all_series() if _wanted(buffer.name, patterns)
+    ]
+
+
+def _label_text(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:,.1f}"
+    return f"{value:.4g}"
+
+
+def render_top(
+    store: TimeSeriesStore,
+    *,
+    stats: Optional[Mapping[str, Any]] = None,
+    title: str = "repro top",
+    width: int = 100,
+    patterns: Optional[Sequence[str]] = None,
+) -> str:
+    """One dashboard frame: header, then one sparkline row per series.
+
+    Pure function of its inputs — the CLI redraws it on a poll cadence;
+    tests assert on single frames.
+    """
+    lines: List[str] = []
+    header = title
+    if stats:
+        bits = []
+        for key in ("admitted", "completed", "in_flight", "rejected"):
+            if key in stats:
+                bits.append(f"{key}={stats[key]}")
+        if "accepting" in stats:
+            bits.append("accepting" if stats["accepting"] else "DRAINING")
+        slo = stats.get("slo")
+        if isinstance(slo, dict):
+            for window in slo.get("windows", []):
+                bits.append(
+                    f"burn[{window.get('window_seconds', '?')}s]="
+                    f"{window.get('burn_rate', 0.0):.2f}"
+                )
+        scrape = stats.get("scrape")
+        if isinstance(scrape, dict) and scrape.get("alerts_firing"):
+            bits.append("ALERTS: " + ",".join(scrape["alerts_firing"]))
+        if bits:
+            header += "  |  " + "  ".join(bits)
+    lines.append(header[:width])
+    lines.append("-" * min(width, len(header) + 2))
+
+    buffers = select_series(store, patterns)
+    if not buffers:
+        lines.append("(no series recorded yet)")
+        return "\n".join(lines) + "\n"
+    name_width = min(
+        48, max(len(b.name + _label_text(b.labels)) for b in buffers)
+    )
+    spark_width = max(8, width - name_width - 16)
+    for buffer in buffers:
+        label = (buffer.name + _label_text(buffer.labels))[:name_width]
+        last = buffer.last()
+        value = _format_value(last[1]) if last is not None else "-"
+        lines.append(
+            f"{label:<{name_width}} {value:>12} "
+            f"{sparkline(buffer.values, spark_width)}"
+        )
+    return "\n".join(lines) + "\n"

@@ -3,6 +3,7 @@
     python -m repro run --model resnet-50 --preprocess-device gpu
     python -m repro serve --port 8080            # live asyncio node (HTTP)
     python -m repro serve --replay day.jsonl.gz  # sim-vs-live comparison
+    python -m repro top --url http://127.0.0.1:8080   # live dashboard
     python -m repro breakdown --model vit-base-16 --size large
     python -m repro sweep --model resnet-50 --concurrencies 1,64,512,4096
     python -m repro cache --skews 0.0,1.0 --cache-mb 0,64,256 --tiers image,tensor
@@ -198,6 +199,20 @@ def _cmd_serve_live(args) -> int:
 
     from .live import LiveHttpServer, LiveNode, LiveNodeConfig
 
+    from .telemetry import TelemetryConfig
+    from .telemetry.slo import SloConfig
+
+    slo = None
+    if args.slo_ms:
+        slo = SloConfig(latency_objective_seconds=args.slo_ms / 1e3,
+                        target=args.target)
+    telemetry = TelemetryConfig(
+        enabled=True,
+        trace=False,
+        slo=slo,
+        scrape_interval_seconds=args.scrape_interval or None,
+        history_points=args.history_points,
+    )
     config = LiveNodeConfig(
         server=ServerConfig(
             model=args.model,
@@ -208,6 +223,7 @@ def _cmd_serve_live(args) -> int:
         seed=args.seed,
         time_scale=args.time_scale,
         grace_seconds=args.grace_seconds,
+        telemetry=telemetry,
     )
 
     async def serve() -> None:
@@ -219,7 +235,7 @@ def _cmd_serve_live(args) -> int:
         print(
             f"serving {args.model} ({args.preprocess_device} preprocessing, "
             f"{args.gpus} GPU) on http://{host}:{port} — "
-            "POST /v1/infer, GET /metrics /stats /healthz",
+            "POST /v1/infer, GET /metrics /metrics/history /stats /healthz",
             flush=True,
         )
         stop = asyncio.Event()
@@ -284,6 +300,61 @@ def _cmd_serve_replay(args) -> int:
         )
     )
     _export(args, [report.to_dict()])
+    return 0
+
+
+def cmd_top(args) -> int:
+    import json as json_module
+    import time
+    import urllib.error
+    import urllib.request
+
+    from .analysis.top import render_top
+    from .telemetry.timeseries import TimeSeriesStore
+
+    patterns = args.series or None
+
+    if args.cluster:
+        # Offline mode: one frame from an exported cluster time-series
+        # file (`repro cluster --timeseries-out FILE`).
+        try:
+            store = TimeSeriesStore.read_jsonl(args.cluster)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load {args.cluster}: {error}", file=sys.stderr)
+            return 2
+        print(render_top(store, title=f"repro top — {args.cluster}",
+                         width=args.width, patterns=patterns), end="")
+        return 0
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str):
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return json_module.loads(response.read().decode())
+
+    frames = 1 if args.once else args.count
+    shown = 0
+    while frames is None or shown < frames:
+        if shown:
+            time.sleep(args.interval)
+        try:
+            history = fetch("/metrics/history")
+            stats = fetch("/stats")
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode(errors="replace")
+            print(f"error: {base} returned {error.code}: {detail}",
+                  file=sys.stderr)
+            return 2
+        except (urllib.error.URLError, OSError) as error:
+            print(f"error: cannot reach {base}: {error}", file=sys.stderr)
+            return 2
+        store = TimeSeriesStore.from_dict(history)
+        frame = render_top(store, stats=stats, title=f"repro top — {base}",
+                           width=args.width, patterns=patterns)
+        if not args.plain:
+            print("\x1b[2J\x1b[H", end="")
+        print(frame, end="", flush=True)
+        shown += 1
     return 0
 
 
@@ -727,6 +798,9 @@ def cmd_cluster(args) -> int:
     if args.slo_ms is not None:
         slo = SloConfig(latency_objective_seconds=args.slo_ms / 1e3,
                         target=args.target)
+    trace_sessions = args.trace_sessions
+    if args.trace_out and trace_sessions == 0:
+        trace_sessions = 8  # tracing requested: sample a handful of sessions
     result = run_cluster_experiment(
         ServerConfig(model=args.model, preprocess_device=args.preprocess_device),
         cluster,
@@ -735,6 +809,10 @@ def cmd_cluster(args) -> int:
         max_requests=args.max_requests,
         max_sim_seconds=args.max_seconds,
         slo=slo,
+        trace_sessions=trace_sessions,
+        trace_limit=args.trace_limit,
+        timeseries_interval=(args.timeseries_interval
+                             if args.timeseries_out else None),
     )
     metrics = result.metrics
     rows = [
@@ -769,6 +847,15 @@ def cmd_cluster(args) -> int:
               str(s.delivered), str(s.completed)] for s in result.shards],
             title="per-shard",
         ))
+    if args.trace_out:
+        count = result.write_trace(args.trace_out)
+        traced = len({record.trace_id for record in result.traces})
+        print(f"wrote {count} trace events for {traced} session trace(s) "
+              f"to {args.trace_out} (open in Perfetto)")
+    if args.timeseries_out:
+        series = result.write_timeseries(args.timeseries_out)
+        print(f"wrote {series} time series to {args.timeseries_out} "
+              f"(view with `repro top --cluster {args.timeseries_out}`)")
     _export(args, [result.to_dict()])
     if result.slo is not None and not result.slo.met:
         return 1
@@ -806,9 +893,38 @@ def _print_cluster_bench(data: Dict) -> bool:
     return identical
 
 
+def _compare_baseline(args, fresh_path: str) -> int:
+    """Bench-history gate: fail when a throughput figure regresses."""
+    from .analysis.bench_history import compare_bench_files
+
+    try:
+        comparisons = compare_bench_files(
+            fresh_path, args.baseline, tolerance=args.tolerance)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["figure", "baseline", "fresh", "change", "verdict"],
+        [comparison.row() for comparison in comparisons],
+        title=f"bench history vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})",
+    ))
+    regressed = [c for c in comparisons if c.regressed]
+    if regressed:
+        for comparison in regressed:
+            print(f"regression: {comparison.figure} fell "
+                  f"{-comparison.change:.1%} below baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .parallel.bench import run_bench, write_bench
 
+    if args.baseline and not args.out:
+        print("error: --baseline requires --out (the fresh results file)",
+              file=sys.stderr)
+        return 2
     if args.cluster:
         from .cluster.bench import run_cluster_bench
 
@@ -817,6 +933,10 @@ def cmd_bench(args) -> int:
         if args.out:
             write_bench(args.out, data)
             print(f"wrote {args.out}")
+        if args.baseline:
+            gate = _compare_baseline(args, args.out)
+            if gate:
+                return gate
         return 0 if identical else 1
 
     data = run_bench(smoke=args.smoke, workers=args.workers or None)
@@ -843,6 +963,10 @@ def cmd_bench(args) -> int:
     if args.out:
         write_bench(args.out, data)
         print(f"wrote {args.out}")
+    if args.baseline:
+        gate = _compare_baseline(args, args.out)
+        if gate:
+            return gate
     return 0 if sweep["bit_identical"] else 1
 
 
@@ -1022,6 +1146,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for N wall seconds then exit "
                             "(default: until SIGINT/SIGTERM)")
+    serve.add_argument("--scrape-interval", type=float, default=1.0,
+                       help="metrics scrape cadence in virtual seconds "
+                            "feeding /metrics/history (0 disables)")
+    serve.add_argument("--history-points", type=int, default=720,
+                       help="ring capacity per time series")
+    serve.add_argument("--slo-ms", type=float, default=200.0,
+                       help="latency objective (ms) scored into SLO burn "
+                            "windows (0 disables)")
+    serve.add_argument("--target", type=float, default=0.99,
+                       help="required good fraction for --slo-ms")
     serve.add_argument("--replay", metavar="TRACE",
                        help="replay a repro-trace-v1 file through both "
                             "clocks and report the sim-vs-live gap")
@@ -1159,6 +1293,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cluster", action="store_true",
                        help="run the cluster shard-scaling harness instead "
                             "(writes BENCH_cluster.json shape)")
+    bench.add_argument("--baseline", metavar="FILE",
+                       help="bench-history gate: compare the fresh --out "
+                            "results against this committed baseline and "
+                            "exit 1 on a throughput regression")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed relative throughput drop vs --baseline")
     bench.set_defaults(func=cmd_bench)
 
     cluster = sub.add_parser(
@@ -1209,8 +1349,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="required good fraction for --slo-ms")
     cluster.add_argument("--per-shard", action="store_true",
                          help="print the per-shard accounting table")
+    cluster.add_argument("--trace-out", metavar="FILE",
+                         help="write a merged cross-shard Perfetto trace "
+                              "of sampled user sessions")
+    cluster.add_argument("--trace-sessions", type=int, default=0,
+                         help="distinct user sessions to trace end to end "
+                              "(0 = off; --trace-out defaults it to 8)")
+    cluster.add_argument("--trace-limit", type=int, default=2000,
+                         help="max traced requests kept per cell")
+    cluster.add_argument("--timeseries-out", metavar="FILE",
+                         help="export windowed cluster time series as "
+                              "JSONL (.gz supported); view with "
+                              "`repro top --cluster FILE`")
+    cluster.add_argument("--timeseries-interval", type=float, default=60.0,
+                         help="aggregation window for --timeseries-out "
+                              "(simulated seconds)")
     _add_export_flags(cluster)
     cluster.set_defaults(func=cmd_cluster)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard of a serving node's time series",
+        description="Poll a live node's /metrics/history and /stats "
+                    "endpoints (or load a cluster run's exported "
+                    "time-series JSONL) and render sparkline rows plus "
+                    "SLO burn in the terminal.",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="base URL of a `repro serve` node")
+    top.add_argument("--cluster", metavar="FILE",
+                     help="render an exported cluster time-series JSONL "
+                          "(from `repro cluster --timeseries-out`) "
+                          "instead of polling a node")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="poll cadence in wall seconds")
+    top.add_argument("--count", type=int, default=None,
+                     help="frames to render then exit (default: forever)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--plain", action="store_true",
+                     help="no ANSI screen clearing between frames")
+    top.add_argument("--width", type=int, default=100,
+                     help="frame width in columns")
+    top.add_argument("--series", action="append", metavar="PATTERN",
+                     help="substring filter on series names (repeatable; "
+                          "default shows rates, quantiles, and SLO burn)")
+    top.set_defaults(func=cmd_top)
 
     models = sub.add_parser("models", help="list the model zoo")
     _add_export_flags(models)

@@ -43,6 +43,14 @@ from .fluid import FluidCellModel, zero_load_profile
 from .records import SPAN_NETWORK, CompletionRecord, canonical_order, merge_records
 from .runner import ClusterResult, ShardSummary, run_cluster_experiment
 from .shards import ShardPoint, ShardRuntime, arrival_stream, run_shard_point
+from .timeseries import cluster_timeseries
+from .tracing import (
+    TraceSampler,
+    TraceSpanRecord,
+    cluster_trace_events,
+    merge_trace_records,
+    write_cluster_trace,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -60,11 +68,17 @@ __all__ = [
     "ShardPoint",
     "ShardRuntime",
     "ShardSummary",
+    "TraceSampler",
+    "TraceSpanRecord",
     "arrival_stream",
     "canonical_order",
+    "cluster_timeseries",
+    "cluster_trace_events",
     "merge_records",
+    "merge_trace_records",
     "route_hash_cell",
     "run_cluster_experiment",
     "run_shard_point",
+    "write_cluster_trace",
     "zero_load_profile",
 ]

@@ -40,6 +40,7 @@ from .shards import (
     route_cell,
     run_shard_point,
 )
+from .tracing import TraceSampler, TraceSpanRecord, merge_trace_records
 
 __all__ = ["ClusterResult", "ShardSummary", "run_cluster_experiment"]
 
@@ -104,6 +105,12 @@ class ClusterResult:
     shards: Tuple[ShardSummary, ...] = field(compare=False, default=())
     #: Cluster-wide SLO view, or ``None`` when no SloConfig was given.
     slo: Optional[SloReport] = field(compare=False, default=None)
+    #: Canonically ordered distributed-trace span records (empty unless
+    #: ``trace_sessions`` was set).  Excluded from equality: the record
+    #: set is deterministic but carries unhashable timelines.
+    traces: Tuple[TraceSpanRecord, ...] = field(compare=False, default=())
+    #: Post-hoc fleet time series (``timeseries_interval``), or None.
+    timeseries: Optional[object] = field(compare=False, default=None)
 
     @property
     def node_count(self) -> int:
@@ -132,6 +139,25 @@ class ClusterResult:
             f"epochs={self.epochs} wall={self.wall_seconds:.2f}s"
         )
 
+    def write_trace(self, path: str) -> int:
+        """Export the merged cross-cell Perfetto trace; event count."""
+        from .tracing import write_cluster_trace
+
+        if not self.traces:
+            raise RuntimeError(
+                "no trace records collected; run with trace_sessions > 0"
+            )
+        return write_cluster_trace(path, self.traces)
+
+    def write_timeseries(self, path: str) -> int:
+        """Export the post-hoc time series as JSONL; series count."""
+        if self.timeseries is None:
+            raise RuntimeError(
+                "no time series built; run with timeseries_interval set"
+            )
+        self.timeseries.to_jsonl(path)
+        return len(self.timeseries)
+
 
 def _require_bounded(
     workload: Workload,
@@ -158,6 +184,9 @@ def run_cluster_experiment(
     max_requests: Optional[int] = None,
     max_sim_seconds: Optional[float] = None,
     slo: Optional[SloConfig] = None,
+    trace_sessions: int = 0,
+    trace_limit: int = 2000,
+    timeseries_interval: Optional[float] = None,
 ) -> ClusterResult:
     """Simulate ``workload`` against a sharded cluster topology.
 
@@ -165,9 +194,16 @@ def run_cluster_experiment(
     ``(server_config, cluster topology, workload, seed)`` — never on
     ``cluster.shards``, ``cluster.execution``, or ``cluster.workers``,
     which select how the work is executed, not what is simulated.
+    Observability add-ons are equally inert: ``trace_sessions > 0``
+    samples that many user sessions for distributed tracing (the merged
+    Perfetto trace on :attr:`ClusterResult.traces`) and
+    ``timeseries_interval`` builds the post-hoc fleet time series, both
+    without perturbing ``metrics`` (pinned by the neutrality tests).
     """
     cluster = cluster.validate()
     _require_bounded(workload, max_requests, max_sim_seconds)
+    if trace_sessions < 0:
+        raise ValueError(f"trace_sessions must be >= 0, got {trace_sessions}")
     plan = cluster.plan()
     start = time.perf_counter()
 
@@ -175,6 +211,7 @@ def run_cluster_experiment(
         per_cell, per_shard_raw, issued, busy, workers = _run_process(
             server_config, cluster, calibration, workload, seed,
             plan.shard_cells, max_requests, max_sim_seconds,
+            trace_sessions, trace_limit,
         )
         epochs = 0
         mode = EXEC_PROCESS
@@ -182,6 +219,7 @@ def run_cluster_experiment(
         per_cell, per_shard_raw, issued, epochs = _run_serial(
             server_config, cluster, calibration, workload, seed,
             plan.shard_cells, max_requests, max_sim_seconds,
+            trace_sessions, trace_limit,
         )
         busy = None
         workers = 1
@@ -228,6 +266,23 @@ def run_cluster_experiment(
             )
         )
 
+    traces: Tuple[TraceSpanRecord, ...] = ()
+    if trace_sessions > 0:
+        sessions: Dict[str, str] = {}
+        for raw in per_shard_raw:
+            sessions.update(raw.get("sessions", {}))
+        traces = merge_trace_records(
+            (raw.get("traces", ()) for raw in per_shard_raw), sessions
+        )
+
+    timeseries = None
+    if timeseries_interval is not None:
+        from .timeseries import cluster_timeseries
+
+        timeseries = cluster_timeseries(
+            per_cell, interval=timeseries_interval, slo=slo,
+        )
+
     wall = time.perf_counter() - start
     return ClusterResult(
         cluster=cluster,
@@ -248,6 +303,8 @@ def run_cluster_experiment(
         mode=mode,
         shards=tuple(summaries),
         slo=slo_report,
+        traces=traces,
+        timeseries=timeseries,
     )
 
 
@@ -286,6 +343,8 @@ def _run_serial(
     shard_cells: Tuple[Tuple[int, ...], ...],
     max_requests: Optional[int],
     max_sim_seconds: Optional[float],
+    trace_sessions: int = 0,
+    trace_limit: int = 2000,
 ) -> Tuple[
     List[Tuple[int, List[CompletionRecord]]],
     List[Dict[str, Any]],
@@ -293,7 +352,10 @@ def _run_serial(
     int,
 ]:
     shards = [
-        ShardRuntime(shard_id, cells, cluster, server_config, calibration)
+        ShardRuntime(
+            shard_id, cells, cluster, server_config, calibration,
+            trace_limit=trace_limit if trace_sessions > 0 else 0,
+        )
         for shard_id, cells in enumerate(shard_cells)
     ]
     shard_of = [0] * cluster.cells
@@ -303,11 +365,19 @@ def _run_serial(
 
     stale_routing = cluster.routing == ROUTE_LEAST_BACKLOG
     width = cluster.resolved_epoch_seconds()
+    sampler = TraceSampler(seed, trace_sessions) if trace_sessions > 0 else None
     arrivals = arrival_stream(
         workload, seed,
         max_requests=max_requests, max_sim_seconds=max_sim_seconds,
     )
-    pending: Optional[Arrival] = next(arrivals, None)
+
+    def _draw() -> Optional[Arrival]:
+        arrival = next(arrivals, None)
+        if arrival is not None and sampler is not None:
+            arrival.trace = sampler.trace_for(arrival)
+        return arrival
+
+    pending: Optional[Arrival] = _draw()
     issued = 0
     epochs = 0
 
@@ -336,7 +406,7 @@ def _run_serial(
                 pending.t + cluster.ingress_latency(cell_id),
             )
             issued += 1
-            pending = next(arrivals, None)
+            pending = _draw()
 
         # Advance every shard with work inside the window to the
         # boundary.  Cells are independent, so the order is irrelevant.
@@ -353,6 +423,8 @@ def _run_serial(
             "shard_id": shard.shard_id,
             "cells": dict(records),
             "counters": shard.counters(),
+            "traces": shard.trace_records(),
+            "sessions": dict(sampler.sessions) if sampler is not None else {},
         })
     return per_cell, per_shard, issued, epochs
 
@@ -369,6 +441,8 @@ def _run_process(
     shard_cells: Tuple[Tuple[int, ...], ...],
     max_requests: Optional[int],
     max_sim_seconds: Optional[float],
+    trace_sessions: int = 0,
+    trace_limit: int = 2000,
 ) -> Tuple[
     List[Tuple[int, List[CompletionRecord]]],
     List[Dict[str, Any]],
@@ -387,6 +461,8 @@ def _run_process(
             shard_id=shard_id,
             max_requests=max_requests,
             max_sim_seconds=max_sim_seconds,
+            trace_sessions=trace_sessions,
+            trace_limit=trace_limit,
         )
         for shard_id, cells in enumerate(shard_cells)
     ]

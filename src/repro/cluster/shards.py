@@ -52,15 +52,17 @@ __all__ = [
 class Arrival:
     """One routed request leaving the global routing tier."""
 
-    __slots__ = ("seq", "t", "image", "phase", "user", "key")
+    __slots__ = ("seq", "t", "image", "phase", "user", "key", "trace")
 
-    def __init__(self, seq, t, image, phase, user, key) -> None:
+    def __init__(self, seq, t, image, phase, user, key, trace=None) -> None:
         self.seq = seq
         self.t = t
         self.image = image
         self.phase = phase
         self.user = user
         self.key = key
+        #: Distributed TraceContext stamped by the routing tier, or None.
+        self.trace = trace
 
 
 def arrival_stream(
@@ -119,7 +121,7 @@ class CellRuntime:
     __slots__ = (
         "cell_id", "env", "cluster", "server_config", "calibration",
         "resilience", "ingress", "egress", "records", "collector",
-        "fleet", "fluid",
+        "fleet", "fluid", "tracer", "trace_records",
     )
 
     def __init__(
@@ -130,6 +132,7 @@ class CellRuntime:
         server_config: ServerConfig,
         calibration: Calibration,
         resilience: Optional[ResiliencePolicy],
+        tracer=None,
     ) -> None:
         self.env = env
         self.cell_id = cell_id
@@ -140,6 +143,9 @@ class CellRuntime:
         self.ingress = cluster.ingress_latency(cell_id)
         self.egress = cluster.egress_latency(cell_id)
         self.records: List[CompletionRecord] = []
+        #: Arms trace-carrying requests only (distributed tracing).
+        self.tracer = tracer
+        self.trace_records: List = []
         #: Never armed: its run-global counters feed the merged metrics.
         self.collector = MetricsCollector()
         self.fleet: Optional[Fleet] = None
@@ -169,6 +175,9 @@ class CellRuntime:
                 if self.resilience is not None else None,
                 node_ids=cluster.node_ids(self.cell_id),
             )
+            if self.tracer is not None:
+                for server in self.fleet.servers:
+                    server.tracer = self.tracer
         return self.fleet
 
     def _record(self, request) -> None:
@@ -176,16 +185,27 @@ class CellRuntime:
             CompletionRecord.from_request(
                 request, ingress=self.ingress, egress=self.egress)
         )
+        if getattr(request, "trace", None) is not None and request.timeline:
+            from .tracing import TraceSpanRecord
 
-    def inject(self, image, phase: Optional[str]) -> None:
+            self.trace_records.append(
+                TraceSpanRecord.from_request(
+                    request, cell_id=self.cell_id,
+                    ingress=self.ingress, egress=self.egress,
+                )
+            )
+
+    def inject(self, image, phase: Optional[str], trace=None) -> None:
         """Deliver one request to the cell (called at the delivery time)."""
         if self.fluid is not None and self.fleet is None:
             if not self.fluid.note_arrival(self.env.now):
+                # Fluid-served requests have no discrete spans to trace;
+                # a sampled session simply has no in-cell record here.
                 self._fluid_complete(image, phase)
                 return
             # The cell just turned hot: this arrival and everything after
             # it runs on the discrete-event fleet.
-        self._ensure_fleet().submit(image, phase=phase)
+        self._ensure_fleet().submit(image, phase=phase, trace=trace)
 
     def _fluid_complete(self, image, phase: Optional[str]) -> None:
         assert self.fluid is not None
@@ -230,6 +250,7 @@ class ShardRuntime:
         server_config: ServerConfig,
         calibration: Calibration,
         resilience: Optional[ResiliencePolicy] = None,
+        trace_limit: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.cell_ids = cell_ids
@@ -237,6 +258,10 @@ class ShardRuntime:
         self.server_config = server_config
         self.calibration = calibration
         self.resilience = resilience
+        #: Per-cell retention cap for distributed tracing (0 = off).
+        #: Per *cell* so the exported trace set is a pure function of the
+        #: topology, invariant to the shard packing.
+        self.trace_limit = trace_limit
         self.env = Environment()
         self.cells: Dict[int, CellRuntime] = {}
         self.delivered = 0
@@ -244,9 +269,14 @@ class ShardRuntime:
     def cell(self, cell_id: int) -> CellRuntime:
         runtime = self.cells.get(cell_id)
         if runtime is None:
+            tracer = None
+            if self.trace_limit > 0:
+                from ..telemetry.tracer import Tracer
+
+                tracer = Tracer(limit=self.trace_limit, only_traced=True)
             runtime = CellRuntime(
                 self.env, cell_id, self.cluster, self.server_config,
-                self.calibration, self.resilience,
+                self.calibration, self.resilience, tracer=tracer,
             )
             self.cells[cell_id] = runtime
         return runtime
@@ -259,7 +289,7 @@ class ShardRuntime:
         event._value = None
         event.callbacks.append(
             lambda _event, cell=cell, arrival=arrival: cell.inject(
-                arrival.image, arrival.phase)
+                arrival.image, arrival.phase, arrival.trace)
         )
         self.env.schedule_at(event, deliver_t)
         self.delivered += 1
@@ -283,6 +313,13 @@ class ShardRuntime:
     def per_cell_records(self) -> List[Tuple[int, List[CompletionRecord]]]:
         return [(cell_id, runtime.records)
                 for cell_id, runtime in self.cells.items()]
+
+    def trace_records(self) -> List:
+        """Every cell's trace span records, in ascending cell-id order."""
+        records: List = []
+        for cell_id in sorted(self.cells):
+            records.extend(self.cells[cell_id].trace_records)
+        return records
 
     def counters(self) -> Dict[str, int]:
         timeouts = retries = shed = fluid = 0
@@ -325,6 +362,12 @@ class ShardPoint:
     shard_id: int = 0
     max_requests: Optional[int] = None
     max_sim_seconds: Optional[float] = None
+    #: Distributed-tracing session budget (0 = tracing off).  Every
+    #: worker regenerates the same arrival stream, so every worker
+    #: samples the identical sessions.
+    trace_sessions: int = 0
+    #: Per-cell retention cap for traced requests.
+    trace_limit: int = 2000
 
 
 def run_shard_point(point: ShardPoint) -> Dict[str, Any]:
@@ -332,7 +375,13 @@ def run_shard_point(point: ShardPoint) -> Dict[str, Any]:
     runtime = ShardRuntime(
         point.shard_id, point.cell_ids, point.cluster, point.server,
         point.calibration,
+        trace_limit=point.trace_limit if point.trace_sessions > 0 else 0,
     )
+    sampler = None
+    if point.trace_sessions > 0:
+        from .tracing import TraceSampler
+
+        sampler = TraceSampler(point.seed, point.trace_sessions)
     own = frozenset(point.cell_ids)
     issued = 0
     for arrival in arrival_stream(
@@ -341,6 +390,10 @@ def run_shard_point(point: ShardPoint) -> Dict[str, Any]:
         max_sim_seconds=point.max_sim_seconds,
     ):
         issued += 1
+        if sampler is not None:
+            # Sampled for every arrival (not just this shard's): session
+            # admission is first-come over the global stream.
+            arrival.trace = sampler.trace_for(arrival)
         cell_id = route_cell(point.cluster, arrival)
         if cell_id not in own:
             continue
@@ -355,4 +408,6 @@ def run_shard_point(point: ShardPoint) -> Dict[str, Any]:
         "cells": {cell_id: records
                   for cell_id, records in runtime.per_cell_records()},
         "counters": runtime.counters(),
+        "traces": runtime.trace_records(),
+        "sessions": sampler.sessions if sampler is not None else {},
     }

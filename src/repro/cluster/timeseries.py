@@ -1,0 +1,130 @@
+"""Post-hoc cluster time series from completion records.
+
+A cluster run cannot host an in-loop
+:class:`~repro.telemetry.scraper.MetricsScraper`: shards *drain* (run
+their event queue dry), so a cadence process would keep the loop alive
+forever.  Instead the fleet-wide time series are reconstructed after
+the fact from the merged :class:`~repro.cluster.records.
+CompletionRecord` stream — binning completions into fixed windows and
+computing, per window, the exact same recording rules the live scraper
+emits (per-cell QPS, windowed latency quantiles, SLO burn rate).
+
+The quantile math goes through per-cell
+:class:`~repro.telemetry.registry.Histogram` instances folded with
+:meth:`~repro.telemetry.registry.Histogram.merge`, so the cluster-wide
+quantile of a window is *identical* to observing every completion in
+one global histogram — the property the merge regression test pins.
+
+The resulting :class:`~repro.telemetry.timeseries.TimeSeriesStore` is
+what ``repro cluster --timeseries-out`` exports (the golden-day JSONL
+artifact in CI) and what ``repro top --cluster`` replays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.request import OUTCOME_OK
+from ..telemetry.registry import Histogram
+from ..telemetry.slo import SloConfig
+from ..telemetry.timeseries import TimeSeriesStore
+from .records import CompletionRecord
+
+__all__ = ["cluster_timeseries"]
+
+
+def cluster_timeseries(
+    per_cell: Iterable[Tuple[int, List[CompletionRecord]]],
+    *,
+    interval: float = 60.0,
+    slo: Optional[SloConfig] = None,
+) -> TimeSeriesStore:
+    """Build the fleet-wide time-series store from per-cell records.
+
+    Per window of ``interval`` router-clock seconds, the store gains:
+
+    - ``repro_cluster_completions:rate`` — completions/s, one labelled
+      series per cell (``{"cell": ...}``) plus the unlabelled global;
+    - ``repro_cluster_latency_seconds:p50/p95/p99`` — windowed global
+      quantiles from the merge of the per-cell window histograms, and
+      per-cell ``:p99``;
+    - ``repro_cluster_latency_seconds:count`` — cumulative completions;
+    - ``repro_slo_burn_rate`` (``{"window": <interval>}``) — windowed
+      bad-fraction over the error budget, when ``slo`` is given.
+
+    Points are stamped at each window's *end*; the store capacity is
+    sized to the window count so a full day is never evicted.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    cells = sorted(
+        (cell_id, records) for cell_id, records in per_cell
+    )
+    end = 0.0
+    for _cell_id, records in cells:
+        for record in records:
+            if record.completion_time > end:
+                end = record.completion_time
+    ticks = max(1, int(math.ceil(end / interval)) if end > 0 else 1)
+
+    # window index -> cell -> (histogram, bad count)
+    windows: List[Dict[int, Histogram]] = [dict() for _ in range(ticks)]
+    bad: List[int] = [0] * ticks
+    for cell_id, records in cells:
+        for record in records:
+            index = min(int(record.completion_time / interval), ticks - 1)
+            histogram = windows[index].get(cell_id)
+            if histogram is None:
+                histogram = Histogram()
+                windows[index][cell_id] = histogram
+            histogram.observe(record.latency)
+            if slo is not None and (
+                record.outcome != OUTCOME_OK
+                or record.latency > slo.latency_objective_seconds
+            ):
+                bad[index] += 1
+
+    store = TimeSeriesStore(capacity=ticks)
+    cell_ids = [cell_id for cell_id, _records in cells]
+    budget = (1.0 - slo.target) if slo is not None else None
+    cumulative = 0
+    for index in range(ticks):
+        t = (index + 1) * interval
+        merged = Histogram()
+        for cell_id in cell_ids:
+            histogram = windows[index].get(cell_id)
+            count = histogram.count if histogram is not None else 0
+            store.record(
+                "repro_cluster_completions:rate", t, count / interval,
+                {"cell": str(cell_id)},
+            )
+            store.record(
+                "repro_cluster_latency_seconds:p99", t,
+                histogram.quantile(0.99) if histogram is not None else 0.0,
+                {"cell": str(cell_id)},
+            )
+            if histogram is not None:
+                merged.merge(histogram)
+        cumulative += merged.count
+        store.record("repro_cluster_completions:rate", t, merged.count / interval)
+        store.record("repro_cluster_latency_seconds:count", t, cumulative)
+        for suffix, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            store.record(
+                f"repro_cluster_latency_seconds:{suffix}", t,
+                merged.quantile(q) if merged.count else 0.0,
+            )
+        if slo is not None:
+            fraction = bad[index] / merged.count if merged.count else 0.0
+            burn = fraction / budget if budget and budget > 0 else 0.0
+            store.record(
+                "repro_slo_burn_rate", t, burn,
+                {"window": _format_window(interval)},
+            )
+    return store
+
+
+def _format_window(window_seconds: float) -> str:
+    if window_seconds == int(window_seconds):
+        return str(int(window_seconds))
+    return repr(float(window_seconds))

@@ -1,0 +1,416 @@
+"""Distributed tracing across the cluster fabric.
+
+The global routing tier samples a bounded set of user *sessions* and
+stamps every arrival of a sampled session with a deterministic
+:class:`~repro.telemetry.context.TraceContext` (one root per session,
+one child span per request).  Cells arm exactly those requests with a
+per-cell :class:`~repro.telemetry.tracer.Tracer`, and each completion
+is snapshotted into a picklable :class:`TraceSpanRecord` — so spans
+survive the process-pool shard boundary the same way
+:class:`~repro.cluster.records.CompletionRecord` does.
+
+At the end of a run the records from every cell merge into **one**
+Perfetto timeline (:func:`cluster_trace_events`): a router process
+group with one row per traced session, one process group per cell with
+the in-cell span slices at their true simulation times, fabric flow
+arrows from the router row into each cell, and session flow arrows
+linking consecutive requests of one trace across *different* cells —
+the cross-cell view the golden-trace test pins.
+
+Everything here is deterministic (SHA-256-derived ids, no RNG) and
+strictly observational: tracing on/off never changes the merged
+``RunMetrics`` (asserted by the cluster observer-neutrality tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..telemetry.context import TraceContext
+
+__all__ = [
+    "TraceSampler",
+    "TraceSpanRecord",
+    "merge_trace_records",
+    "cluster_trace_events",
+    "write_cluster_trace",
+]
+
+_CATEGORY = "cluster"
+_FLOW_FABRIC = "fabric"
+_FLOW_SESSION = "session"
+
+#: Process id of the global routing tier's track group; cells follow.
+PID_ROUTER = 0
+
+
+class TraceSampler:
+    """Router-side session sampling: first ``max_sessions`` distinct keys.
+
+    The decision is a pure function of the arrival sequence (which every
+    execution mode replays identically — the serial coordinator routes
+    the stream once, each pool worker regenerates and filters it), so
+    the same arrivals carry the same :class:`TraceContext` everywhere.
+    A session is the workload's user when present, else the arrival's
+    own sequence number (every request its own one-span trace).
+    """
+
+    def __init__(self, seed: int, max_sessions: int) -> None:
+        if max_sessions < 0:
+            raise ValueError(f"max_sessions must be >= 0, got {max_sessions}")
+        self.seed = seed
+        self.max_sessions = max_sessions
+        self._roots: Dict[object, TraceContext] = {}
+        #: trace_id -> human-readable session label.
+        self.sessions: Dict[str, str] = {}
+
+    def trace_for(self, arrival) -> Optional[TraceContext]:
+        """The per-request child context, or None (session not sampled).
+
+        Must be called for *every* arrival in stream order — admission
+        is first-come, so skipping calls would change which sessions
+        are sampled.
+        """
+        if self.max_sessions == 0:
+            return None
+        key = arrival.user if arrival.user is not None else f"seq:{arrival.seq}"
+        root = self._roots.get(key)
+        if root is None:
+            if len(self._roots) >= self.max_sessions:
+                return None
+            root = TraceContext.derive("cluster", self.seed, key)
+            self._roots[key] = root
+            self.sessions[root.trace_id] = str(key)
+        return root.child("req", arrival.seq)
+
+
+class TraceSpanRecord:
+    """One traced in-cell completion, picklable across shard workers.
+
+    Timeline timestamps are absolute simulation times (cells share the
+    global clock — deliveries are scheduled at absolute instants), so
+    records from different cells merge without any clock adjustment.
+    Router-side coordinates are recovered from ``ingress``/``egress``.
+    """
+
+    __slots__ = (
+        "cell_id",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "session",
+        "image",
+        "arrival_time",
+        "completion_time",
+        "outcome",
+        "gpu_index",
+        "batch_size",
+        "workload_phase",
+        "timeline",
+        "ingress",
+        "egress",
+    )
+
+    def __init__(
+        self,
+        *,
+        cell_id: int,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        image: str,
+        arrival_time: float,
+        completion_time: float,
+        outcome: str,
+        gpu_index: Optional[int],
+        batch_size: Optional[int],
+        workload_phase: Optional[str],
+        timeline: Tuple[Tuple[str, float, float], ...],
+        ingress: float,
+        egress: float,
+        session: Optional[str] = None,
+    ) -> None:
+        self.cell_id = cell_id
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.session = session
+        self.image = image
+        self.arrival_time = arrival_time
+        self.completion_time = completion_time
+        self.outcome = outcome
+        self.gpu_index = gpu_index
+        self.batch_size = batch_size
+        self.workload_phase = workload_phase
+        self.timeline = timeline
+        self.ingress = ingress
+        self.egress = egress
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceSpanRecord {self.trace_id[:8]}../{self.span_id[:8]}.. "
+            f"cell={self.cell_id} spans={len(self.timeline)}>"
+        )
+
+    @classmethod
+    def from_request(
+        cls, request, *, cell_id: int, ingress: float, egress: float
+    ) -> "TraceSpanRecord":
+        trace = request.trace
+        return cls(
+            cell_id=cell_id,
+            trace_id=trace.trace_id,
+            span_id=trace.span_id,
+            parent_id=trace.parent_id,
+            image=str(request.image),
+            arrival_time=request.arrival_time,
+            completion_time=request.completion_time,
+            outcome=request.outcome,
+            gpu_index=request.gpu_index,
+            batch_size=request.batch_size,
+            workload_phase=request.workload_phase,
+            timeline=tuple(request.timeline or ()),
+            ingress=ingress,
+            egress=egress,
+        )
+
+
+def merge_trace_records(
+    per_shard: Iterable[Sequence[TraceSpanRecord]],
+    sessions: Optional[Dict[str, str]] = None,
+) -> Tuple[TraceSpanRecord, ...]:
+    """Canonically ordered cross-shard trace records.
+
+    Sorted by (trace id, router-side arrival, cell id): a pure function
+    of the topology, never of the shard packing — so serial and process
+    runs export byte-identical traces.  ``sessions`` back-fills the
+    human-readable session label onto each record.
+    """
+    merged: List[TraceSpanRecord] = []
+    for records in per_shard:
+        merged.extend(records)
+    merged.sort(
+        key=lambda r: (r.trace_id, r.arrival_time - r.ingress, r.cell_id)
+    )
+    if sessions:
+        for record in merged:
+            if record.session is None:
+                record.session = sessions.get(record.trace_id)
+    return tuple(merged)
+
+
+def cluster_trace_events(
+    records: Sequence[TraceSpanRecord],
+    process_name: str = "repro-cluster",
+) -> List[dict]:
+    """One merged Perfetto timeline from all cells' trace records.
+
+    Track layout (Trace Event Format):
+
+    - pid 0 — the **router**: one row per traced session, an ``rpc``
+      slice per request spanning issue -> response (with nested
+      ``ingress``/``egress`` fabric slices when the fabric latency is
+      non-zero);
+    - pid 1+k — **cell k**: one row per traced request holding its
+      in-cell span slices at true simulation times;
+    - ``fabric`` flow arrows from each router slice to the request's
+      first in-cell span;
+    - ``session`` flow arrows chaining consecutive requests of one
+      trace **across cells** — the arrows the cross-cell golden test
+      asserts on.
+    """
+    events: List[dict] = []
+
+    def process_meta(pid: int, name: str) -> None:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+        events.append(
+            {"name": "process_sort_index", "ph": "M", "pid": pid,
+             "args": {"sort_index": pid}}
+        )
+
+    process_meta(PID_ROUTER, f"{process_name} router")
+    cell_ids = sorted({record.cell_id for record in records})
+    cell_pid = {cell: PID_ROUTER + 1 + index for index, cell in enumerate(cell_ids)}
+    for cell, pid in cell_pid.items():
+        process_meta(pid, f"{process_name} cell c{cell}")
+
+    ordered = sorted(
+        records, key=lambda r: (r.trace_id, r.arrival_time - r.ingress, r.cell_id)
+    )
+    router_tid: Dict[str, int] = {}
+    flow_id = 0
+    previous: Dict[str, Tuple[TraceSpanRecord, int]] = {}
+
+    for index, record in enumerate(ordered):
+        tid = router_tid.get(record.trace_id)
+        if tid is None:
+            tid = len(router_tid)
+            router_tid[record.trace_id] = tid
+            label = record.session or record.trace_id[:8]
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PID_ROUTER,
+                    "tid": tid,
+                    "args": {"name": f"session {label}"},
+                }
+            )
+        issue_t = record.arrival_time - record.ingress
+        response_t = record.completion_time + record.egress
+        span_args = {
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+            "cell": record.cell_id,
+            "outcome": record.outcome,
+        }
+        if record.workload_phase is not None:
+            span_args["phase"] = record.workload_phase
+        events.append(
+            {
+                "name": f"rpc cell c{record.cell_id}",
+                "cat": _CATEGORY,
+                "ph": "X",
+                "pid": PID_ROUTER,
+                "tid": tid,
+                "ts": issue_t * 1e6,
+                "dur": (response_t - issue_t) * 1e6,
+                "args": span_args,
+            }
+        )
+        if record.ingress > 0.0:
+            events.append(
+                {
+                    "name": "ingress",
+                    "cat": _CATEGORY,
+                    "ph": "X",
+                    "pid": PID_ROUTER,
+                    "tid": tid,
+                    "ts": issue_t * 1e6,
+                    "dur": record.ingress * 1e6,
+                    "args": {"trace_id": record.trace_id},
+                }
+            )
+        if record.egress > 0.0:
+            events.append(
+                {
+                    "name": "egress",
+                    "cat": _CATEGORY,
+                    "ph": "X",
+                    "pid": PID_ROUTER,
+                    "tid": tid,
+                    "ts": record.completion_time * 1e6,
+                    "dur": record.egress * 1e6,
+                    "args": {"trace_id": record.trace_id},
+                }
+            )
+
+        pid = cell_pid[record.cell_id]
+        request_tid = index
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": request_tid,
+                "args": {
+                    "name": f"{record.trace_id[:8]}../{record.span_id[:8]}.. "
+                            f"({record.image})"
+                },
+            }
+        )
+        first_span_start = record.arrival_time
+        for span, start, end in sorted(record.timeline, key=lambda e: e[1]):
+            first_span_start = min(first_span_start, start)
+            events.append(
+                {
+                    "name": span,
+                    "cat": _CATEGORY,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": request_tid,
+                    "ts": start * 1e6,
+                    "dur": (end - start) * 1e6,
+                    "args": {
+                        **span_args,
+                        "batch_size": record.batch_size,
+                        "gpu": record.gpu_index,
+                    },
+                }
+            )
+
+        # Router -> cell fabric arrow (issue instant to first in-cell span).
+        flow_id += 1
+        events.append(
+            {
+                "name": _FLOW_FABRIC,
+                "cat": _FLOW_FABRIC,
+                "ph": "s",
+                "id": flow_id,
+                "pid": PID_ROUTER,
+                "tid": tid,
+                "ts": issue_t * 1e6,
+            }
+        )
+        events.append(
+            {
+                "name": _FLOW_FABRIC,
+                "cat": _FLOW_FABRIC,
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": pid,
+                "tid": request_tid,
+                "ts": first_span_start * 1e6,
+            }
+        )
+
+        # Session chain: arrow from the previous request of this trace to
+        # this one.  When the two land in different cells the arrow spans
+        # two process groups — the cross-cell link.
+        chained = previous.get(record.trace_id)
+        if chained is not None:
+            prior, prior_tid = chained
+            flow_id += 1
+            events.append(
+                {
+                    "name": _FLOW_SESSION,
+                    "cat": _FLOW_SESSION,
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": cell_pid[prior.cell_id],
+                    "tid": prior_tid,
+                    "ts": prior.completion_time * 1e6,
+                }
+            )
+            events.append(
+                {
+                    "name": _FLOW_SESSION,
+                    "cat": _FLOW_SESSION,
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": request_tid,
+                    "ts": first_span_start * 1e6,
+                }
+            )
+        previous[record.trace_id] = (record, request_tid)
+
+    events.sort(key=lambda e: (e.get("ts", -1.0), e.get("ph") != "X"))
+    return events
+
+
+def write_cluster_trace(
+    path: str,
+    records: Sequence[TraceSpanRecord],
+    process_name: str = "repro-cluster",
+) -> int:
+    """Write the merged cross-cell Perfetto trace; returns event count."""
+    events = cluster_trace_events(records, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return len(events)

@@ -83,6 +83,7 @@ class InferenceRequest:
         "served_from",
         "workload_phase",
         "timeline",
+        "trace",
         "_open_spans",
     )
 
@@ -121,6 +122,10 @@ class InferenceRequest:
         #: Timestamped ``(name, start, end)`` intervals, recorded only
         #: when a tracer armed the request (``None`` = recording off).
         self.timeline: Optional[List[Tuple[str, float, float]]] = None
+        #: Distributed-trace hop this request belongs to
+        #: (:class:`~repro.telemetry.context.TraceContext`), or ``None``
+        #: when the request is not part of a distributed trace.
+        self.trace = None
         self._open_spans: Dict[str, float] = {}
 
     def __repr__(self) -> str:

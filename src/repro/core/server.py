@@ -258,6 +258,7 @@ class InferenceServer:
         deadline: Optional[float] = None,
         attempt: int = 0,
         phase: Optional[str] = None,
+        trace=None,
     ) -> Event:
         """Submit one request; the returned event succeeds at completion
         with the finished :class:`InferenceRequest` as its value.
@@ -268,7 +269,10 @@ class InferenceServer:
         time) marks the request as a timeout if it completes at or past
         it; ``attempt`` is the retry index stamped by resilient callers;
         ``phase`` is the workload phase the arrival was issued under
-        (stamped onto the request for per-phase metrics and traces).
+        (stamped onto the request for per-phase metrics and traces);
+        ``trace`` is the distributed
+        :class:`~repro.telemetry.context.TraceContext` hop propagated
+        from the caller (fabric message or HTTP ``traceparent``).
         """
         request = InferenceRequest(
             image,
@@ -277,6 +281,7 @@ class InferenceServer:
             attempt=attempt,
             phase=phase,
         )
+        request.trace = trace
         if self.tracer is not None:
             self.tracer.register(request)
         done = self.env.event()

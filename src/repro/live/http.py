@@ -10,11 +10,18 @@ Endpoints:
 - ``GET /healthz``  — liveness: ``{"status": "ok"}`` (``"draining"``
   once shutdown has begun).
 - ``GET /metrics``  — Prometheus text exposition from the node's
-  :class:`~repro.telemetry.session.TelemetrySession` registry.
-- ``GET /stats``    — JSON snapshot of admission/completion counters.
+  :class:`~repro.telemetry.session.TelemetrySession` registry (with
+  exemplar trace ids on histogram buckets when tracing flows).
+- ``GET /metrics/history`` — the ring-buffered time-series store as
+  JSON (``?since=<t>`` trims to points at or after ``t``); 404 until a
+  scraper is configured.  ``repro top`` polls this.
+- ``GET /stats``    — JSON snapshot of admission/completion counters,
+  SLO burn windows, and scraper/alert state.
 - ``POST /v1/infer`` — admit one request; body ``{"size": "medium",
   "key": 123}`` (both optional); responds after completion with
-  latency, batch size, cache tier, and per-span seconds.
+  latency, batch size, cache tier, and per-span seconds.  A W3C
+  ``traceparent`` header joins the caller's distributed trace; the
+  response carries the server-side ``traceparent`` back.
 
 Connections are ``Connection: close`` — one request per connection
 keeps the parser trivial and the shutdown path enumerable.
@@ -118,12 +125,14 @@ class LiveHttpServer:
         if len(parts) != 3:
             return 400, {"error": "malformed request line"}
         method, path, _version = parts
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
 
         if method == "GET" and path == "/healthz":
             return 200, {"status": "ok" if self.node.accepting else "draining"}
         if method == "GET" and path == "/metrics":
             return 200, {"_raw": self.node.prometheus_text()}
+        if method == "GET" and path == "/metrics/history":
+            return self._history(query)
         if method == "GET" and path == "/stats":
             return 200, self.node.stats()
         if path == "/v1/infer":
@@ -133,6 +142,20 @@ class LiveHttpServer:
         if method not in ("GET", "POST"):
             return 405, {"error": f"method {method} not supported"}
         return 404, {"error": f"no route for {path}"}
+
+    def _history(self, query: str) -> Tuple[int, Dict[str, Any]]:
+        since: Optional[float] = None
+        for part in query.split("&"):
+            name, _, value = part.partition("=")
+            if name == "since" and value:
+                try:
+                    since = float(value)
+                except ValueError:
+                    return 400, {"error": f"since must be a number, got {value!r}"}
+        payload = self.node.history_dict(since=since)
+        if payload is None:
+            return 404, {"error": "no metrics scraper configured on this node"}
+        return 200, payload
 
     async def _infer(self, reader: asyncio.StreamReader, headers: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
         length = int(headers.get("content-length", "0") or "0")
@@ -152,8 +175,9 @@ class LiveHttpServer:
         key = spec.get("key")
         if key is not None and not isinstance(key, int):
             return 400, {"error": "key must be an integer"}
+        traceparent = headers.get("traceparent")
         try:
-            result = await self.node.infer(size=size, key=key)
+            result = await self.node.infer(size=size, key=key, traceparent=traceparent)
         except NodeShuttingDown:
             self.node.rejected += 1
             return 503, {"error": "node is shutting down"}

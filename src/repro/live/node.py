@@ -161,17 +161,35 @@ class LiveNode:
         if self.completed >= self.admitted:
             self._idle.set()
 
-    async def infer(self, *, size: str = "medium", key: Optional[int] = None) -> Dict[str, Any]:
+    async def infer(
+        self,
+        *,
+        size: str = "medium",
+        key: Optional[int] = None,
+        traceparent: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Admit one request and await its completion.
 
         ``size`` picks the reference image class; ``key`` selects a
         deterministic catalog item (stable cache identity across
         requests), ``None`` draws from the admission RNG.
+        ``traceparent`` joins an incoming W3C distributed trace: the
+        node opens a child span of the caller's context, the request
+        carries it through the policy stack, and the response reports
+        the server-side ``traceparent`` (malformed headers raise
+        ``ValueError``).
         """
         if not self.accepting:
             raise NodeShuttingDown("node is shutting down")
         if size not in self._datasets:
             raise ValueError(f"size must be one of {_SIZES}, got {size!r}")
+        trace = None
+        if traceparent is not None:
+            from ..telemetry.context import TraceContext
+
+            trace = TraceContext.from_traceparent(traceparent).child(
+                "infer", self.admitted
+            )
         dataset = self._datasets[size]
         if key is not None:
             image = dataset.item(key) if hasattr(dataset, "item") else dataset.sample(self._rng)
@@ -180,10 +198,10 @@ class LiveNode:
         arrival = self.env.touch()
         self.admitted += 1
         self._idle.clear()
-        done = self.server.submit(image, arrival_time=arrival)
+        done = self.server.submit(image, arrival_time=arrival, trace=trace)
         request = await self.env.as_future(done)
         wall_latency = self.env.wall_now() - arrival
-        return {
+        out = {
             "request_id": request.request_id,
             "latency_seconds": (request.completion_time or self.env.now) - arrival,
             "wall_latency_seconds": wall_latency,
@@ -193,11 +211,19 @@ class LiveNode:
             "outcome": request.outcome,
             "spans": dict(request.spans),
         }
+        if trace is not None:
+            out["trace_id"] = trace.trace_id
+            out["traceparent"] = trace.to_traceparent()
+        return out
 
     # -- observability -----------------------------------------------------
 
     def prometheus_text(self) -> str:
         return self.session.prometheus_text()
+
+    def history_dict(self, since: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """The ``/metrics/history`` payload (None without a scraper)."""
+        return self.session.history_dict(since=since)
 
     def stats(self) -> Dict[str, Any]:
         server = self.config.server
@@ -217,4 +243,14 @@ class LiveNode:
         }
         if cache is not None:
             out["cache"] = cache.stats_dict()
+        if self.session.slo is not None:
+            out["slo"] = self.session.slo.report(self.env.now).as_dict()
+        scraper = self.session.scraper
+        if scraper is not None:
+            out["scrape"] = {
+                "interval_seconds": scraper.interval,
+                "samples_taken": scraper.samples_taken,
+                "series": len(scraper.store),
+                "alerts_firing": scraper.alerts_firing,
+            }
         return out

@@ -121,6 +121,7 @@ def replay_trace(
     time_scale: float = 60.0,
     fast_forward: bool = False,
     server: Optional[ServerConfig] = None,
+    telemetry=None,
 ) -> ReplayReport:
     """Replay ``trace`` under both clocks and report the comparison.
 
@@ -129,6 +130,9 @@ def replay_trace(
     turns the live run into a strict parity check of the asyncio
     dispatch path.  ``server`` overrides the full deployment config
     (``model``/``preprocess_device`` are ignored when it is given).
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) attaches
+    the identical observability stack — scraper, tracer, SLO — to both
+    runs; being observer-neutral it never perturbs the parity.
     """
     workload = Workload.replay(trace)
     config = ExperimentConfig(
@@ -143,6 +147,7 @@ def replay_trace(
         warmup_requests=warmup_requests,
         measure_requests=measure_requests,
         max_sim_seconds=max_sim_seconds,
+        telemetry=telemetry,
     )
     sim = run_open_loop(config, workload=workload)
     live = run_open_loop(

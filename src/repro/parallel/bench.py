@@ -164,13 +164,28 @@ def bench_sweep(
     }
 
 
+def _best_of(probe, *args, repeats: int = 3) -> float:
+    """Best-of-N for wall-clock micro-probes.
+
+    Scheduler noise only ever *slows* a run, so the max over a few
+    repeats is the stable throughput estimator — what the bench-history
+    CI gate compares against its committed baseline.
+    """
+    return max(probe(*args) for _ in range(repeats))
+
+
 def run_bench(
     smoke: bool = False, workers: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Full harness; ``smoke=True`` shrinks every probe for CI."""
+    """Full harness; ``smoke=True`` shrinks the sweep probe for CI.
+
+    The engine/store micro-probes stay at full size in smoke mode: they
+    cost ~2 s total, and shrinking them to tens of milliseconds makes
+    the throughput figures too noisy for the bench-history gate.
+    """
     scale = 0.1 if smoke else 1.0
-    engine_events = int(200_000 * scale)
-    store_items = int(100_000 * scale)
+    engine_events = 200_000
+    store_items = 100_000
     sweep_count = 12
     measure = int(400 * scale) or 40
     warmup = int(100 * scale) or 10
@@ -184,9 +199,9 @@ def run_bench(
             "cpu_count": os.cpu_count(),
         },
         "engine": {
-            "timeout_events_per_sec": bench_engine_events(engine_events),
-            "store_ops_per_sec": bench_store_throughput(store_items),
-            "store_drain_per_sec": bench_store_drain(store_items),
+            "timeout_events_per_sec": _best_of(bench_engine_events, engine_events),
+            "store_ops_per_sec": _best_of(bench_store_throughput, store_items),
+            "store_drain_per_sec": _best_of(bench_store_drain, store_items),
         },
         "sweep": bench_sweep(
             sweep_count,

@@ -55,15 +55,16 @@ _POLICIES = (ROUND_ROBIN, LEAST_OUTSTANDING)
 class _Job:
     """One request travelling through the balancer (possibly retried)."""
 
-    __slots__ = ("image", "done", "enqueued_at", "attempt", "phase")
+    __slots__ = ("image", "done", "enqueued_at", "attempt", "phase", "trace")
 
     def __init__(self, image, done: Event, enqueued_at: float,
-                 phase: Optional[str] = None) -> None:
+                 phase: Optional[str] = None, trace=None) -> None:
         self.image = image
         self.done = done
         self.enqueued_at = enqueued_at
         self.attempt = 0
         self.phase = phase
+        self.trace = trace
 
 
 class LoadBalancer:
@@ -198,25 +199,31 @@ class LoadBalancer:
                 lambda: sum(b.open_transitions for b in self.breakers),
             )
 
-    def submit(self, image, phase: Optional[str] = None) -> Event:
+    def submit(self, image, phase: Optional[str] = None, trace=None) -> Event:
         """Route one request; the returned event completes with the
-        finished request (same contract as ``InferenceServer.submit``)."""
+        finished request (same contract as ``InferenceServer.submit``).
+
+        ``trace`` is the distributed trace hop from the caller; the
+        balancer carries it through retries so every attempt of one
+        request lands in the same trace."""
         done = self.env.event()
         if (
             self.resilience is not None
             and self.resilience.max_backlog is not None
             and self._backlog.size >= self.resilience.max_backlog
         ):
-            return self._shed(image, done, phase)
-        self._backlog.put(_Job(image, done, self.env.now, phase=phase))
+            return self._shed(image, done, phase, trace)
+        self._backlog.put(_Job(image, done, self.env.now, phase=phase, trace=trace))
         return done
 
-    def _shed(self, image, done: Event, phase: Optional[str] = None) -> Event:
+    def _shed(self, image, done: Event, phase: Optional[str] = None,
+              trace=None) -> Event:
         """Admission control: reject without touching any node."""
         self.shed += 1
         if self.metrics is not None:
             self.metrics.note_shed()
         request = InferenceRequest(image, arrival_time=self.env.now, phase=phase)
+        request.trace = trace
         request.outcome = OUTCOME_SHED
         done.succeed(request)
         return done
@@ -284,6 +291,7 @@ class LoadBalancer:
             inner = self.servers[index].submit(
                 job.image, arrival_time=job.enqueued_at,
                 deadline=deadline, attempt=job.attempt, phase=job.phase,
+                trace=job.trace,
             )
             self.env.process(self._track(index, job, inner, deadline))
 
@@ -334,6 +342,7 @@ class LoadBalancer:
             # (Each timed-out attempt was already recorded server-side.)
             request = InferenceRequest(job.image, arrival_time=job.enqueued_at,
                                        attempt=job.attempt, phase=job.phase)
+            request.trace = job.trace
             request.outcome = OUTCOME_TIMEOUT
             job.done.succeed(request)
             return
@@ -390,8 +399,8 @@ class Fleet:
     def node_count(self) -> int:
         return len(self.nodes)
 
-    def submit(self, image, phase: Optional[str] = None) -> Event:
-        return self.balancer.submit(image, phase=phase)
+    def submit(self, image, phase: Optional[str] = None, trace=None) -> Event:
+        return self.balancer.submit(image, phase=phase, trace=trace)
 
 
 @dataclass(frozen=True)

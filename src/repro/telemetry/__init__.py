@@ -13,6 +13,13 @@ ad-hoc counters into a real telemetry layer:
   encoders (plus the parser the round-trip tests use);
 - :mod:`~repro.telemetry.slo` — latency objectives, error budgets and
   burn rates;
+- :mod:`~repro.telemetry.context` — deterministic W3C Trace Context for
+  distributed traces across the cluster fabric and live HTTP;
+- :mod:`~repro.telemetry.timeseries` — ring-buffered time-series store
+  with JSONL/OpenMetrics export and threshold alert rules;
+- :mod:`~repro.telemetry.scraper` — the clock-agnostic
+  :class:`MetricsScraper` sampling every instrument on a cadence, with
+  rate/quantile recording rules and SLO burn series;
 - :mod:`~repro.telemetry.session` — one run's worth of all of the
   above, wired in by the experiment runners via
   :class:`~repro.telemetry.config.TelemetryConfig`.
@@ -22,12 +29,14 @@ never changes simulation results.
 """
 
 from .config import TelemetryConfig
+from .context import TraceContext, derive_span_id, derive_trace_id
 from .exposition import (
     parse_prometheus_text,
     snapshot_to_json,
     snapshot_to_prometheus_text,
 )
 from .registry import (
+    OVERFLOW_LABEL_VALUE,
     Counter,
     Gauge,
     Histogram,
@@ -35,7 +44,9 @@ from .registry import (
     MetricsRegistry,
     RegistrySnapshot,
 )
+from .scraper import MetricsScraper
 from .session import TelemetrySession
+from .timeseries import AlertRule, SeriesBuffer, TimeSeriesStore
 from .slo import SloConfig, SloReport, SloTracker, SloWindowReport
 from .spans import (
     KIND_BROKER,
@@ -53,6 +64,14 @@ __all__ = [
     "TelemetryConfig",
     "TelemetrySession",
     "Tracer",
+    "TraceContext",
+    "derive_trace_id",
+    "derive_span_id",
+    "MetricsScraper",
+    "TimeSeriesStore",
+    "SeriesBuffer",
+    "AlertRule",
+    "OVERFLOW_LABEL_VALUE",
     "MetricsRegistry",
     "MetricFamily",
     "RegistrySnapshot",

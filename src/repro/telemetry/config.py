@@ -10,12 +10,13 @@ runs produce bit-identical ``RunMetrics``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 from .slo import SloConfig
+from .timeseries import AlertRule
 
-__all__ = ["TelemetryConfig", "SloConfig"]
+__all__ = ["TelemetryConfig", "SloConfig", "AlertRule"]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -34,6 +35,14 @@ class TelemetryConfig:
         monitor_interval_seconds: Sampling interval for counter tracks
             (queue depth, GPU memory) exported alongside the trace, or
             None to skip the sampler entirely.
+        scrape_interval_seconds: Cadence of the
+            :class:`~repro.telemetry.scraper.MetricsScraper` sampling
+            every registry instrument into the ring-buffered
+            time-series store (virtual seconds under the DES, wall
+            seconds under a realtime backend), or None for no scraper.
+        history_points: Ring capacity per time series (oldest evicted).
+        alerts: Threshold :class:`~repro.telemetry.timeseries.AlertRule`
+            rules the scraper evaluates each tick.
     """
 
     enabled: bool = False
@@ -42,6 +51,9 @@ class TelemetryConfig:
     trace_sample_every: int = 1
     slo: Optional[SloConfig] = None
     monitor_interval_seconds: Optional[float] = None
+    scrape_interval_seconds: Optional[float] = None
+    history_points: int = 720
+    alerts: Tuple[AlertRule, ...] = field(default_factory=tuple)
 
     def validate(self) -> "TelemetryConfig":
         if self.trace_limit < 1:
@@ -55,6 +67,17 @@ class TelemetryConfig:
                 "monitor_interval_seconds must be positive, got "
                 f"{self.monitor_interval_seconds}"
             )
+        if self.scrape_interval_seconds is not None and self.scrape_interval_seconds <= 0:
+            raise ValueError(
+                "scrape_interval_seconds must be positive, got "
+                f"{self.scrape_interval_seconds}"
+            )
+        if self.history_points < 1:
+            raise ValueError(
+                f"history_points must be >= 1, got {self.history_points}"
+            )
+        for rule in self.alerts:
+            rule.validate()
         if self.slo is not None:
             self.slo.validate()
         return self

@@ -1,0 +1,134 @@
+"""W3C Trace Context for distributed request tracing.
+
+A :class:`TraceContext` rides on every traced
+:class:`~repro.core.request.InferenceRequest` and survives every hop a
+request takes: across the cluster fabric (PR 7) it is carried on the
+:class:`~repro.cluster.shards.Arrival` message, and over live HTTP
+(PR 8) it is encoded as the standard ``traceparent`` header, so an
+external caller's trace id flows through the node and back out in the
+response.
+
+Identifiers are **deterministic**: they are derived by hashing a seed
+and a sequence of parts (SHA-256, truncated to the W3C field widths)
+rather than drawn from a RNG.  That keeps tracing strictly
+observer-neutral — enabling it draws no randomness — and makes trace
+ids reproducible across runs, shard counts, and execution backends,
+which is what lets the cluster golden tests pin merged traces.
+
+The trace/span id widths and the ``traceparent`` wire format follow the
+W3C Trace Context recommendation (``00-{trace_id}-{span_id}-{flags}``
+with 16-byte trace ids and 8-byte span ids, lowercase hex).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["TraceContext", "derive_trace_id", "derive_span_id"]
+
+_VERSION = "00"
+_TRACE_ID_HEX = 32
+_SPAN_ID_HEX = 16
+
+
+def _digest(*parts: object) -> str:
+    payload = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _nonzero(hex_id: str, width: int) -> str:
+    # The W3C spec forbids all-zero ids; a SHA-256 prefix of all zeros
+    # is astronomically unlikely but trivial to guard against.
+    return hex_id if any(ch != "0" for ch in hex_id) else "1".rjust(width, "0")
+
+
+def derive_trace_id(*parts: object) -> str:
+    """A deterministic 32-hex-char trace id from ``parts``."""
+    return _nonzero(_digest("trace", *parts)[:_TRACE_ID_HEX], _TRACE_ID_HEX)
+
+
+def derive_span_id(*parts: object) -> str:
+    """A deterministic 16-hex-char span id from ``parts``."""
+    return _nonzero(_digest("span", *parts)[:_SPAN_ID_HEX], _SPAN_ID_HEX)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of a distributed trace (immutable, picklable).
+
+    Attributes:
+        trace_id: 32 lowercase hex chars shared by every span of the
+            trace (one trace = one user session / one external call).
+        span_id: 16 lowercase hex chars naming this hop.
+        parent_id: The calling hop's span id, or ``None`` at the root.
+        sampled: W3C ``sampled`` flag; carried through but the simulator
+            always records armed requests regardless.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.trace_id) != _TRACE_ID_HEX or not _is_hex(self.trace_id):
+            raise ValueError(f"trace_id must be {_TRACE_ID_HEX} hex chars, "
+                             f"got {self.trace_id!r}")
+        if len(self.span_id) != _SPAN_ID_HEX or not _is_hex(self.span_id):
+            raise ValueError(f"span_id must be {_SPAN_ID_HEX} hex chars, "
+                             f"got {self.span_id!r}")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def derive(cls, *parts: object, sampled: bool = True) -> "TraceContext":
+        """A deterministic root context for ``parts`` (seed, ids, ...)."""
+        return cls(
+            trace_id=derive_trace_id(*parts),
+            span_id=derive_span_id(*parts),
+            sampled=sampled,
+        )
+
+    def child(self, *parts: object) -> "TraceContext":
+        """A child hop of this context (same trace, new span id)."""
+        return replace(
+            self,
+            span_id=derive_span_id(self.trace_id, self.span_id, *parts),
+            parent_id=self.span_id,
+        )
+
+    # -- W3C traceparent wire format ------------------------------------------
+
+    def to_traceparent(self) -> str:
+        """Encode as a ``traceparent`` header value."""
+        flags = "01" if self.sampled else "00"
+        return f"{_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> "TraceContext":
+        """Parse a ``traceparent`` header value.
+
+        Raises ``ValueError`` on malformed input (callers treat that as
+        "no incoming context" and mint a fresh root).
+        """
+        fields = header.strip().lower().split("-")
+        if len(fields) < 4:
+            raise ValueError(f"malformed traceparent {header!r}")
+        version, trace_id, span_id, flags = fields[:4]
+        if version == "ff" or len(version) != 2 or not _is_hex(version):
+            raise ValueError(f"invalid traceparent version in {header!r}")
+        if not _is_hex(flags) or len(flags) != 2:
+            raise ValueError(f"invalid traceparent flags in {header!r}")
+        if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+            raise ValueError(f"all-zero id in traceparent {header!r}")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(int(flags, 16) & 0x01),
+        )
+
+
+def _is_hex(text: str) -> bool:
+    return all(ch in "0123456789abcdef" for ch in text)

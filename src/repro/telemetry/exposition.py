@@ -7,7 +7,10 @@ exposition conventions scrapers expect:
 - ``# HELP``/``# TYPE`` header lines per metric family;
 - label values escaped (backslash, double quote, newline);
 - histograms exploded into cumulative ``_bucket{le="..."}`` series with
-  a final ``le="+Inf"``, plus ``_sum`` and ``_count``.
+  a final ``le="+Inf"``, plus ``_sum`` and ``_count``;
+- OpenMetrics-style exemplars appended to bucket lines
+  (``... 5 # {trace_id="..."} 0.043 12.5``) so a dashboard can jump
+  from a latency bucket to one concrete distributed trace.
 """
 
 from __future__ import annotations
@@ -84,13 +87,26 @@ def snapshot_to_prometheus_text(snapshot) -> str:
         for sample in metric["samples"]:
             labels = sample["labels"]
             if metric["kind"] == "histogram":
+                exemplars = {
+                    format_value(float(le)): exemplar
+                    for le, exemplar in sample.get("exemplars", ())
+                }
                 # Snapshot buckets are already cumulative (le, count) pairs.
                 for le, count in sample["buckets"]:
                     bucket_labels = dict(labels)
-                    bucket_labels["le"] = format_value(float(le))
-                    lines.append(
-                        f"{name}_bucket{_labels_text(bucket_labels)} {count}"
-                    )
+                    le_text = format_value(float(le))
+                    bucket_labels["le"] = le_text
+                    line = f"{name}_bucket{_labels_text(bucket_labels)} {count}"
+                    exemplar = exemplars.get(le_text)
+                    if exemplar is not None:
+                        trace_id, value, stamp = exemplar
+                        line += (
+                            f' # {{trace_id="{escape_label_value(str(trace_id))}"}}'
+                            f" {format_value(float(value))}"
+                        )
+                        if stamp is not None:
+                            line += f" {format_value(float(stamp))}"
+                    lines.append(line)
                 inf_labels = dict(labels)
                 inf_labels["le"] = "+Inf"
                 lines.append(
@@ -207,6 +223,18 @@ def parse_prometheus_text(text: str) -> Dict[str, dict]:
             continue
         if line.startswith("#"):
             continue
+        exemplar = None
+        if " # {" in line:
+            # OpenMetrics exemplar suffix: `# {labels} value [timestamp]`.
+            line, _, exemplar_text = line.partition(" # {")
+            close = exemplar_text.rindex("}")
+            exemplar_labels = _split_labels(exemplar_text[:close])
+            tail = exemplar_text[close + 1 :].split()
+            exemplar = {
+                "labels": exemplar_labels,
+                "value": _parse_value(tail[0]),
+                "timestamp": _parse_value(tail[1]) if len(tail) > 1 else None,
+            }
         if "{" in line:
             brace = line.index("{")
             sample_name = line[:brace]
@@ -218,11 +246,12 @@ def parse_prometheus_text(text: str) -> Dict[str, dict]:
             labels = {}
         family = family_of(sample_name)
         families.setdefault(family, {"help": "", "kind": "untyped", "samples": []})
-        families[family]["samples"].append(
-            {
-                "name": sample_name,
-                "labels": labels,
-                "value": _parse_value(value_text.strip()),
-            }
-        )
+        sample = {
+            "name": sample_name,
+            "labels": labels,
+            "value": _parse_value(value_text.strip()),
+        }
+        if exemplar is not None:
+            sample["exemplar"] = exemplar
+        families[family]["samples"].append(sample)
     return families

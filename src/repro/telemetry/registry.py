@@ -25,21 +25,31 @@ from __future__ import annotations
 
 import math
 import re
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "RegistrySnapshot",
+    "OVERFLOW_LABEL_VALUE",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Label value assigned to the shared spill-over child once a family
+#: hits its cardinality cap (see :class:`MetricFamily`).
+OVERFLOW_LABEL_VALUE = "_overflow_"
+
+#: An exemplar pinned to a histogram bucket: (trace_id, value, timestamp).
+Exemplar = Tuple[str, float, Optional[float]]
 
 
 def _check_name(name: str) -> str:
@@ -120,6 +130,7 @@ class Histogram:
         self.min_value = min_value
         self.buckets_per_decade = buckets_per_decade
         self._counts: Dict[int, int] = {}
+        self._exemplars: Dict[int, Exemplar] = {}
         self.count = 0
         self.sum = 0.0
         self.min: Optional[float] = None
@@ -137,14 +148,58 @@ class Histogram:
         """Upper (inclusive) bound of bucket ``index``."""
         return self.min_value * 10.0 ** (index / self.buckets_per_decade)
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[str] = None,
+        exemplar_time: Optional[float] = None,
+    ) -> None:
+        """Record ``value``; optionally pin an exemplar to its bucket.
+
+        ``exemplar`` is an opaque reference (by convention a trace id)
+        kept per bucket, last-writer-wins — the OpenMetrics model that
+        lets a dashboard jump from a latency bucket to one concrete
+        trace that landed there.
+        """
         if value < 0:
             raise ValueError(f"histogram observations must be >= 0, got {value}")
-        self._counts[self._index(value)] = self._counts.get(self._index(value), 0) + 1
+        index = self._index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        if exemplar is not None:
+            self._exemplars[index] = (exemplar, float(value), exemplar_time)
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place and return self.
+
+        Bucket geometry must match exactly — the merged state is then
+        indistinguishable from having observed every sample in one
+        global histogram, so quantiles are *identical* (not merely
+        close) to the global ones.  This is what makes per-shard
+        histograms safe to aggregate cluster-wide.
+        """
+        if (other.min_value, other.buckets_per_decade) != (
+            self.min_value,
+            self.buckets_per_decade,
+        ):
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry: "
+                f"({self.min_value}, {self.buckets_per_decade}) vs "
+                f"({other.min_value}, {other.buckets_per_decade})"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._exemplars.update(other._exemplars)
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        return self
 
     @property
     def mean(self) -> float:
@@ -166,6 +221,10 @@ class Histogram:
             running += count
             out.append((bound, running))
         return out
+
+    def exemplars(self) -> List[Tuple[float, Exemplar]]:
+        """Sorted (upper_bound, exemplar) pairs for buckets that have one."""
+        return [(self.bound(i), self._exemplars[i]) for i in sorted(self._exemplars)]
 
     def quantile(self, q: float) -> float:
         """Estimated value at quantile ``q`` in [0, 1].
@@ -216,6 +275,7 @@ class MetricFamily:
         help_text: str,
         labelnames: Sequence[str],
         factory: Callable[[], object],
+        max_children: Optional[int] = None,
     ) -> None:
         self.name = _check_name(name)
         self.kind = kind
@@ -226,15 +286,53 @@ class MetricFamily:
                 raise ValueError(f"invalid label name {label!r}")
         self._factory = factory
         self._children: Dict[LabelPairs, object] = {}
+        #: Cardinality cap: at most this many label combinations before
+        #: new ones spill into a shared ``_overflow_`` child (None = no cap).
+        self.max_children = max_children
+        #: Series dropped (or spilled) because the cap was hit.
+        self.dropped_series = 0
+        self._warned_overflow = False
+
+    def _overflow_key(self) -> LabelPairs:
+        return tuple((name, OVERFLOW_LABEL_VALUE) for name in self.labelnames)
+
+    def _at_capacity(self, key: LabelPairs) -> bool:
+        if self.max_children is None or key in self._children:
+            return False
+        if key == self._overflow_key():
+            return False  # the spill-over child itself is always admitted
+        return len(self._children) >= self.max_children
+
+    def _note_overflow(self) -> None:
+        self.dropped_series += 1
+        if not self._warned_overflow:
+            self._warned_overflow = True
+            warnings.warn(
+                f"metric family {self.name!r} hit its label-cardinality cap "
+                f"({self.max_children} series); further label combinations "
+                f"collapse into {OVERFLOW_LABEL_VALUE!r} — raise "
+                "max_series_per_family if every series is wanted",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def labels(self, **labelvalues: str):
-        """The child instrument for one label-value combination."""
+        """The child instrument for one label-value combination.
+
+        Once ``max_children`` distinct combinations exist, further new
+        combinations share one spill-over child labelled
+        ``{name: "_overflow_"}`` so unbounded label values (request
+        keys, 10k node ids) cannot grow memory without bound.
+        """
         if set(labelvalues) != set(self.labelnames):
             raise ValueError(
                 f"metric {self.name!r} takes labels {self.labelnames}, "
                 f"got {tuple(sorted(labelvalues))}"
             )
         key: LabelPairs = tuple((name, str(labelvalues[name])) for name in self.labelnames)
+        if self._at_capacity(key):
+            self._note_overflow()
+            key = self._overflow_key()
         child = self._children.get(key)
         if child is None:
             child = self._factory()
@@ -242,7 +340,12 @@ class MetricFamily:
         return child
 
     def add_callback_child(self, fn: Callable[[], float], **labelvalues: str):
-        """Register a callback-backed child (views over live counters)."""
+        """Register a callback-backed child (views over live counters).
+
+        Returns ``None`` (and counts a dropped series) once the family
+        is at its cardinality cap: callback views cannot be meaningfully
+        merged into a spill-over child, so they are simply not recorded.
+        """
         if set(labelvalues) != set(self.labelnames):
             raise ValueError(
                 f"metric {self.name!r} takes labels {self.labelnames}, "
@@ -251,6 +354,9 @@ class MetricFamily:
         key: LabelPairs = tuple((name, str(labelvalues[name])) for name in self.labelnames)
         if key in self._children:
             raise ValueError(f"metric {self.name!r}{dict(key)} already registered")
+        if self._at_capacity(key):
+            self._note_overflow()
+            return None
         child = Counter(fn) if self.kind == "counter" else Gauge(fn)
         self._children[key] = child
         return child
@@ -262,11 +368,33 @@ class MetricFamily:
         return f"<MetricFamily {self.name} {self.kind} children={len(self._children)}>"
 
 
-class MetricsRegistry:
-    """Central, ordered registry of named instruments."""
+#: Default per-family label-cardinality cap (see MetricsRegistry).
+DEFAULT_MAX_SERIES_PER_FAMILY = 4096
 
-    def __init__(self) -> None:
+
+class MetricsRegistry:
+    """Central, ordered registry of named instruments.
+
+    ``max_series_per_family`` caps label cardinality per family (spilling
+    into an ``_overflow_`` child / dropping callback views beyond it) so
+    per-node or per-key labels at 10k-node cluster scale cannot blow
+    memory; ``None`` removes the cap.
+    """
+
+    def __init__(
+        self, max_series_per_family: Optional[int] = DEFAULT_MAX_SERIES_PER_FAMILY
+    ) -> None:
+        if max_series_per_family is not None and max_series_per_family < 1:
+            raise ValueError(
+                f"max_series_per_family must be >= 1, got {max_series_per_family}"
+            )
+        self.max_series_per_family = max_series_per_family
         self._families: Dict[str, MetricFamily] = {}
+
+    @property
+    def dropped_series(self) -> int:
+        """Total series dropped/spilled across all families (cap hits)."""
+        return sum(family.dropped_series for family in self._families.values())
 
     def __contains__(self, name: str) -> bool:
         return name in self._families
@@ -301,7 +429,10 @@ class MetricsRegistry:
                     f"with labels {family.labelnames}"
                 )
         else:
-            family = MetricFamily(name, kind, help_text, labelnames, factory)
+            family = MetricFamily(
+                name, kind, help_text, labelnames, factory,
+                max_children=self.max_series_per_family,
+            )
             self._families[name] = family
         if family.labelnames:
             return family
@@ -335,7 +466,7 @@ class MetricsRegistry:
         family = self._families.get(name)
         if family is None:
             family = MetricFamily(name, "counter", help_text, tuple(sorted(labels)),
-                                  Counter)
+                                  Counter, max_children=self.max_series_per_family)
             self._families[name] = family
         family.add_callback_child(fn, **labels)
 
@@ -344,7 +475,8 @@ class MetricsRegistry:
         """Register a gauge *view* reading ``fn()`` at collection time."""
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, "gauge", help_text, tuple(sorted(labels)), Gauge)
+            family = MetricFamily(name, "gauge", help_text, tuple(sorted(labels)),
+                                  Gauge, max_children=self.max_series_per_family)
             self._families[name] = family
         family.add_callback_child(fn, **labels)
 
@@ -365,6 +497,9 @@ class MetricsRegistry:
                         buckets=histogram.cumulative_buckets(),
                         percentiles=histogram.percentiles(),
                     )
+                    exemplars = histogram.exemplars()
+                    if exemplars:
+                        sample["exemplars"] = exemplars
                 else:
                     sample["value"] = instrument.value  # type: ignore[union-attr]
                 samples.append(sample)
@@ -440,15 +575,18 @@ class RegistrySnapshot:
                         (le, count - prev_buckets.get(le, 0))
                         for le, count in sample["buckets"]
                     ]
-                    samples.append(
-                        {
-                            "labels": sample["labels"],
-                            "count": sample["count"] - prev["count"],
-                            "sum": sample["sum"] - prev["sum"],
-                            "buckets": buckets,
-                            "percentiles": _bucket_percentiles(buckets),
-                        }
-                    )
+                    windowed = {
+                        "labels": sample["labels"],
+                        "count": sample["count"] - prev["count"],
+                        "sum": sample["sum"] - prev["sum"],
+                        "buckets": buckets,
+                        "percentiles": _bucket_percentiles(buckets),
+                    }
+                    if "exemplars" in sample:
+                        # Exemplars are point-in-time references, not
+                        # flows: keep the later snapshot's.
+                        windowed["exemplars"] = sample["exemplars"]
+                    samples.append(windowed)
                 else:
                     samples.append(
                         {

@@ -1,0 +1,225 @@
+"""MetricsScraper: clock-agnostic sampling of the registry.
+
+The scraper is a kernel process (one :class:`~repro.kernel.base.
+ExecutionBackend` timeout per cadence tick), so the *same code path*
+samples in virtual time under the DES and in wall time under
+``python -m repro serve`` — and under ``AsyncioBackend(fast_forward=
+True)`` the tick sequence is dispatched in exact DES order, which makes
+the sampled series byte-identical across backends (pinned by the parity
+tests).
+
+Each tick takes one registry snapshot and turns it into store points:
+
+- **raw values** for every counter and gauge sample;
+- **recording rules** over the window since the previous tick:
+  ``name:rate`` (per-second increase) for counters and histograms, and
+  ``name:p50`` / ``name:p95`` / ``name:p99`` windowed latency quantiles
+  from the histogram bucket deltas (the colon naming mirrors Prometheus
+  recording-rule convention);
+- **SLO burn rate** per configured window (``repro_slo_burn_rate``,
+  labelled by window length) when an
+  :class:`~repro.telemetry.slo.SloTracker` is attached;
+- **threshold alerts** (:class:`~repro.telemetry.timeseries.AlertRule`)
+  evaluated against the freshly recorded points, each exported as a
+  0/1 ``alert:<name>`` series plus a transition log.
+
+Like the :class:`~repro.sim.monitor.Monitor` it is modelled on, the
+scraper is strictly observational: sampling draws no randomness and
+mutates no component state; its only event-loop interaction is the
+zero-duration cadence wake-up, so enabled runs keep ``RunMetrics``
+bit-identical (asserted by the observer-neutrality tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .registry import MetricsRegistry, RegistrySnapshot
+from .slo import SloTracker
+from .timeseries import AlertRule, TimeSeriesStore
+
+__all__ = ["MetricsScraper"]
+
+#: Default windowed-quantile recording rules (suffix, q).
+DEFAULT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def _window_quantile(cumulative: Sequence[Tuple[float, int]], q: float) -> float:
+    """Upper-bound quantile estimate from cumulative (le, count) pairs."""
+    if not cumulative or cumulative[-1][1] <= 0:
+        return 0.0
+    total = cumulative[-1][1]
+    rank = q * total
+    for le, running in cumulative:
+        if running >= rank:
+            return le
+    return cumulative[-1][0]
+
+
+class _AlertState:
+    __slots__ = ("rule", "firing", "breach_since")
+
+    def __init__(self, rule: AlertRule) -> None:
+        self.rule = rule.validate()
+        self.firing = False
+        self.breach_since: Optional[float] = None
+
+
+class MetricsScraper:
+    """Samples every registry instrument on a fixed cadence."""
+
+    def __init__(
+        self,
+        env,
+        registry: MetricsRegistry,
+        *,
+        interval: float = 1.0,
+        store: Optional[TimeSeriesStore] = None,
+        capacity: int = 720,
+        quantiles: Sequence[Tuple[str, float]] = DEFAULT_QUANTILES,
+        slo: Optional[SloTracker] = None,
+        alerts: Sequence[AlertRule] = (),
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self.store = store if store is not None else TimeSeriesStore(capacity=capacity)
+        self.quantiles = tuple(quantiles)
+        self.slo = slo
+        self._alerts = [_AlertState(rule) for rule in alerts]
+        #: Alert transitions: dicts of (alert, state, time, value).
+        self.alert_log: List[Dict[str, object]] = []
+        self.samples_taken = 0
+        self._prev: Optional[RegistrySnapshot] = None
+        self._prev_time = 0.0
+        self._running = False
+        # Same epoch guard as sim.monitor.Monitor: a sampler process
+        # exits once its captured epoch goes stale, so stop() -> start()
+        # never double-samples.
+        self._epoch = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Begin cadence sampling (idempotent; restart-safe)."""
+        if self._running:
+            return
+        self._running = True
+        self._epoch += 1
+        self.env.process(self._sampler(self._epoch))
+
+    def stop(self) -> None:
+        """Stop sampling; the pending wake-up becomes a no-op."""
+        self._running = False
+
+    def _sampler(self, epoch: int):
+        while self._running and epoch == self._epoch:
+            self.scrape()
+            yield self.env.timeout(self.interval)
+
+    # -- one tick -------------------------------------------------------------
+
+    def scrape(self) -> RegistrySnapshot:
+        """Take one sample of every instrument into the store."""
+        now = self.env.now
+        snapshot = self.registry.snapshot(at_time=now)
+        windowed = snapshot.delta(self._prev) if self._prev is not None else snapshot
+        span = now - self._prev_time
+        window_samples = {
+            (metric["name"], tuple(sorted(sample["labels"].items()))): sample
+            for metric in windowed.metrics
+            for sample in metric["samples"]
+        }
+        for metric in snapshot.metrics:
+            name = metric["name"]
+            kind = metric["kind"]
+            for sample in metric["samples"]:
+                labels = sample["labels"] or None
+                key = (name, tuple(sorted(sample["labels"].items())))
+                window = window_samples.get(key, sample)
+                if kind == "histogram":
+                    self.store.record(f"{name}:count", now, sample["count"], labels)
+                    rate = window["count"] / span if span > 0 else 0.0
+                    self.store.record(f"{name}:rate", now, rate, labels)
+                    for suffix, q in self.quantiles:
+                        self.store.record(
+                            f"{name}:{suffix}", now,
+                            _window_quantile(window["buckets"], q), labels,
+                        )
+                elif kind == "counter":
+                    self.store.record(name, now, sample["value"], labels)
+                    rate = window["value"] / span if span > 0 else 0.0
+                    self.store.record(f"{name}:rate", now, rate, labels)
+                else:
+                    self.store.record(name, now, sample["value"], labels)
+        if self.slo is not None:
+            for window_seconds in self.slo.config.burn_windows_seconds:
+                self.store.record(
+                    "repro_slo_burn_rate", now,
+                    self.slo.burn_rate(window_seconds, now),
+                    {"window": _format_window(window_seconds)},
+                )
+        self.store.record(
+            "repro_metrics_dropped_series_total", now, self.registry.dropped_series
+        )
+        self._evaluate_alerts(now)
+        self.samples_taken += 1
+        self._prev = snapshot
+        self._prev_time = now
+        return snapshot
+
+    # -- alerts ---------------------------------------------------------------
+
+    @property
+    def alerts_firing(self) -> List[str]:
+        """Names of alerts currently in the firing state."""
+        return [state.rule.name for state in self._alerts if state.firing]
+
+    def _evaluate_alerts(self, now: float) -> None:
+        for state in self._alerts:
+            rule = state.rule
+            try:
+                buffer = self.store.get(rule.series, dict(rule.labels) or None)
+            except KeyError:
+                continue  # watched series not produced (yet): no data
+            last = buffer.last()
+            if last is None:
+                continue
+            _, value = last
+            if rule.breached(value):
+                if state.breach_since is None:
+                    state.breach_since = now
+                should_fire = now - state.breach_since >= rule.for_seconds
+                if should_fire and not state.firing:
+                    state.firing = True
+                    self.alert_log.append(
+                        {"alert": rule.name, "state": "firing",
+                         "time": now, "value": value}
+                    )
+            else:
+                state.breach_since = None
+                if state.firing:
+                    state.firing = False
+                    self.alert_log.append(
+                        {"alert": rule.name, "state": "resolved",
+                         "time": now, "value": value}
+                    )
+            self.store.record(
+                f"alert:{rule.name}", now, 1.0 if state.firing else 0.0
+            )
+
+
+def _format_window(window_seconds: float) -> str:
+    if window_seconds == int(window_seconds):
+        return str(int(window_seconds))
+    return repr(float(window_seconds))

@@ -50,6 +50,18 @@ class TelemetrySession:
             from ..sim.monitor import Monitor
 
             self.monitor = Monitor(env, interval=config.monitor_interval_seconds)
+        self.scraper = None
+        if env is not None and config.scrape_interval_seconds is not None:
+            from .scraper import MetricsScraper
+
+            self.scraper = MetricsScraper(
+                env,
+                self.registry,
+                interval=config.scrape_interval_seconds,
+                capacity=config.history_points,
+                slo=self.slo,
+                alerts=config.alerts,
+            )
         self.latency = self.registry.histogram(
             "repro_request_latency_seconds",
             "End-to-end request latency (all completions, incl. warm-up)",
@@ -106,16 +118,27 @@ class TelemetrySession:
             )
 
     def start(self) -> None:
-        """Begin monitor sampling (no-op without a monitor)."""
+        """Begin monitor + scraper sampling (no-op without either)."""
         if self.monitor is not None:
             self.monitor.start()
+        if self.scraper is not None:
+            self.scraper.start()
 
     # -- completion stream ----------------------------------------------------
 
     def observe_completion(self, request, now: float) -> None:
-        """Feed one completed request into the latency histogram + SLO."""
+        """Feed one completed request into the latency histogram + SLO.
+
+        A request carrying a distributed
+        :class:`~repro.telemetry.context.TraceContext` additionally pins
+        its trace id as the exemplar of the latency bucket it lands in.
+        """
         latency = now - request.arrival_time
-        self.latency.observe(latency)
+        trace = getattr(request, "trace", None)
+        if trace is not None:
+            self.latency.observe(latency, exemplar=trace.trace_id, exemplar_time=now)
+        else:
+            self.latency.observe(latency)
         if self.slo is not None:
             ok = getattr(request, "outcome", "ok") == "ok"
             self.slo.observe(latency, now, ok=ok)
@@ -132,6 +155,11 @@ class TelemetrySession:
         """End-of-run housekeeping: stop sampling, surface trace drops."""
         if self.monitor is not None:
             self.monitor.stop()
+        if self.scraper is not None:
+            self.scraper.stop()
+            # One closing sample so the store's tail reflects the final
+            # state even when the run ends mid-cadence.
+            self.scraper.scrape()
         if self.tracer is not None:
             self.tracer.warn_if_dropped()
         self.finalized_at = now
@@ -154,6 +182,24 @@ class TelemetrySession:
 
     def json_metrics(self, indent: int = 2) -> str:
         return self.registry.to_json(indent=indent)
+
+    @property
+    def store(self):
+        """The scraper's time-series store, or ``None`` with no scraper."""
+        return self.scraper.store if self.scraper is not None else None
+
+    def history_dict(self, since: Optional[float] = None) -> Optional[dict]:
+        """The time-series history payload (``/metrics/history``)."""
+        if self.scraper is None:
+            return None
+        return self.scraper.store.to_dict(since=since)
+
+    def write_timeseries(self, path: str) -> int:
+        """Export the store as JSONL; returns the series count."""
+        if self.scraper is None:
+            raise RuntimeError("no scraper configured (scrape_interval_seconds)")
+        self.scraper.store.to_jsonl(path)
+        return len(self.scraper.store)
 
     def write_trace(self, path: str) -> int:
         """Export the Perfetto timeline trace; returns the event count."""

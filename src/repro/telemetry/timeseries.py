@@ -1,0 +1,301 @@
+"""Ring-buffered time series: the storage behind the metrics pipeline.
+
+A :class:`TimeSeriesStore` holds many named, labelled
+:class:`SeriesBuffer` rings.  The :class:`~repro.telemetry.scraper.
+MetricsScraper` appends one point per series per scrape; ``repro top``
+and ``/metrics/history`` read them back; JSONL / OpenMetrics exports
+persist them (the golden-day cluster artifact in CI is exactly the
+JSONL form).
+
+Everything is bounded: each series keeps at most ``capacity`` points
+(oldest evicted first), so a day-long run and a ten-minute run cost the
+same memory.  Exports are byte-stable for a given store content — the
+scraper-parity tests rely on that to compare virtual-time and
+fast-forward wall-time runs byte for byte.
+
+:class:`AlertRule` lives here too (threshold alerts evaluate against
+store series, and keeping it beside the store avoids an import cycle
+with :mod:`~repro.telemetry.config`).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["AlertRule", "SeriesBuffer", "TimeSeriesStore"]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True, kw_only=True)
+class AlertRule:
+    """Fire when a stored series crosses a threshold.
+
+    Attributes:
+        name: Alert identity (``alert:<name>`` becomes a 0/1 series).
+        series: Store series name to watch (e.g.
+            ``repro_request_latency_seconds:p99`` or
+            ``repro_slo_burn_rate``).
+        threshold: Boundary value.
+        comparison: ``">"`` fires when value > threshold, ``"<"`` when
+            value < threshold.
+        for_seconds: Breach must hold this long (in the run's clock)
+            before the alert transitions to firing; 0 fires immediately.
+        labels: Exact label match for the watched series (empty matches
+            the unlabelled series).
+    """
+
+    name: str
+    series: str
+    threshold: float
+    comparison: str = ">"
+    for_seconds: float = 0.0
+    labels: LabelPairs = ()
+
+    def validate(self) -> "AlertRule":
+        if not self.name:
+            raise ValueError("alert name must not be empty")
+        if self.comparison not in (">", "<"):
+            raise ValueError(f"comparison must be '>' or '<', got {self.comparison!r}")
+        if self.for_seconds < 0:
+            raise ValueError(f"for_seconds must be >= 0, got {self.for_seconds}")
+        return self
+
+    def breached(self, value: float) -> bool:
+        if self.comparison == ">":
+            return value > self.threshold
+        return value < self.threshold
+
+
+class SeriesBuffer:
+    """One bounded time series: (time, value) pairs, oldest evicted."""
+
+    __slots__ = ("name", "labels", "times", "values")
+
+    def __init__(self, name: str, labels: LabelPairs, capacity: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.times: Deque[float] = deque(maxlen=capacity)
+        self.values: Deque[float] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:
+        return f"<SeriesBuffer {self.name}{dict(self.labels)} n={len(self)}>"
+
+    def append(self, t: float, value: float) -> None:
+        self.times.append(float(t))
+        self.values.append(float(value))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self.times:
+            return None
+        return (self.times[-1], self.values[-1])
+
+    def window(self, since: float) -> List[Tuple[float, float]]:
+        """Points with ``t >= since`` (the ring may have evicted older)."""
+        return [(t, v) for t, v in zip(self.times, self.values) if t >= since]
+
+
+class TimeSeriesStore:
+    """Many ring-buffered series, keyed by (name, sorted labels)."""
+
+    def __init__(self, capacity: int = 720) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._series: Dict[Tuple[str, LabelPairs], SeriesBuffer] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:
+        return f"<TimeSeriesStore series={len(self._series)} capacity={self.capacity}>"
+
+    # -- writing --------------------------------------------------------------
+
+    def series(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> SeriesBuffer:
+        """The buffer for (name, labels), created on first use."""
+        key = (name, _label_key(labels))
+        buffer = self._series.get(key)
+        if buffer is None:
+            buffer = SeriesBuffer(name, key[1], self.capacity)
+            self._series[key] = buffer
+        return buffer
+
+    def record(
+        self, name: str, t: float, value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Append one point to (name, labels)."""
+        self.series(name, labels).append(t, value)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Sorted unique series names."""
+        return sorted({name for name, _ in self._series})
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> SeriesBuffer:
+        """The existing buffer for (name, labels); KeyError if absent."""
+        key = (name, _label_key(labels))
+        try:
+            return self._series[key]
+        except KeyError:
+            known = ", ".join(sorted({n for n, _ in self._series}))
+            raise KeyError(f"no series {name!r} with labels "
+                           f"{dict(_label_key(labels))}; known names: {known}") from None
+
+    def select(self, name: str) -> List[SeriesBuffer]:
+        """Every labelled buffer of one series name, label-sorted."""
+        return [
+            buffer
+            for (series_name, _), buffer in sorted(self._series.items())
+            if series_name == name
+        ]
+
+    def all_series(self) -> List[SeriesBuffer]:
+        """Every buffer, sorted by (name, labels) for stable exports."""
+        return [buffer for _, buffer in sorted(self._series.items())]
+
+    # -- export / import ------------------------------------------------------
+
+    def to_dict(self, since: Optional[float] = None) -> Dict[str, object]:
+        """JSON-ready structure (the ``/metrics/history`` payload)."""
+        return {
+            "capacity": self.capacity,
+            "series": [
+                {
+                    "name": buffer.name,
+                    "labels": dict(buffer.labels),
+                    "points": [
+                        [t, v]
+                        for t, v in (
+                            buffer.points() if since is None else buffer.window(since)
+                        )
+                    ],
+                }
+                for buffer in self.all_series()
+            ],
+        }
+
+    def to_jsonl(self, path: Optional[str] = None) -> str:
+        """One JSON object per series per line (CI artifact format).
+
+        Returns the text; when ``path`` is given also writes it there
+        (gzip when the name ends in ``.gz``).
+        """
+        out = io.StringIO()
+        for buffer in self.all_series():
+            json.dump(
+                {
+                    "name": buffer.name,
+                    "labels": dict(buffer.labels),
+                    "points": [[t, v] for t, v in buffer.points()],
+                },
+                out,
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            out.write("\n")
+        text = out.getvalue()
+        if path is not None:
+            if str(path).endswith(".gz"):
+                with gzip.open(path, "wt", encoding="utf-8") as handle:
+                    handle.write(text)
+            else:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TimeSeriesStore":
+        """Rebuild a store from :meth:`to_dict` output (the
+        ``/metrics/history`` payload ``repro top`` polls)."""
+        capacity = int(data.get("capacity", 0) or 0)
+        rows = list(data.get("series", ()))
+        if capacity < 1:
+            capacity = max((len(row["points"]) for row in rows), default=1) or 1
+        store = cls(capacity=capacity)
+        for row in rows:
+            buffer = store.series(row["name"], row.get("labels") or None)
+            for t, v in row["points"]:
+                buffer.append(t, v)
+        return store
+
+    @classmethod
+    def from_jsonl(cls, lines: Iterable[str], capacity: Optional[int] = None
+                   ) -> "TimeSeriesStore":
+        """Rebuild a store from :meth:`to_jsonl` output lines."""
+        rows = [json.loads(line) for line in lines if line.strip()]
+        if capacity is None:
+            capacity = max(
+                (len(row["points"]) for row in rows), default=1
+            ) or 1
+        store = cls(capacity=capacity)
+        for row in rows:
+            buffer = store.series(row["name"], row.get("labels") or None)
+            for t, v in row["points"]:
+                buffer.append(t, v)
+        return store
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "TimeSeriesStore":
+        """Load a store from a :meth:`to_jsonl` file (gzip-aware)."""
+        opener = gzip.open if str(path).endswith(".gz") else open
+        with opener(path, "rt", encoding="utf-8") as handle:  # type: ignore[operator]
+            return cls.from_jsonl(handle)
+
+    def to_openmetrics(self) -> str:
+        """Timestamped OpenMetrics-style text of the full history.
+
+        Each retained point becomes one ``name{labels} value timestamp``
+        line (multiple timestamps per series are legal in OpenMetrics);
+        ends with the standard ``# EOF`` terminator.
+        """
+        from .exposition import escape_label_value, format_value
+
+        lines: List[str] = []
+        previous_name = None
+        for buffer in self.all_series():
+            if buffer.name != previous_name:
+                lines.append(f"# TYPE {_openmetrics_name(buffer.name)} gauge")
+                previous_name = buffer.name
+            label_text = ""
+            if buffer.labels:
+                inner = ",".join(
+                    f'{k}="{escape_label_value(v)}"' for k, v in buffer.labels
+                )
+                label_text = "{" + inner + "}"
+            name = _openmetrics_name(buffer.name)
+            for t, v in buffer.points():
+                lines.append(f"{name}{label_text} {format_value(float(v))} "
+                             f"{format_value(float(t))}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def _openmetrics_name(name: str) -> str:
+    # Derived-series names use recording-rule colons (metric:p99), which
+    # OpenMetrics reserves; flatten them for the wire format.
+    return name.replace(":", "_")

@@ -26,23 +26,39 @@ __all__ = ["Tracer"]
 class Tracer:
     """Collects timestamped span timelines from live requests."""
 
-    def __init__(self, limit: int = 2000, sample_every: int = 1) -> None:
+    def __init__(
+        self, limit: int = 2000, sample_every: int = 1,
+        only_traced: bool = False,
+    ) -> None:
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.limit = limit
         self.sample_every = sample_every
+        #: Admit *only* requests carrying a distributed TraceContext
+        #: (the cluster cells' mode: the router decides what is traced).
+        self.only_traced = only_traced
         self.requests: List[object] = []
         self.dropped = 0
         self.skipped = 0
         self._offered = 0
 
     def register(self, request) -> bool:
-        """Arm ``request`` for timeline recording; True when admitted."""
+        """Arm ``request`` for timeline recording; True when admitted.
+
+        Requests already carrying a distributed
+        :class:`~repro.telemetry.context.TraceContext` bypass
+        ``sample_every``: the sampling decision was made upstream (by
+        the cluster router or the caller's ``traceparent`` flag), and a
+        trace that loses hops at some cells is worse than none.  The
+        retention ``limit`` still applies.
+        """
         index = self._offered
         self._offered += 1
-        if index % self.sample_every != 0:
+        if getattr(request, "trace", None) is None and (
+            self.only_traced or index % self.sample_every != 0
+        ):
             self.skipped += 1
             return False
         if len(self.requests) >= self.limit:

@@ -1,0 +1,99 @@
+"""``repro top`` rendering tests: sparklines, selection, frames, CLI."""
+
+import pytest
+
+from repro.analysis.top import render_top, select_series, sparkline
+from repro.cli import main
+from repro.telemetry.timeseries import TimeSeriesStore
+
+
+def sample_store() -> TimeSeriesStore:
+    store = TimeSeriesStore(capacity=64)
+    for t in range(8):
+        store.record("repro_requests_completed_total:rate", float(t), float(t))
+        store.record("repro_request_latency_seconds:p99", float(t), 0.01 * t)
+        store.record("repro_slo_burn_rate", float(t), 0.0, {"window": "60"})
+        store.record("repro_requests_completed_total", float(t), float(t * 10))
+    return store
+
+
+class TestSparkline:
+    def test_scales_to_window_extremes(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_nonzero_series_is_visible(self):
+        assert set(sparkline([5.0, 5.0, 5.0])) == {"▁"}
+        assert set(sparkline([0.0, 0.0])) == {" "}
+
+    def test_window_keeps_last_width_values(self):
+        wide = sparkline(list(range(100)), width=10)
+        assert len(wide) == 10
+
+    def test_empty_and_validation(self):
+        assert sparkline([]) == ""
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestSelectSeries:
+    def test_default_view_keeps_rules_and_burn(self):
+        names = [b.name for b in select_series(sample_store())]
+        assert "repro_requests_completed_total:rate" in names
+        assert "repro_slo_burn_rate" in names
+        # Raw counter families stay out of the default view.
+        assert "repro_requests_completed_total" not in names
+
+    def test_patterns_filter_by_substring(self):
+        names = [b.name for b in select_series(sample_store(), ["latency"])]
+        assert names == ["repro_request_latency_seconds:p99"]
+
+
+class TestRenderTop:
+    def test_frame_contains_header_series_and_sparklines(self):
+        stats = {
+            "admitted": 12, "completed": 10, "in_flight": 2, "rejected": 0,
+            "accepting": True,
+            "slo": {"windows": [
+                {"window_seconds": 60.0, "burn_rate": 1.25},
+            ]},
+        }
+        frame = render_top(sample_store(), stats=stats, width=120)
+        assert "admitted=12" in frame
+        assert "burn[60.0s]=1.25" in frame
+        assert "repro_slo_burn_rate{window=60}" in frame
+        assert "█" in frame
+
+    def test_draining_and_alerts_in_header(self):
+        stats = {"accepting": False,
+                 "scrape": {"alerts_firing": ["slo_burn_high"]}}
+        frame = render_top(sample_store(), stats=stats, width=120)
+        assert "DRAINING" in frame
+        assert "ALERTS: slo_burn_high" in frame
+
+    def test_empty_store_renders_placeholder(self):
+        frame = render_top(TimeSeriesStore())
+        assert "(no series recorded yet)" in frame
+
+    def test_frame_is_deterministic(self):
+        assert render_top(sample_store()) == render_top(sample_store())
+
+
+class TestTopCli:
+    def test_cluster_file_mode(self, tmp_path, capsys):
+        path = tmp_path / "day.jsonl"
+        sample_store().to_jsonl(str(path))
+        assert main(["top", "--cluster", str(path), "--width", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "repro_slo_burn_rate{window=60}" in out
+
+    def test_cluster_file_missing(self, tmp_path, capsys):
+        assert main(["top", "--cluster", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unreachable_url(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:1",
+                     "--once", "--plain"]) == 2
+        assert "cannot reach" in capsys.readouterr().err

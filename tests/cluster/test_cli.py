@@ -43,3 +43,21 @@ def test_cluster_workers_flag_is_not_the_sweep_flag(capsys):
     ])
     assert code == 0
     assert "process, 2 worker(s)" in capsys.readouterr().out
+
+
+def test_cluster_trace_and_timeseries_exports(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    series = tmp_path / "day.jsonl"
+    code = main([
+        "cluster", "--cells", "4", "--nodes-per-cell", "1",
+        "--routing", "round_robin", "--rate", "40", "--duration", "4",
+        "--slo-ms", "250",
+        "--trace-out", str(trace), "--trace-sessions", "2",
+        "--timeseries-out", str(series), "--timeseries-interval", "2",
+    ])
+    assert code == 0
+    shown = capsys.readouterr().out
+    assert "trace events" in shown and "time series" in shown
+    data = json.loads(trace.read_text())
+    assert data["traceEvents"]
+    assert series.exists() and series.read_text().strip()

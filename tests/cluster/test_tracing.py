@@ -1,0 +1,236 @@
+"""Cluster distributed-tracing tests: sampling, merge, Perfetto export.
+
+A traced cluster run follows whole user *sessions* across cells: under
+round-robin routing consecutive requests of one session land in
+different cells, so a single trace id must span >= 2 cells in the merged
+timeline, stitched by session flow arrows.  The exported trace is
+invariant to execution mode and shard count, observer-neutral, and
+pinned as a golden artifact.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_cluster_experiment
+from repro.cluster.tracing import (
+    TraceSampler,
+    cluster_trace_events,
+    merge_trace_records,
+)
+from repro.core.config import ServerConfig
+from repro.telemetry import SloConfig
+from repro.workload import MarkovSessionModel, Workload
+from repro.workload.arrivals import ConstantRate
+
+GOLDEN = Path(__file__).parent / "golden" / "cluster_trace.json"
+GOLDEN_DAY = Path(__file__).parent.parent / "workload" / "golden" / "day.jsonl.gz"
+GOLDEN_DIGEST = "ad20c841ed5ab548290492eaa0f783bc9ce1bc4a7d36aea6259d00519e3f8e69"
+
+SERVER = ServerConfig(model="resnet-50", preprocess_batch_size=64)
+
+CLUSTER = ClusterConfig(cells=4, nodes_per_cell=1, routing="round_robin")
+
+
+def session_workload(duration: float = 8.0) -> Workload:
+    return Workload(
+        name="traced-sessions",
+        arrivals=ConstantRate(40.0),
+        sessions=MarkovSessionModel(),
+        duration_seconds=duration,
+    )
+
+
+def run_traced(config: ClusterConfig = CLUSTER, *, sessions: int = 3,
+               interval: float = 2.0, **overrides):
+    return run_cluster_experiment(
+        SERVER, config, session_workload(), seed=3,
+        slo=SloConfig(latency_objective_seconds=0.2),
+        trace_sessions=sessions,
+        timeseries_interval=interval,
+        **overrides,
+    )
+
+
+class TestTraceSampler:
+    def test_admits_first_n_sessions_in_stream_order(self):
+        sampler = TraceSampler(seed=0, max_sessions=2)
+
+        class A:
+            def __init__(self, seq, user):
+                self.seq, self.user = seq, user
+
+        first = sampler.trace_for(A(0, "alice"))
+        again = sampler.trace_for(A(1, "alice"))
+        second = sampler.trace_for(A(2, "bob"))
+        third = sampler.trace_for(A(3, "carol"))
+        assert first is not None and second is not None
+        assert third is None  # cap reached
+        assert again.trace_id == first.trace_id  # same session, same trace
+        assert again.span_id != first.span_id  # distinct request spans
+        assert set(sampler.sessions.values()) == {"alice", "bob"}
+
+    def test_is_pure_function_of_the_stream(self):
+        class A:
+            def __init__(self, seq):
+                self.seq, self.user = seq, f"u{seq % 5}"
+
+        def ids():
+            sampler = TraceSampler(seed=7, max_sessions=3)
+            return [
+                (t.trace_id, t.span_id) if t is not None else None
+                for t in (sampler.trace_for(A(i)) for i in range(20))
+            ]
+
+        assert ids() == ids()
+
+
+class TestClusterTracing:
+    def test_traces_cross_cells_with_flow_arrows(self):
+        result = run_traced()
+        assert result.traces
+        cells = {}
+        for record in result.traces:
+            cells.setdefault(record.trace_id, set()).add(record.cell_id)
+        # Round-robin routing spreads one session across cells.
+        assert any(len(spread) >= 2 for spread in cells.values())
+
+        events = cluster_trace_events(result.traces)
+        slices = [e for e in events if e.get("ph") == "X"]
+        flows_out = [e for e in events if e.get("ph") == "s"]
+        flows_in = [e for e in events if e.get("ph") == "f"]
+        assert slices and flows_out and flows_in
+        # Session arrows chain requests of one trace; at least one must
+        # hop between two different cell process groups.
+        pid_of = {}
+        for event in flows_out + flows_in:
+            pid_of.setdefault((event["cat"], event["id"]), set()).add(event["pid"])
+        session_hops = [
+            pids for (cat, _), pids in pid_of.items()
+            if cat == "session" and len(pids) >= 2
+        ]
+        assert session_hops, "no session flow arrow crosses cells"
+
+    def test_tracing_is_observer_neutral(self):
+        base = run_cluster_experiment(SERVER, CLUSTER, session_workload(),
+                                      seed=3)
+        traced = run_traced()
+        assert traced.metrics == base.metrics
+        assert traced.issued == base.issued
+
+    def test_golden_day_tracing_is_observer_neutral(self):
+        """The checked-in 24 h day, traced + windowed, changes nothing."""
+        config = ClusterConfig(cells=50, nodes_per_cell=2,
+                               routing="round_robin")
+        day = Workload.replay(str(GOLDEN_DAY))
+        base = run_cluster_experiment(SERVER, config, day, seed=0)
+        observed = run_cluster_experiment(
+            SERVER, config, day, seed=0,
+            slo=SloConfig(latency_objective_seconds=0.2),
+            trace_sessions=4, timeseries_interval=3600.0,
+        )
+        assert observed.metrics == base.metrics
+        assert observed.issued == base.issued
+        assert observed.traces
+        assert observed.timeseries is not None
+
+    def test_trace_invariant_to_shards_and_execution(self, tmp_path):
+        one = run_traced()
+        sharded = run_traced(CLUSTER.with_overrides(shards=4))
+        process = run_traced(
+            CLUSTER.with_overrides(shards=2, execution="process", workers=2))
+        paths = []
+        for tag, result in (("one", one), ("sharded", sharded),
+                            ("process", process)):
+            path = tmp_path / f"{tag}.json"
+            result.write_trace(str(path))
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1] == paths[2]
+        assert process.metrics == one.metrics
+
+    def test_write_trace_without_tracing_raises(self):
+        result = run_cluster_experiment(SERVER, CLUSTER, session_workload(),
+                                        seed=3)
+        with pytest.raises(RuntimeError, match="trace_sessions"):
+            result.write_trace("/tmp/never-written.json")
+
+    def test_merge_orders_canonically_and_backfills_sessions(self):
+        result = run_traced()
+        records = result.traces
+        keys = [(r.trace_id, r.arrival_time - r.ingress, r.cell_id)
+                for r in records]
+        assert keys == sorted(keys)
+        assert all(r.session is not None for r in records)
+        # Re-merging shuffled per-shard chunks reproduces the order.
+        chunks = [records[::2], records[1::2]]
+        assert merge_trace_records(chunks) == tuple(records)
+
+
+class TestClusterTimeseries:
+    def test_series_present_and_deterministic(self, tmp_path):
+        one = run_traced()
+        two = run_traced(CLUSTER.with_overrides(shards=4))
+        assert one.timeseries is not None
+        names = one.timeseries.names
+        assert "repro_cluster_completions:rate" in names
+        assert "repro_cluster_latency_seconds:p99" in names
+        assert "repro_slo_burn_rate" in names
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        one.write_timeseries(str(a))
+        two.write_timeseries(str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_per_cell_rates_sum_to_global(self):
+        result = run_traced()
+        store = result.timeseries
+        global_rate = store.get("repro_cluster_completions:rate")
+        per_cell = [
+            buffer for buffer in store.select("repro_cluster_completions:rate")
+            if buffer.labels
+        ]
+        assert per_cell
+        for index, (_, total) in enumerate(global_rate.points()):
+            summed = sum(buffer.values[index] for buffer in per_cell
+                         if len(buffer.values) > index)
+            assert summed == pytest.approx(total)
+
+    def test_write_timeseries_without_interval_raises(self):
+        result = run_cluster_experiment(SERVER, CLUSTER, session_workload(),
+                                        seed=3)
+        with pytest.raises(RuntimeError):
+            result.write_timeseries("/tmp/never-written.jsonl")
+
+
+class TestGoldenClusterTrace:
+    """The 4-shard traced run is pinned byte for byte as an artifact."""
+
+    def _generate(self, path):
+        result = run_traced(CLUSTER.with_overrides(shards=4))
+        result.write_trace(str(path))
+        return result
+
+    def test_golden_artifact_matches_fresh_run(self, tmp_path):
+        fresh = tmp_path / "cluster_trace.json"
+        self._generate(fresh)
+        assert GOLDEN.exists(), (
+            "golden artifact missing; regenerate via this test's _generate")
+        assert fresh.read_bytes() == GOLDEN.read_bytes()
+
+    def test_golden_artifact_structure(self):
+        data = json.loads(GOLDEN.read_text())
+        events = data["traceEvents"]
+        assert data["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in events}
+        assert {"X", "s", "f", "M"} <= phases
+        cells = {}
+        for event in events:
+            args = event.get("args", {})
+            if event["ph"] == "X" and "trace_id" in args and "cell" in args:
+                cells.setdefault(args["trace_id"], set()).add(args["cell"])
+        assert any(len(spread) >= 2 for spread in cells.values())
+
+    def test_golden_digest_is_stable(self):
+        digest = hashlib.sha256(GOLDEN.read_bytes()).hexdigest()
+        assert digest == GOLDEN_DIGEST

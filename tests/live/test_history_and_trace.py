@@ -1,0 +1,169 @@
+"""Live-node observability: /metrics/history, traceparent, stats v2."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.live import LiveHttpServer, LiveNode, LiveNodeConfig
+from repro.telemetry import SloConfig, TelemetryConfig
+from repro.telemetry.timeseries import TimeSeriesStore
+
+OBSERVED = TelemetryConfig(
+    enabled=True,
+    trace=False,
+    slo=SloConfig(latency_objective_seconds=0.2),
+    scrape_interval_seconds=0.05,
+    history_points=128,
+)
+
+
+def _node_config(**overrides):
+    defaults = dict(
+        server=ServerConfig(model="tinyvit-5m", preprocess_device="gpu"),
+        time_scale=1.0,
+        grace_seconds=2.0,
+        telemetry=OBSERVED,
+    )
+    defaults.update(overrides)
+    return LiveNodeConfig(**defaults)
+
+
+async def _http(host, port, method, path, payload=None, headers=None):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    reader, writer = await asyncio.open_connection(host, port)
+    head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    writer.write(head.encode() + b"\r\n" + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    return status, raw.split(b"\r\n\r\n", 1)[1]
+
+
+async def _with_server(config, fn):
+    node = LiveNode(config)
+    http = LiveHttpServer(node, "127.0.0.1", 0)
+    node.start()
+    await http.start()
+    host, port = http.address
+    try:
+        return await fn(node, host, port)
+    finally:
+        await http.stop()
+        await node.shutdown()
+
+
+class TestMetricsHistory:
+    def test_history_endpoint_serves_the_store(self):
+        async def scenario(node, host, port):
+            for _ in range(3):
+                await _http(host, port, "POST", "/v1/infer", {"size": "small"})
+            await asyncio.sleep(0.15)  # let a few scrapes land
+            return await _http(host, port, "GET", "/metrics/history")
+
+        status, body = asyncio.run(_with_server(_node_config(), scenario))
+        assert status == 200
+        store = TimeSeriesStore.from_dict(json.loads(body))
+        assert "repro_requests_completed_total" in store.names
+        assert "repro_request_latency_seconds:p99" in store.names
+        completed = store.get("repro_requests_completed_total")
+        assert completed.values[-1] >= 3.0
+
+    def test_history_since_filter_and_bad_value(self):
+        async def scenario(node, host, port):
+            await _http(host, port, "POST", "/v1/infer", {})
+            await asyncio.sleep(0.12)
+            full = await _http(host, port, "GET", "/metrics/history")
+            trimmed = await _http(
+                host, port, "GET", f"/metrics/history?since={node.env.now}")
+            bad = await _http(host, port, "GET", "/metrics/history?since=x")
+            return full, trimmed, bad
+
+        full, trimmed, bad = asyncio.run(_with_server(_node_config(), scenario))
+        assert full[0] == trimmed[0] == 200
+        assert bad[0] == 400
+        count = sum(len(s["points"]) for s in json.loads(full[1])["series"])
+        trimmed_count = sum(
+            len(s["points"]) for s in json.loads(trimmed[1])["series"])
+        assert trimmed_count < count
+
+    def test_history_404_without_scraper(self):
+        config = _node_config(
+            telemetry=TelemetryConfig(enabled=True, trace=False))
+
+        async def scenario(node, host, port):
+            return await _http(host, port, "GET", "/metrics/history")
+
+        status, body = asyncio.run(_with_server(config, scenario))
+        assert status == 404
+        assert "scraper" in json.loads(body)["error"]
+
+
+class TestTraceparent:
+    HEADER = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+    def test_traceparent_joins_and_returns_child_context(self):
+        async def scenario(node, host, port):
+            return await _http(
+                host, port, "POST", "/v1/infer", {"size": "small"},
+                headers={"traceparent": self.HEADER})
+
+        status, body = asyncio.run(_with_server(_node_config(), scenario))
+        assert status == 200
+        out = json.loads(body)
+        assert out["trace_id"] == "0af7651916cd43dd8448eb211c80319c"
+        version, trace_id, span_id, flags = out["traceparent"].split("-")
+        assert (version, trace_id, flags) == ("00", out["trace_id"], "01")
+        assert span_id != "b7ad6b7169203331"  # server opened a child span
+
+    def test_malformed_traceparent_is_rejected(self):
+        async def scenario(node, host, port):
+            return await _http(
+                host, port, "POST", "/v1/infer", {},
+                headers={"traceparent": "garbage"})
+
+        status, body = asyncio.run(_with_server(_node_config(), scenario))
+        assert status == 400
+
+    def test_trace_exemplar_lands_in_exposition(self):
+        async def scenario(node, host, port):
+            await _http(host, port, "POST", "/v1/infer", {},
+                        headers={"traceparent": self.HEADER})
+            return await _http(host, port, "GET", "/metrics")
+
+        status, body = asyncio.run(_with_server(_node_config(), scenario))
+        assert status == 200
+        assert b'trace_id="0af7651916cd43dd8448eb211c80319c"' in body
+
+    def test_untraced_request_has_no_trace_fields(self):
+        async def scenario(node, host, port):
+            return await _http(host, port, "POST", "/v1/infer", {})
+
+        status, body = asyncio.run(_with_server(_node_config(), scenario))
+        out = json.loads(body)
+        assert status == 200
+        assert "trace_id" not in out and "traceparent" not in out
+
+
+class TestStatsV2:
+    def test_stats_exposes_slo_and_scrape_state(self):
+        async def scenario(node, host, port):
+            await _http(host, port, "POST", "/v1/infer", {})
+            await asyncio.sleep(0.12)
+            return await _http(host, port, "GET", "/stats")
+
+        status, body = asyncio.run(_with_server(_node_config(), scenario))
+        assert status == 200
+        stats = json.loads(body)
+        assert stats["slo"]["total"] >= 1
+        windows = {w["window_seconds"] for w in stats["slo"]["windows"]}
+        assert windows == {60.0, 300.0}
+        assert stats["scrape"]["samples_taken"] > 0
+        assert stats["scrape"]["series"] > 0
+        assert stats["scrape"]["alerts_firing"] == []

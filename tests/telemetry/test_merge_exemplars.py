@@ -1,0 +1,137 @@
+"""Histogram.merge, label-cardinality guard, and exemplar round-trips.
+
+``Histogram.merge`` is what makes per-shard telemetry safe to aggregate:
+folding shard histograms together must reproduce the *global* histogram
+exactly (same buckets, same quantiles), not approximately.  The
+cardinality guard bounds label explosion, and exemplars survive the
+Prometheus text round trip.
+"""
+
+import math
+
+import pytest
+
+from repro.kernel import RandomStreams
+from repro.telemetry.context import TraceContext
+from repro.telemetry.exposition import parse_prometheus_text
+from repro.telemetry.registry import (
+    OVERFLOW_LABEL_VALUE,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogramMerge:
+    def test_sharded_merge_equals_global_histogram(self):
+        rng = RandomStreams(11).stream("merge-test")
+        samples = [rng.expovariate(50.0) for _ in range(4000)]
+        global_hist = Histogram()
+        shards = [Histogram() for _ in range(4)]
+        for index, value in enumerate(samples):
+            global_hist.observe(value)
+            shards[index % 4].observe(value)
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.count == global_hist.count
+        assert merged.buckets() == global_hist.buckets()
+        assert (merged.min, merged.max) == (global_hist.min, global_hist.max)
+        # Quantiles are *identical*, not merely close.
+        for q in (0.0, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert merged.quantile(q) == global_hist.quantile(q)
+        # Sums differ only by float addition order.
+        assert math.isclose(merged.sum, global_hist.sum, rel_tol=1e-12)
+
+    def test_merge_order_does_not_matter_for_buckets(self):
+        rng = RandomStreams(3).stream("merge-order")
+        shards = [Histogram() for _ in range(3)]
+        for index in range(900):
+            shards[index % 3].observe(rng.random())
+        forward = Histogram()
+        for shard in shards:
+            forward.merge(shard)
+        backward = Histogram()
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.buckets() == backward.buckets()
+        assert forward.quantile(0.99) == backward.quantile(0.99)
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValueError, match="bucket geometry"):
+            Histogram().merge(Histogram(buckets_per_decade=10))
+
+    def test_merge_returns_self_and_handles_empty(self):
+        target = Histogram()
+        target.observe(0.5)
+        assert target.merge(Histogram()) is target
+        assert target.count == 1
+
+    def test_merge_carries_exemplars(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001, exemplar="trace-a")
+        b.observe(1.0, exemplar="trace-b")
+        a.merge(b)
+        refs = {exemplar[0] for _, exemplar in a.exemplars()}
+        assert refs == {"trace-a", "trace-b"}
+
+
+class TestCardinalityGuard:
+    def test_overflow_spills_into_shared_child(self):
+        registry = MetricsRegistry(max_series_per_family=3)
+        family = registry.counter("hits_total", "hits", labelnames=("node",))
+        for node in range(3):
+            family.labels(node=str(node)).inc()
+        with pytest.warns(RuntimeWarning, match="label-cardinality cap"):
+            family.labels(node="3").inc()
+        family.labels(node="4").inc(2)
+        assert registry.dropped_series == 2
+        spill = family.labels(node=OVERFLOW_LABEL_VALUE)
+        assert spill.value == 3.0  # the capped increments still count
+
+    def test_existing_series_unaffected_by_cap(self):
+        registry = MetricsRegistry(max_series_per_family=2)
+        family = registry.gauge("depth", "d", labelnames=("q",))
+        family.labels(q="a").set(1)
+        family.labels(q="b").set(2)
+        with pytest.warns(RuntimeWarning):
+            family.labels(q="c").set(9)
+        family.labels(q="a").set(5)  # pre-cap series keeps its identity
+        assert family.labels(q="a").value == 5.0
+        assert registry.dropped_series == 1
+
+    def test_uncapped_registry_never_drops(self):
+        registry = MetricsRegistry(max_series_per_family=None)
+        family = registry.counter("c_total", "c", labelnames=("k",))
+        for k in range(100):
+            family.labels(k=str(k)).inc()
+        assert registry.dropped_series == 0
+
+
+class TestExemplarRoundTrip:
+    def test_exposition_round_trips_exemplars(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("req_latency_seconds", "latency")
+        trace = TraceContext.derive("session", 7)
+        latency.observe(0.043, exemplar=trace.trace_id, exemplar_time=12.5)
+        latency.observe(0.9)
+        text = registry.to_prometheus_text()
+        assert "# {" in text
+
+        families = parse_prometheus_text(text)
+        buckets = [s for s in families["req_latency_seconds"]["samples"]
+                   if s["name"].endswith("_bucket") and "exemplar" in s]
+        assert len(buckets) == 1
+        exemplar = buckets[0]["exemplar"]
+        assert exemplar["labels"] == {"trace_id": trace.trace_id}
+        assert exemplar["value"] == pytest.approx(0.043)
+        assert exemplar["timestamp"] == pytest.approx(12.5)
+
+    def test_traceparent_round_trip(self):
+        context = TraceContext.derive("user", 42)
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+        child = context.child("req", 0)
+        assert child.trace_id == context.trace_id
+        assert child.parent_id == context.span_id
+        assert child.span_id != context.span_id

@@ -1,0 +1,132 @@
+"""TimeSeriesStore and AlertRule unit tests: rings, exports, round-trips."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.telemetry.timeseries import AlertRule, SeriesBuffer, TimeSeriesStore
+
+
+class TestSeriesBuffer:
+    def test_ring_evicts_oldest(self):
+        buffer = SeriesBuffer("m", (), capacity=3)
+        for t in range(5):
+            buffer.append(float(t), float(t * 10))
+        assert len(buffer) == 3
+        assert buffer.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert buffer.last() == (4.0, 40.0)
+
+    def test_window_trims_by_time(self):
+        buffer = SeriesBuffer("m", (), capacity=10)
+        for t in range(5):
+            buffer.append(float(t), 1.0)
+        assert buffer.window(3.0) == [(3.0, 1.0), (4.0, 1.0)]
+
+    def test_empty_buffer(self):
+        buffer = SeriesBuffer("m", (), capacity=2)
+        assert buffer.last() is None
+        assert buffer.points() == []
+
+
+class TestTimeSeriesStore:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=0)
+
+    def test_record_and_get_by_labels(self):
+        store = TimeSeriesStore(capacity=8)
+        store.record("qps", 1.0, 10.0, {"cell": "0"})
+        store.record("qps", 1.0, 20.0, {"cell": "1"})
+        store.record("qps", 2.0, 12.0, {"cell": "0"})
+        assert len(store) == 2
+        assert store.get("qps", {"cell": "0"}).points() == [(1.0, 10.0), (2.0, 12.0)]
+        assert [b.labels for b in store.select("qps")] == [
+            (("cell", "0"),), (("cell", "1"),)
+        ]
+
+    def test_get_missing_raises_with_known_names(self):
+        store = TimeSeriesStore()
+        store.record("qps", 0.0, 1.0)
+        with pytest.raises(KeyError, match="qps"):
+            store.get("nope")
+
+    def test_to_dict_from_dict_round_trip(self):
+        store = TimeSeriesStore(capacity=16)
+        store.record("a", 0.0, 1.0)
+        store.record("a", 1.0, 2.0, {"x": "1"})
+        store.record("b:rate", 1.0, 3.5)
+        rebuilt = TimeSeriesStore.from_dict(store.to_dict())
+        assert rebuilt.capacity == 16
+        assert rebuilt.to_dict() == store.to_dict()
+
+    def test_to_dict_since_filters_points(self):
+        store = TimeSeriesStore()
+        store.record("a", 0.0, 1.0)
+        store.record("a", 5.0, 2.0)
+        payload = store.to_dict(since=3.0)
+        assert payload["series"][0]["points"] == [[5.0, 2.0]]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        store = TimeSeriesStore(capacity=4)
+        store.record("a", 0.0, 1.0, {"cell": "0"})
+        store.record("a", 1.0, 2.0, {"cell": "0"})
+        path = tmp_path / "series.jsonl"
+        text = store.to_jsonl(str(path))
+        assert path.read_text() == text
+        rebuilt = TimeSeriesStore.read_jsonl(str(path))
+        assert rebuilt.to_jsonl() == text
+
+    def test_jsonl_gzip(self, tmp_path):
+        store = TimeSeriesStore()
+        store.record("a", 0.0, 1.0)
+        path = tmp_path / "series.jsonl.gz"
+        text = store.to_jsonl(str(path))
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.read() == text
+        assert TimeSeriesStore.read_jsonl(str(path)).to_jsonl() == text
+
+    def test_jsonl_lines_are_json(self):
+        store = TimeSeriesStore()
+        store.record("a", 0.5, 1.5, {"cell": "0"})
+        (line,) = store.to_jsonl().splitlines()
+        row = json.loads(line)
+        assert row == {"name": "a", "labels": {"cell": "0"}, "points": [[0.5, 1.5]]}
+
+    def test_openmetrics_export(self):
+        store = TimeSeriesStore()
+        store.record("lat:p99", 1.0, 0.25, {"cell": "0"})
+        store.record("lat:p99", 2.0, 0.5, {"cell": "0"})
+        text = store.to_openmetrics()
+        # Recording-rule colons are flattened for the wire format.
+        assert "# TYPE lat_p99 gauge" in text
+        assert 'lat_p99{cell="0"} 0.25 1' in text
+        assert text.endswith("# EOF\n")
+
+    def test_exports_are_byte_stable(self):
+        def build():
+            store = TimeSeriesStore(capacity=4)
+            store.record("b", 0.0, 2.0)
+            store.record("a", 0.0, 1.0, {"k": "v"})
+            return store
+
+        assert build().to_jsonl() == build().to_jsonl()
+        assert build().to_openmetrics() == build().to_openmetrics()
+
+
+class TestAlertRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="", series="s", threshold=1.0).validate()
+        with pytest.raises(ValueError):
+            AlertRule(name="a", series="s", threshold=1.0,
+                      comparison=">=").validate()
+        with pytest.raises(ValueError):
+            AlertRule(name="a", series="s", threshold=1.0,
+                      for_seconds=-1.0).validate()
+
+    def test_breached_directions(self):
+        high = AlertRule(name="hot", series="s", threshold=2.0)
+        assert high.breached(2.5) and not high.breached(2.0)
+        low = AlertRule(name="cold", series="s", threshold=2.0, comparison="<")
+        assert low.breached(1.0) and not low.breached(2.0)
