@@ -70,7 +70,11 @@ class AsyncioBackend(Environment):
         time_scale: float = 1.0,
         fast_forward: bool = False,
     ) -> None:
-        super().__init__(initial_time)
+        # The wall-clock dispatch loop below peeks/pops `_queue` directly
+        # (it needs the next event *time* to size its sleep), so this
+        # backend always runs on the binary-heap core regardless of the
+        # REPRO_SCHEDULER default.
+        super().__init__(initial_time, scheduler="heap")
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
         self.time_scale = float(time_scale)
@@ -197,7 +201,10 @@ class AsyncioBackend(Environment):
                 until_event = Event(self)
                 until_event._ok = True
                 until_event._value = None
-                self.schedule(until_event, priority=NORMAL + 1, delay=at - self._now)
+                # schedule_at, not schedule(delay=at - now): the relative
+                # form lands one ulp off `at` for pathological floats,
+                # which would fork the stop time from the virtual backend.
+                self.schedule_at(until_event, at, priority=NORMAL + 1)
             if until_event.callbacks is None:
                 if until_event._ok:
                     return until_event._value

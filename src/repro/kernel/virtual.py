@@ -16,9 +16,23 @@ hot path (see ``BENCH_parallel.json``) pays nothing for the protocol.
 
 from __future__ import annotations
 
-from ..sim.engine import EmptySchedule, Environment, StopSimulation
+from ..sim.engine import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    EmptySchedule,
+    Environment,
+    StopSimulation,
+    resolve_scheduler,
+)
 
-__all__ = ["VirtualTimeBackend", "EmptySchedule", "StopSimulation"]
+__all__ = [
+    "VirtualTimeBackend",
+    "EmptySchedule",
+    "StopSimulation",
+    "DEFAULT_SCHEDULER",
+    "SCHEDULERS",
+    "resolve_scheduler",
+]
 
 #: The discrete-event simulation backend (alias of
 #: :class:`repro.sim.engine.Environment`).

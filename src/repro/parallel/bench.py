@@ -9,9 +9,15 @@ probes:
 - **store**: producer/consumer pairs through a :class:`~repro.sim.Store`
   plus a deep pre-filled drain (the path that used to be quadratic via
   ``list.pop(0)``).
+- **schedulers**: the engine probes repeated under each selectable
+  queue core (``heap`` and ``calendar``), at queue depth 1 (one chain)
+  and depth ~10k (concurrent timer chains) — the comparison that
+  justifies the default scheduler choice.
 - **sweep**: a >=12-point closed-loop experiment sweep executed serially
-  and through :func:`repro.parallel.run_sweep`, reporting wall-clock,
-  speedup, and whether the two row sets were bit-identical.
+  and through :func:`repro.parallel.run_sweep` — once with the default
+  per-sweep pool and once with a persistent spawn pool + chunked point
+  batches — reporting wall-clock, speedup, and whether the row sets
+  were bit-identical.
 
 Nothing here prints; the CLI (``python -m repro bench``) renders the
 returned dict and writes the JSON file.
@@ -34,6 +40,8 @@ from .tasks import ExperimentPoint, run_experiment_point
 
 __all__ = [
     "bench_engine_events",
+    "bench_engine_concurrent",
+    "bench_schedulers",
     "bench_store_throughput",
     "bench_store_drain",
     "bench_sweep",
@@ -42,13 +50,19 @@ __all__ = [
     "sweep_points",
 ]
 
-#: Bump when the harness shape changes incompatibly.
-SCHEMA_VERSION = 1
+#: Bump when the harness shape changes incompatibly.  v2 added the
+#: per-scheduler engine probes and the persistent/chunked sweep leg
+#: (both additive; v1 baselines still compare on the shared figures).
+SCHEMA_VERSION = 2
 
 
-def bench_engine_events(events: int = 200_000) -> float:
-    """Event-loop throughput: one process advancing through timeouts."""
-    env = Environment()
+def bench_engine_events(events: int = 200_000, scheduler: Optional[str] = None) -> float:
+    """Event-loop throughput: one process advancing through timeouts.
+
+    Queue depth stays at 1 — this measures pure dispatch overhead
+    (schedule/pop/resume), the binary heap's best case.
+    """
+    env = Environment(scheduler=scheduler)
 
     def chain():
         for _ in range(events):
@@ -58,6 +72,49 @@ def bench_engine_events(events: int = 200_000) -> float:
     start = time.perf_counter()
     env.run()
     return events / (time.perf_counter() - start)
+
+
+def bench_engine_concurrent(
+    chains: int = 10_000, rounds: int = 20, scheduler: Optional[str] = None
+) -> float:
+    """Event-loop throughput at queue depth ~``chains``.
+
+    Thousands of concurrent timer chains with slightly staggered
+    periods keep the pending-event set deep for the whole run — the
+    regime where a binary heap pays O(log n) per operation and a
+    calendar queue stays O(1) amortized.  Mirrors a fleet/cluster
+    simulation's queue profile rather than a single closed loop's.
+    """
+    env = Environment(scheduler=scheduler)
+
+    def chain(index: int):
+        delay = 1.0 + (index % 97) * 1e-4
+        for _ in range(rounds):
+            yield env.timeout(delay)
+
+    for index in range(chains):
+        env.process(chain(index))
+    total = chains * rounds
+    start = time.perf_counter()
+    env.run()
+    return total / (time.perf_counter() - start)
+
+
+def bench_schedulers(
+    events: int = 200_000, chains: int = 10_000, rounds: int = 20
+) -> Dict[str, Dict[str, float]]:
+    """Both engine probes under each selectable queue core."""
+    from ..sim.engine import SCHEDULERS
+
+    return {
+        name: {
+            "timeout_events_per_sec": _best_of(bench_engine_events, events, name),
+            "concurrent_events_per_sec": _best_of(
+                bench_engine_concurrent, chains, rounds, name
+            ),
+        }
+        for name in SCHEDULERS
+    }
 
 
 def bench_store_throughput(items: int = 100_000) -> float:
@@ -143,7 +200,20 @@ def bench_sweep(
     parallel = run_sweep(
         run_experiment_point, points, ParallelConfig(workers=workers)
     )
+    # Persistent spawn pool + chunked batches: amortizes the ~100 ms
+    # spawn-worker startup and the per-point submit/retrieve round
+    # trips that cap the plain pool's efficiency on short points.
+    persistent_config = ParallelConfig(
+        workers=workers, persistent=True, chunk_size=2
+    )
+    persistent = run_sweep(run_experiment_point, points, persistent_config)
+    # Second pass reuses the already-warm workers — the steady-state
+    # number a long-lived sweep driver actually sees.
+    persistent_warm = run_sweep(
+        run_experiment_point, points, persistent_config
+    )
     identical = serial.values == parallel.values
+    persistent_identical = serial.values == persistent_warm.values
     speedup = (
         serial.wall_seconds / parallel.wall_seconds
         if parallel.wall_seconds > 0
@@ -159,6 +229,11 @@ def bench_sweep(
         "parallel_efficiency": parallel.parallel_efficiency,
         "speedup": speedup,
         "bit_identical": identical,
+        "persistent_cold_wall_seconds": persistent.wall_seconds,
+        "persistent_wall_seconds": persistent_warm.wall_seconds,
+        "persistent_chunk_size": 2,
+        "persistent_efficiency": persistent_warm.parallel_efficiency,
+        "persistent_bit_identical": persistent_identical,
         "serial_point_seconds": [r.seconds for r in serial.results],
         "parallel_point_seconds": [r.seconds for r in parallel.results],
     }
@@ -203,6 +278,7 @@ def run_bench(
             "store_ops_per_sec": _best_of(bench_store_throughput, store_items),
             "store_drain_per_sec": _best_of(bench_store_drain, store_items),
         },
+        "schedulers": bench_schedulers(engine_events),
         "sweep": bench_sweep(
             sweep_count,
             workers,

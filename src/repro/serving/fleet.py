@@ -472,6 +472,7 @@ def run_fleet_experiment(
     telemetry=None,
     *,
     workload: Optional["Workload"] = None,
+    scheduler: Optional[str] = None,
 ) -> FleetResult:
     """Open-loop load against an N-node fleet.
 
@@ -502,7 +503,7 @@ def run_fleet_experiment(
         raise ValueError("pass either workload= or legacy offered_rate=/dataset=, not both")
     workload.validate()
     rate_label = offered_rate if offered_rate is not None else workload.offered_rate_hint()
-    env = VirtualTimeBackend()
+    env = VirtualTimeBackend(scheduler=scheduler)
     streams = RandomStreams(seed)
     collector = MetricsCollector()
     from .runner import _open_session

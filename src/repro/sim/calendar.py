@@ -1,0 +1,274 @@
+"""Calendar-queue event scheduling: O(1) amortized push/pop at any depth.
+
+A calendar queue (Brown, CACM 1988) hashes events into fixed-width time
+buckets the way a desk calendar hashes appointments into days: pushing
+an event costs one arithmetic bucket lookup and a sorted insert; popping
+scans forward from the current "day" and takes the earliest entry.  With
+the bucket count resized to track occupancy, both operations are O(1)
+amortized — flat in queue depth, where a binary heap pays O(log n) per
+operation.
+
+This implementation preserves the engine's **exact total order**: items
+are ``(time, priority, eid, event)`` tuples, identical to the heapq
+path, and every pop returns the globally smallest tuple.  Two
+same-time, same-priority events therefore still dispatch in insertion
+(``eid``) order, so a simulation produces bit-identical results under
+either scheduler (pinned by ``tests/serving/test_scheduler_determinism``).
+
+Implementation notes:
+
+- **Incrementally sorted buckets.**  Each bucket is kept in ascending
+  tuple order via :func:`bisect.insort`; the head is always the
+  bucket's minimum, so pops are ``list.pop(0)`` (a C memmove).  This
+  beats the classic lazy-sort-on-arrival variant for DES workloads,
+  which constantly schedule *same-time* events (store handoffs,
+  process-end notifications) into the very bucket being drained — with
+  lazy sorting every such push forces a full re-sort on the next pop.
+- **Window ids, not boundary floats.**  A bucket's current "day" is the
+  integer window ``trunc(time * inv_width)``; membership tests compare
+  window ids instead of ``time < boundary`` floats, so push and pop can
+  never disagree about which day an event belongs to by one ulp.
+  ``trunc`` is monotone in time, which is all the scan needs.
+- **Dynamic resize.**  The bucket count doubles when occupancy exceeds
+  two items per bucket and halves below one item per two buckets; the
+  bucket width is re-estimated from the mean nonzero gap between
+  time-adjacent events at the *front* of the queue (Brown's rule),
+  keeping roughly one event per bucket-day.  A pathologically clumped
+  bucket additionally triggers a cooldown-limited width re-estimate,
+  which rescues runs whose time structure shifts without the count
+  ever crossing a resize threshold.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import nsmallest
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["CalendarQueue"]
+
+#: Smallest and largest bucket counts the resize policy will use.
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 1 << 20
+
+#: How many front-of-queue items the width estimator samples.  Large
+#: enough to span several *distinct* event times even when bursts of
+#: same-time events dominate the front.
+_SAMPLE_LIMIT = 256
+
+#: A bucket this large (and this far above the mean population) is
+#: considered clumped and may trigger a width re-estimate.
+_OVERFULL = 64
+
+#: Widths below this make window ids overflow-prone; clamp.
+_MIN_WIDTH = 1e-12
+
+_INF = float("inf")
+
+# One scheduled event: exactly the heapq path's entry shape.
+Item = Tuple[float, int, int, Any]
+
+
+class CalendarQueue:
+    """Bucketed priority queue over ``(time, priority, eid, event)`` tuples."""
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_width",
+        "_inv_width",
+        "_count",
+        "_cursor",
+        "_grow_at",
+        "_shrink_at",
+        "_pops",
+        "_reestimate_after",
+    )
+
+    def __init__(self, width: float = 1.0, buckets: int = _MIN_BUCKETS) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        if buckets < 1:
+            raise ValueError(f"bucket count must be >= 1, got {buckets}")
+        self._nbuckets = buckets
+        self._buckets: List[List[Item]] = [[] for _ in range(buckets)]
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        self._count = 0
+        #: Current scan window id; pops never return to earlier windows
+        #: unless a push rewinds the cursor.
+        self._cursor = 0
+        #: Total pops ever; drives the overfull re-estimate cooldown.
+        self._pops = 0
+        self._reestimate_after = 0
+        self._set_thresholds()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CalendarQueue(len={self._count}, buckets={self._nbuckets}, "
+            f"width={self._width:g})>"
+        )
+
+    @property
+    def bucket_count(self) -> int:
+        return self._nbuckets
+
+    @property
+    def width(self) -> float:
+        return self._width
+
+    # -- core operations ---------------------------------------------------
+
+    def push(self, item: Item) -> None:
+        """Insert one ``(time, priority, eid, event)`` entry."""
+        window = int(item[0] * self._inv_width)
+        insort(self._buckets[window % self._nbuckets], item)
+        count = self._count + 1
+        self._count = count
+        if window < self._cursor or count == 1:
+            # An event landed behind the scan position (absolute-time
+            # scheduling can do this after idle periods): rewind so the
+            # next pop starts at its day.
+            self._cursor = window
+        if count > self._grow_at and self._nbuckets < _MAX_BUCKETS:
+            self._resize(self._nbuckets * 2)
+
+    def pop(self) -> Item:
+        """Remove and return the smallest entry (IndexError when empty)."""
+        count = self._count
+        if not count:
+            raise IndexError("pop from an empty CalendarQueue")
+        self._pops += 1
+        buckets = self._buckets
+        nbuckets = self._nbuckets
+        inv_width = self._inv_width
+        cursor = self._cursor
+        scanned = 0
+        while True:
+            bucket = buckets[cursor % nbuckets]
+            if bucket:
+                if (
+                    len(bucket) > _OVERFULL
+                    and len(bucket) * nbuckets > 8 * count
+                    and self._pops >= self._reestimate_after
+                ):
+                    # This width clumps events into one bucket, which
+                    # degrades both insort and head-pop to O(clump)
+                    # memmoves.  Re-estimate — behind a cooldown of one
+                    # full queue turnover, so a genuinely gap-free burst
+                    # (which no width can spread) does not re-pay the
+                    # O(n) estimate on every pop.
+                    self._reestimate_after = self._pops + count
+                    width = self._estimate_width(self._items())
+                    if not 0.5 <= width / self._width <= 2.0:
+                        self._resize(nbuckets, width)
+                        buckets = self._buckets
+                        nbuckets = self._nbuckets
+                        inv_width = self._inv_width
+                        cursor = self._cursor
+                        scanned = 0
+                        continue
+                head = bucket[0]
+                if int(head[0] * inv_width) <= cursor:
+                    del bucket[0]
+                    self._count = count - 1
+                    self._cursor = cursor
+                    if count - 1 < self._shrink_at and nbuckets > _MIN_BUCKETS:
+                        self._resize(nbuckets // 2)
+                    return head
+            cursor += 1
+            scanned += 1
+            if scanned > nbuckets:
+                # A full year of empty days: jump straight to the
+                # earliest event instead of walking empty windows.
+                cursor = self._earliest_window()
+                scanned = 0
+
+    def peek(self) -> float:
+        """Time of the earliest entry, or ``inf`` when empty.
+
+        Does not advance the cursor, so interleaving ``peek`` with
+        ``push``/``pop`` (the cluster lockstep pattern) stays exact.
+        """
+        item = self._peek_item()
+        return item[0] if item is not None else _INF
+
+    def _peek_item(self) -> Optional[Item]:
+        if not self._count:
+            return None
+        best: Optional[Item] = None
+        for bucket in self._buckets:
+            if bucket:
+                head = bucket[0]
+                if best is None or head < best:
+                    best = head
+        return best
+
+    # -- sizing ------------------------------------------------------------
+
+    def _set_thresholds(self) -> None:
+        self._grow_at = self._nbuckets * 2
+        self._shrink_at = self._nbuckets // 2
+
+    def _earliest_window(self) -> int:
+        best = self._peek_item()
+        assert best is not None
+        return int(best[0] * self._inv_width)
+
+    def _items(self) -> List[Item]:
+        out: List[Item] = []
+        for bucket in self._buckets:
+            out.extend(bucket)
+        return out
+
+    def _estimate_width(self, items: List[Item]) -> float:
+        """Brown's rule: width ~ mean gap between *adjacent* event times.
+
+        Samples the front of the queue (the events about to pop) and
+        averages the nonzero gaps between time-adjacent pairs.  Front
+        gaps — not total-span/samples — is the load-bearing choice: a
+        DES population is typically a dense cluster of imminent events
+        plus far-future stragglers, and a span-based mean is dominated
+        by the empty space between clusters, yielding a width that
+        packs the whole imminent cluster into one bucket.  Zero gaps
+        (same-time bursts) carry no width information and are skipped.
+        """
+        if len(items) < 2:
+            return self._width
+        sample = nsmallest(_SAMPLE_LIMIT, items)
+        gaps = [b[0] - a[0] for a, b in zip(sample, sample[1:])]
+        gaps = [g for g in gaps if g > 0.0]
+        if not gaps:
+            # Degenerate same-time burst (e.g. simultaneous process
+            # bootstraps): no time structure to estimate from.
+            return self._width
+        # One-and-a-half "days" per mean gap keeps adjacent events in
+        # distinct buckets without stranding the tail in far futures.
+        return max((sum(gaps) / len(gaps)) * 1.5, _MIN_WIDTH)
+
+    def _resize(self, nbuckets: int, width: Optional[float] = None) -> None:
+        items = self._items()
+        if width is None:
+            width = self._estimate_width(items)
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._set_thresholds()
+        self._count = 0
+        if items:
+            cursor = int(min(item[0] for item in items) * self._inv_width)
+        else:
+            cursor = 0
+        self._cursor = cursor
+        inv_width = self._inv_width
+        buckets = self._buckets
+        for item in items:
+            insort(buckets[int(item[0] * inv_width) % nbuckets], item)
+        self._count = len(items)

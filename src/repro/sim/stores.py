@@ -14,16 +14,22 @@ Implementation notes (hot path):
   :class:`PriorityStore` is the exception: its ``items`` stay a plain
   list because :mod:`heapq` requires one.
 - The put/get event classes carry ``__slots__``; they are allocated once
-  per message hop and never grow ad-hoc attributes.
+  per message hop and never grow ad-hoc attributes.  :meth:`Store.put`
+  and :meth:`Store.get` additionally draw from the environment's free
+  lists (see ``Environment._recycle``): a put/get event whose dispatch
+  provably left no outstanding references is reset and reused instead of
+  re-allocated, which matters because every message hop costs one of
+  each.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
-from .events import Event
+from .events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Environment
@@ -139,11 +145,44 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         """Insert ``item``; the event succeeds once there is room."""
+        env = self.env
+        pool = env._put_pool
+        if pool:
+            # Reuse a recycled StorePut: replicate StorePut.__init__ on
+            # the already-reset carcass (callbacks is an attached empty
+            # list; _value/_ok/_defused are re-armed here).
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = True
+            event._defused = False
+            event.item = item
+            event.store = self
+            self._put_waiters.append(event)
+            self._trigger()
+            return event
         return StorePut(self, item)
 
     def get(self) -> StoreGet:
         """Remove and return the next item; blocks (as an event) when empty."""
-        return StoreGet(self)
+        return self._checkout_get(None)
+
+    def _checkout_get(self, filter_fn: Optional[Callable[[Any], bool]]) -> StoreGet:
+        """Pooled StoreGet factory shared by Store.get / FilterStore.get."""
+        env = self.env
+        pool = env._get_pool
+        if pool:
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = True
+            event._defused = False
+            event.store = self
+            event.filter_fn = filter_fn
+            event.requested_at = env.now
+            event._abandoned = False
+            self._get_waiters.append(event)
+            self._trigger()
+            return event
+        return StoreGet(self, filter_fn)
 
     # -- internals ---------------------------------------------------------
 
@@ -201,7 +240,7 @@ class FilterStore(Store):
     """Store whose getters may select items with a predicate."""
 
     def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
-        return StoreGet(self, filter_fn)
+        return self._checkout_get(filter_fn)
 
     def _do_get(self, event: StoreGet) -> bool:
         if event.filter_fn is None:
@@ -228,23 +267,42 @@ class FilterStore(Store):
 
 
 class PriorityItem:
-    """Orderable wrapper pairing a sortable priority with an arbitrary item."""
+    """Orderable wrapper pairing a sortable priority with an arbitrary item.
 
-    __slots__ = ("priority", "item")
+    Equal priorities are tie-broken by a monotonic insertion sequence, so
+    a :class:`PriorityStore` of ``PriorityItem``\\ s pops equal-priority
+    items in FIFO order.  Without the tie-break, comparison falls through
+    to heap order — i.e. whatever arrangement :mod:`heapq`'s sift left
+    the list in — which varies with the interleaving of unrelated
+    puts/gets and silently reorders same-priority work.
+    """
+
+    __slots__ = ("priority", "item", "_seq")
+
+    _counter = itertools.count()
 
     def __init__(self, priority: Any, item: Any) -> None:
         self.priority = priority
         self.item = item
+        self._seq = next(PriorityItem._counter)
 
     def __lt__(self, other: "PriorityItem") -> bool:
-        return self.priority < other.priority
+        if self.priority < other.priority:
+            return True
+        if other.priority < self.priority:
+            return False
+        return self._seq < other._seq
 
     def __repr__(self) -> str:
         return f"PriorityItem({self.priority!r}, {self.item!r})"
 
 
 class PriorityStore(Store):
-    """Store that always pops the smallest item (heap order)."""
+    """Store that always pops the smallest item.
+
+    With :class:`PriorityItem` items, ties pop FIFO (insertion order);
+    raw items tie-break however their own comparison orders them.
+    """
 
     def _new_items(self):
         # heapq needs indexable storage; keep a plain list.

@@ -1,0 +1,153 @@
+"""Scheduler invariance: heap and calendar cores are bit-identical.
+
+The calendar queue is a pure data-structure swap — it must preserve the
+engine's exact ``(time, priority, eid)`` total order.  These tests pin
+that guarantee end-to-end: every experiment entry point (closed-loop,
+open-loop, face pipeline, fleet, sharded cluster) produces byte-equal
+results and identical span-trace digests under either core, whether the
+core is chosen via ``ExperimentConfig.scheduler``, a function argument,
+or the ``REPRO_SCHEDULER`` environment variable.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.apps import FacePipelineConfig
+from repro.cluster import ClusterConfig, run_cluster_experiment
+from repro.core.config import ServerConfig
+from repro.serving import run_fleet_experiment
+from repro.serving.runner import (
+    ExperimentConfig,
+    run_experiment,
+    run_face_pipeline,
+    run_open_loop,
+)
+from repro.sim.engine import SCHEDULERS
+from repro.telemetry.config import TelemetryConfig
+from repro.workload import Workload
+
+SERVER = ServerConfig(model="resnet-50", preprocess_batch_size=8)
+
+
+def _config(**overrides):
+    base = dict(
+        server=SERVER,
+        concurrency=8,
+        warmup_requests=20,
+        measure_requests=120,
+        seed=7,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _canonical(result):
+    return json.dumps(result.to_dict(), sort_keys=True).encode()
+
+
+def _trace_digest(result):
+    """Order-sensitive digest of the run's span timeline."""
+    events = result.telemetry.tracer.trace_events()
+    payload = json.dumps(events, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class TestConfigField:
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            _config(scheduler="fibheap")
+
+    def test_closed_loop_byte_equal(self):
+        results = [
+            run_experiment(_config(scheduler=s)) for s in SCHEDULERS
+        ]
+        blobs = {_canonical(r) for r in results}
+        assert len(blobs) == 1
+
+    def test_open_loop_byte_equal(self):
+        results = [
+            run_open_loop(_config(scheduler=s), offered_rate=200.0)
+            for s in SCHEDULERS
+        ]
+        assert len({_canonical(r) for r in results}) == 1
+
+    def test_trace_digests_identical(self, monkeypatch):
+        """Not just the aggregate metrics: the per-request span
+        timeline — every timestamped event, in order — must match.
+
+        Request ids come from a process-global counter (they tag
+        requests uniquely across a whole process, including sweeps), so
+        it is reset per run here — otherwise the second run's ids start
+        where the first stopped and the digests differ for a reason
+        that has nothing to do with the scheduler."""
+        import itertools
+
+        import repro.core.request as request_mod
+
+        digests = set()
+        for s in SCHEDULERS:
+            monkeypatch.setattr(request_mod, "_request_ids", itertools.count())
+            result = run_experiment(
+                _config(
+                    scheduler=s,
+                    telemetry=TelemetryConfig(enabled=True, trace=True),
+                )
+            )
+            digests.add(_trace_digest(result))
+        assert len(digests) == 1
+
+
+class TestFunctionArgument:
+    def test_face_pipeline_byte_equal(self):
+        kwargs = dict(
+            concurrency=16, warmup_requests=20, measure_requests=60, seed=3
+        )
+        results = [
+            run_face_pipeline(FacePipelineConfig(), scheduler=s, **kwargs)
+            for s in SCHEDULERS
+        ]
+        assert len({_canonical(r) for r in results}) == 1
+
+    def test_fleet_byte_equal(self):
+        results = [
+            run_fleet_experiment(
+                SERVER,
+                node_count=2,
+                offered_rate=2000,
+                warmup_requests=100,
+                measure_requests=300,
+                scheduler=s,
+            )
+            for s in SCHEDULERS
+        ]
+        assert len(
+            {json.dumps(r.to_dict(), sort_keys=True) for r in results}
+        ) == 1
+
+
+class TestEnvironmentVariable:
+    def test_cluster_byte_equal(self, monkeypatch):
+        """The sharded cluster builds Environments internally; the env
+        var is the supported selection channel there."""
+        workload = Workload.constant(150.0, duration_seconds=3.0)
+        metrics = []
+        for s in SCHEDULERS:
+            monkeypatch.setenv("REPRO_SCHEDULER", s)
+            result = run_cluster_experiment(
+                SERVER,
+                ClusterConfig(cells=2, nodes_per_cell=2),
+                workload,
+                seed=0,
+            )
+            metrics.append(result.metrics)
+        # RunMetrics dataclass equality compares every float exactly.
+        assert metrics[0] == metrics[1]
+
+    def test_env_var_reaches_closed_loop(self, monkeypatch):
+        blobs = set()
+        for s in SCHEDULERS:
+            monkeypatch.setenv("REPRO_SCHEDULER", s)
+            blobs.add(_canonical(run_experiment(_config())))
+        assert len(blobs) == 1

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import Environment, EmptySchedule, Interrupt
+from repro.sim.engine import DEFAULT_SCHEDULER, SCHEDULERS, resolve_scheduler
 
 
 def test_initial_time_is_zero():
@@ -482,3 +483,161 @@ class TestScheduleAt:
         env.run(until=env.process(proc(env)))
         with pytest.raises(ValueError, match="must be >= now"):
             env.schedule_at(env.event(), 1.0)
+
+
+class TestRunUntilDrift:
+    """run(until=<number>) must stop at *exactly* that float.
+
+    The old implementation scheduled the stop event with a relative
+    delay of ``until - now``, and float arithmetic does not guarantee
+    ``now + (until - now) == until`` — runs could stop one ulp early or
+    late, and a subsequent ``run(until=...)`` with the same target
+    could raise "until is in the past".  The fix routes the stop event
+    through absolute-time scheduling.
+    """
+
+    # (now, until) pairs where ``now + (until - now) != until`` — the
+    # relative-delay formulation lands one ulp off the target.
+    PATHOLOGICAL = [
+        (0.7148007551913033, 1.9935579046706298),
+        (1.0139796020820893, 3.5222556151550743),
+        (0.289738047221913, 1.463544898080057),
+        (1.4855757384787682, 7.854891493606652),
+    ]
+
+    def test_drift_arithmetic_is_actually_pathological(self):
+        """Guard the premise: every pair above does exhibit the drift."""
+        assert all(now + (at - now) != at for now, at in self.PATHOLOGICAL)
+
+    @pytest.mark.parametrize("now,target", PATHOLOGICAL)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_stops_at_exact_float(self, now, target, scheduler):
+        env = Environment(initial_time=now, scheduler=scheduler)
+
+        def ticker(env):
+            while True:
+                yield env.timeout((target - now) / 7)
+
+        env.process(ticker(env))
+        env.run(until=target)
+        assert env.now == target  # bit-exact, not approx
+
+    @pytest.mark.parametrize("now,target", PATHOLOGICAL)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_resuming_to_same_target_is_a_noop(self, now, target, scheduler):
+        """If the first run overshot by an ulp, this raised ValueError."""
+        env = Environment(initial_time=now, scheduler=scheduler)
+
+        def ticker(env):
+            while True:
+                yield env.timeout(0.1)
+
+        env.process(ticker(env))
+        env.run(until=target)
+        env.run(until=target)  # same instant: legal, advances nothing
+        assert env.now == target
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_events_at_the_stop_instant_still_fire_first(self, scheduler):
+        """The stop event is scheduled below NORMAL priority, so work
+        landing at exactly t=until runs before the run() returns."""
+        env = Environment(scheduler=scheduler)
+        fired = []
+
+        def proc(env):
+            yield env.timeout(5.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert fired == [5.0]
+
+
+class TestStepRunEquivalence:
+    """step() and run() share one dispatch path; interleaving them
+    cannot change the trajectory."""
+
+    @staticmethod
+    def _workload(env, trace):
+        def chain(env, tag):
+            for i in range(8):
+                yield env.timeout(0.25 + 0.1 * i)
+                trace.append((round(env.now, 6), tag, i))
+
+        env.process(chain(env, "a"))
+        env.process(chain(env, "b"))
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_interleaved_step_run_matches_pure_run(self, scheduler):
+        pure = Environment(scheduler=scheduler)
+        pure_trace = []
+        self._workload(pure, pure_trace)
+        pure.run()
+
+        mixed = Environment(scheduler=scheduler)
+        mixed_trace = []
+        self._workload(mixed, mixed_trace)
+        for _ in range(3):
+            mixed.step()  # a few manual steps...
+        mixed.run(until=1.0)  # ...a bounded run...
+        while mixed.pending:
+            mixed.step()  # ...then stepped to exhaustion
+        assert mixed_trace == pure_trace
+        assert mixed.now == pure.now
+
+
+class TestSchedulerSelection:
+    def test_default_scheduler(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert DEFAULT_SCHEDULER in SCHEDULERS
+        assert Environment().scheduler == DEFAULT_SCHEDULER
+
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_explicit_argument(self, name):
+        assert Environment(scheduler=name).scheduler == name
+
+    def test_env_var_selects(self, monkeypatch):
+        for name in SCHEDULERS:
+            monkeypatch.setenv("REPRO_SCHEDULER", name)
+            assert Environment().scheduler == name
+
+    def test_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        assert Environment(scheduler="heap").scheduler == "heap"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            Environment(scheduler="btree")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler("btree")
+
+    def test_resolve_normalizes_case(self):
+        assert resolve_scheduler(" HEAP ") == "heap"
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_identical_trajectories(self, scheduler):
+        """The cheap end-to-end check; the full-experiment version
+        lives in tests/serving/test_scheduler_determinism.py."""
+        env = Environment(scheduler=scheduler)
+        trace = []
+
+        def proc(env, tag, delay):
+            for _ in range(20):
+                yield env.timeout(delay)
+                trace.append((env.now, tag))
+
+        env.process(proc(env, "x", 0.3))
+        env.process(proc(env, "y", 0.7))
+        env.run()
+        reference = Environment(scheduler="heap")
+        ref_trace = []
+
+        def ref_proc(env, tag, delay):
+            for _ in range(20):
+                yield env.timeout(delay)
+                ref_trace.append((env.now, tag))
+
+        reference.process(ref_proc(reference, "x", 0.3))
+        reference.process(ref_proc(reference, "y", 0.7))
+        reference.run()
+        assert trace == ref_trace

@@ -341,6 +341,53 @@ class TestPriorityStore:
         env.run(until=env.process(proc(env)))
         assert got == ["a", "b", "c"]
 
+    def test_equal_priority_pops_in_insertion_order(self):
+        """FIFO within a priority class.  PriorityItem.__lt__ used to
+        compare *only* the priority, so equal-priority items tied and
+        their pop order depended on heap internals (i.e. on the full
+        insertion history).  The insertion-sequence tie-break makes
+        equal-priority ordering FIFO by construction."""
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def proc(env):
+            for tag in "abcde":
+                yield store.put(PriorityItem(1, tag))
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.run(until=env.process(proc(env)))
+        assert got == list("abcde")
+
+    def test_mixed_priorities_fifo_within_class(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def proc(env):
+            # Interleave two priority classes.
+            for priority, tag in [(2, "x1"), (1, "a1"), (2, "x2"), (1, "a2"), (2, "x3")]:
+                yield store.put(PriorityItem(priority, tag))
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.run(until=env.process(proc(env)))
+        assert got == ["a1", "a2", "x1", "x2", "x3"]
+
+    def test_priority_item_ordering_is_total(self):
+        a = PriorityItem(1, "first")
+        b = PriorityItem(1, "second")
+        c = PriorityItem(0, "urgent")
+        assert c < a and c < b  # priority dominates
+        assert a < b  # equal priority: insertion order breaks the tie
+        assert not (b < a)
+        # Payloads never participate, so unorderable items are fine.
+        d = PriorityItem(1, object())
+        assert b < d
+
 
 class TestRandomStreams:
     def test_same_seed_same_sequence(self):
